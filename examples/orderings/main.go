@@ -1,0 +1,89 @@
+// Ordering study: how the row/column ordering changes what serial ILUT
+// keeps. The parallel algorithm *imposes* an ordering (interiors per
+// domain, then independent sets); this example isolates that effect with
+// four serial orderings of the same TORSO-like matrix:
+//
+//   - natural      — the generator's Morton (FE-like) numbering
+//   - RCM          — bandwidth-reducing reverse Cuthill–McKee
+//   - multi-elim   — independent-set levels (Saad's ILUM; the ordering the
+//     parallel interface phase produces)
+//   - ILUTP        — natural order with column pivoting
+//
+// Run with: go run ./examples/orderings
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/ilu"
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+	"repro/internal/mis"
+	"repro/internal/sparse"
+)
+
+func main() {
+	a := matgen.Torso(14, 14, 14, 1)
+	n := a.N
+	b := sparse.Ones(n)
+	params := ilu.Params{M: 10, Tau: 1e-4}
+	fmt.Printf("matrix: torso n=%d nnz=%d, ILUT(%d,%.0e)\n\n", n, a.NNZ(), params.M, params.Tau)
+	fmt.Printf("%-12s %-10s %-8s %-6s %s\n", "ordering", "bandwidth", "fill", "NMV", "note")
+
+	g := graph.FromMatrix(a)
+	solve := func(m *sparse.CSR, f *ilu.Factors) int {
+		x := make([]float64, n)
+		res, err := krylov.GMRES(m, f, x, b, krylov.Options{Restart: 30, Tol: 1e-8, MaxMatVec: 4000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Converged {
+			return -res.NMatVec
+		}
+		return res.NMatVec
+	}
+	report := func(name string, perm []int, note string) {
+		m := a
+		if perm != nil {
+			m = a.Permute(perm)
+		} else {
+			perm = sparse.IdentityPermutation(n)
+		}
+		f, _, err := ilu.ILUT(m, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %-10d %-8.2f %-6d %s\n",
+			name, g.Bandwidth(perm), f.FillFactor(m), solve(m, f), note)
+	}
+
+	report("natural", nil, "generator's Morton/FE-like numbering")
+	report("RCM", g.RCM(), "bandwidth-reducing")
+
+	me, err := ilu.MultiElimILUT(a, params, mis.DefaultRounds, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm := a.Permute(me.Perm)
+	fmt.Printf("%-12s %-10d %-8.2f %-6d %d independent-set levels\n",
+		"multi-elim", g.Bandwidth(me.Perm), me.Factors.FillFactor(pm),
+		solve(pm, me.Factors), len(me.LevelSizes))
+
+	rp, err := ilu.ILUTP(a, params, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := make([]float64, n)
+	res, err := krylov.FGMRES(a, rp, x, b, krylov.Options{Restart: 30, Tol: 1e-8, MaxMatVec: 4000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-10s %-8.2f %-6d column pivoting (FGMRES)\n",
+		"ILUTP", "-", rp.Factors.FillFactor(a), res.NMatVec)
+
+	fmt.Println("\nMulti-elimination trades a little preconditioner quality for the")
+	fmt.Println("massive concurrency of independent-set levels — the same trade the")
+	fmt.Println("parallel interface phase makes. Negative NMV marks non-convergence.")
+}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ilu"
+	"repro/internal/machine"
+	"repro/internal/mis"
+	"repro/internal/sparse"
+)
+
+// Message tags used by this package.
+const (
+	tagPivotRows = 9301
+)
+
+// Options configure a parallel factorization.
+type Options struct {
+	// Params carries M (fill per row), Tau (threshold) and K: K > 0
+	// selects ILUT*(M, Tau, K); K ≤ 0 selects plain parallel ILUT(M, Tau).
+	Params ilu.Params
+	// MISRounds bounds the Luby augmentation rounds per level (default 5,
+	// the paper's choice).
+	MISRounds int
+	// Seed drives the independent-set randomness.
+	Seed int64
+	// Schur enables the paper's §7 future-work variant: before each
+	// independent-set level, every processor factors — sequentially and
+	// with no synchronization — the interface rows that currently couple
+	// only to its own rows (a partition-extracted block of the reduced
+	// matrix). Independent sets then handle only the genuinely coupled
+	// remainder, shrinking q further.
+	Schur bool
+}
+
+// LevelInfo describes one independent set in the elimination order.
+type LevelInfo struct {
+	Start int // first new id of the level
+	Size  int // number of unknowns in the level (global)
+}
+
+// Stats reports what the factorization did on one processor, plus the
+// shared level structure.
+type Stats struct {
+	ILU           ilu.Stats
+	NumLevels     int // q: independent sets used for the interface
+	NInterface    int // global interface unknowns
+	NInterior     int // local interior unknowns
+	ReducedNNZ0   int // local reduced-matrix entries entering phase 2
+	CopiedEntries int // reduced-matrix entries copied across levels
+}
+
+// ProcPrecond is one processor's piece of the distributed preconditioner:
+// the L/U rows of its owned unknowns in final elimination-order indices,
+// plus the level structure that drives the triangular solves.
+type ProcPrecond struct {
+	plan *Plan
+	me   int
+
+	owned []int // global rows, increasing (== Lay.Rows[me])
+	newOf []int // final new id per owned row
+
+	lCols [][]int
+	lVals [][]float64
+	uCols [][]int // diagonal NOT included; strictly-upper in new ids
+	uVals [][]float64
+	uDiag []float64
+
+	interiorLocal []int // local indices of interior rows, ascending new id
+	levels        []LevelInfo
+	levelMembers  [][]int // per level: local indices, ascending new id
+
+	// solve buffers, reused across applications
+	xInt   []float64
+	xIface []float64
+
+	Stats Stats
+}
+
+// Factor runs the two-phase parallel ILUT/ILUT* factorization. It is an
+// SPMD collective: every processor of the machine must call it with the
+// same plan and options. The returned piece belongs to the calling
+// processor.
+func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
+	if opt.MISRounds <= 0 {
+		opt.MISRounds = mis.DefaultRounds
+	}
+	par := opt.Params
+	n := plan.A.N
+	lay := plan.Lay
+	me := p.ID
+
+	pc := &ProcPrecond{
+		plan:  plan,
+		me:    me,
+		owned: lay.Rows[me],
+	}
+	nLocal := len(pc.owned)
+	pc.newOf = make([]int, nLocal)
+	pc.lCols = make([][]int, nLocal)
+	pc.lVals = make([][]float64, nLocal)
+	pc.uCols = make([][]int, nLocal)
+	pc.uVals = make([][]float64, nLocal)
+	pc.uDiag = make([]float64, nLocal)
+	pc.Stats.NInterface = plan.NInterface
+	pc.Stats.NInterior = plan.NIntLocal[me]
+
+	localIdx := make(map[int]int, nLocal)
+	for li, g := range pc.owned {
+		localIdx[g] = li
+	}
+	// enc maps a global column to the combined index space.
+	enc := func(j int) int {
+		if nid := plan.NewOfInterior[j]; nid >= 0 {
+			return nid
+		}
+		return n + j
+	}
+
+	st := &pc.Stats.ILU
+	w := sparse.NewWorkRow(2 * n)
+	intBase := plan.IntBase[me]
+	nInt := plan.NIntLocal[me]
+
+	// ---- Phase 1a: factor the interior rows (local ILUT) ---------------
+	// localU[nid-intBase] is the U row of interior pivot nid, kernel form.
+	localU := make([]*ilu.URow, nInt)
+	pivotLookup := func(k int) *ilu.URow {
+		return localU[k-intBase]
+	}
+	encCols := make([]int, 0, 64)
+	encVals := make([]float64, 0, 64)
+	for _, g := range pc.owned {
+		if !plan.Interior[g] {
+			continue
+		}
+		li := localIdx[g]
+		myNew := plan.NewOfInterior[g]
+		pc.newOf[li] = myNew
+		pc.interiorLocal = append(pc.interiorLocal, li)
+		tau := par.Tau * plan.RowTau[g]
+
+		cols, vals := plan.A.Row(g)
+		encCols = encCols[:0]
+		encVals = encVals[:0]
+		for k, j := range cols {
+			encCols = append(encCols, enc(j))
+			encVals = append(encVals, vals[k])
+		}
+		sortPair(encCols, encVals)
+
+		// The interior block is sequential: use the heap-driven kernel
+		// with the pivot range covering my already-factored interiors.
+		lC, lV, rC, rV := ilu.EliminateRowSeq(w, myNew, encCols, encVals,
+			pivotLookup, intBase, myNew, tau, par.M, 0, st)
+		// For an interior row the "reduced" part is its U row: everything
+		// at or after the diagonal in elimination order, i.e. combined
+		// indices ≥ myNew. EliminateRowSeq split at myNew, so rC holds
+		// diag + later interiors + interface columns. Cap it to M like the
+		// standard 2nd dropping rule (diagonal excluded from the cap).
+		urow, err := ilu.FactorPivotRow(myNew, rC, rV, tau, par.M, st)
+		if err != nil {
+			panic(err)
+		}
+		localU[myNew-intBase] = &urow
+		pc.lCols[li], pc.lVals[li] = lC, lV
+		pc.uCols[li], pc.uVals[li] = urow.Cols, urow.Vals
+		pc.uDiag[li] = urow.Diag
+	}
+	// Phase 1 is embarrassingly parallel; account the local work and move
+	// on — no synchronization is needed until the interface phase.
+
+	// ---- Phase 1b: eliminate interior unknowns from interface rows -----
+	reduced := make([]redRow, nLocal)
+	var remaining []int // local indices of unfactored interface rows
+	for _, g := range pc.owned {
+		if plan.Interior[g] {
+			continue
+		}
+		li := localIdx[g]
+		tau := par.Tau * plan.RowTau[g]
+		cols, vals := plan.A.Row(g)
+		encCols = encCols[:0]
+		encVals = encVals[:0]
+		for k, j := range cols {
+			encCols = append(encCols, enc(j))
+			encVals = append(encVals, vals[k])
+		}
+		sortPair(encCols, encVals)
+		lC, lV, rC, rV := ilu.EliminateRowSeq(w, n+g, encCols, encVals,
+			pivotLookup, intBase, intBase+nInt, tau, par.M, par.K, st)
+		pc.lCols[li], pc.lVals[li] = lC, lV
+		reduced[li] = redRow{rC, rV}
+		remaining = append(remaining, li)
+		pc.Stats.ReducedNNZ0 += len(rC)
+	}
+
+	// Charge the virtual clock for local work accumulated since the last
+	// synchronization point; copied reduced-matrix entries count too (the
+	// paper identifies this copying as a main ILUT overhead).
+	var flopsCharged float64
+	charge := func() {
+		pending := pc.Stats.ILU.Flops + float64(pc.Stats.CopiedEntries) - flopsCharged
+		if pending > 0 {
+			p.Work(pending)
+			flopsCharged += pending
+		}
+	}
+	charge()
+
+	// ---- Phase 2: level-by-level interface factorization ---------------
+	nl := plan.TotInterior
+	ownerOf := func(g int) int { return lay.PartOf[g] }
+	ufinal := make(map[int]*ilu.URow) // my interface pivots, by global id
+
+	for {
+		charge()
+
+		if opt.Schur {
+			var factored bool
+			remaining, factored = pc.schurBlockRound(p, w, remaining, reduced, &nl, ufinal, par, st)
+			if factored {
+				continue
+			}
+		}
+
+		// Adjacency of the current reduced matrix (original ids, with all
+		// fill included — the paper's dynamic dependency structure).
+		ownedIDs := make([]int, len(remaining))
+		adj := make([][]int, len(remaining))
+		for k, li := range remaining {
+			g := pc.owned[li]
+			ownedIDs[k] = g
+			var nbrs []int
+			for _, c := range reduced[li].cols {
+				if o := c - n; o != g {
+					nbrs = append(nbrs, o)
+				}
+			}
+			adj[k] = nbrs
+		}
+		sel, ex := mis.DistributedPlan(p, ownedIDs, adj, nil, ownerOf,
+			opt.MISRounds, opt.Seed+int64(len(pc.levels))*7919)
+		if ex.GlobalActive == 0 {
+			break
+		}
+
+		// Assign the level's new ids: members are ordered by (processor,
+		// local order), so a single counts exchange fixes every rank.
+		mineCount := 0
+		for k := range remaining {
+			if sel[k] {
+				mineCount++
+			}
+		}
+		counts := p.AllGatherInts([]int{mineCount})
+		levelSize := 0
+		myOffset := nl
+		for q := 0; q < lay.P; q++ {
+			if q < me {
+				myOffset += counts[q][0]
+			}
+			levelSize += counts[q][0]
+		}
+		nl1 := nl + levelSize
+		pc.levels = append(pc.levels, LevelInfo{Start: nl, Size: levelSize})
+
+		// Factor my pivots: only their U rows are created (independent
+		// rows need no elimination), 2nd dropping rule applied.
+		// levelNew maps original id → new id for the pivots this
+		// processor can see (its own plus every pushed row).
+		levelNew := make(map[int]int, mineCount)
+		var members []int
+		rank := 0
+		for k, li := range remaining {
+			if !sel[k] {
+				continue
+			}
+			g := pc.owned[li]
+			tau := par.Tau * plan.RowTau[g]
+			urow, err := ilu.FactorPivotRow(n+g, reduced[li].cols, reduced[li].vals, tau, par.M, st)
+			if err != nil {
+				panic(err)
+			}
+			urow.Col = myOffset + rank
+			urow.Orig = g
+			rank++
+			ufinal[g] = &urow
+			levelNew[g] = urow.Col
+			pc.newOf[li] = urow.Col
+			pc.uCols[li], pc.uVals[li] = urow.Cols, urow.Vals
+			pc.uDiag[li] = urow.Diag
+			reduced[li] = redRow{}
+			members = append(members, li)
+		}
+		sort.Slice(members, func(a, b int) bool { return pc.newOf[members[a]] < pc.newOf[members[b]] })
+		pc.levelMembers = append(pc.levelMembers, members)
+
+		// Push pivot rows along the MIS exchange plan: the processors
+		// that requested a vertex's MIS state are exactly those whose
+		// rows reference it, so the communication can be posted before
+		// any elimination (§4 of the paper).
+		pivotByNew := make(map[int]*ilu.URow)
+		for g, nid := range levelNew {
+			pivotByNew[nid] = ufinal[g]
+		}
+		for q := 0; q < lay.P; q++ {
+			if q == me || len(ex.NeedBy[q]) == 0 {
+				continue
+			}
+			var rows []ilu.URow
+			bytes := 0
+			for _, k := range ex.NeedBy[q] {
+				if !sel[k] {
+					continue
+				}
+				u := ufinal[ownedIDs[k]]
+				rows = append(rows, *u)
+				bytes += 24 + 16*len(u.Cols)
+			}
+			p.Send(q, tagPivotRows, rows, bytes)
+		}
+		for q := 0; q < lay.P; q++ {
+			if q == me || len(ex.ReqFrom[q]) == 0 {
+				continue
+			}
+			rows := p.Recv(q, tagPivotRows).([]ilu.URow)
+			for k := range rows {
+				levelNew[rows[k].Orig] = rows[k].Col
+				pivotByNew[rows[k].Col] = &rows[k]
+			}
+		}
+
+		// Eliminate the level's unknowns from my remaining rows
+		// (Algorithm 2; single sweep thanks to independence).
+		var next []int
+		for k, li := range remaining {
+			if sel[k] {
+				continue
+			}
+			g := pc.owned[li]
+			tau := par.Tau * plan.RowTau[g]
+			// Translate this level's pivot columns to their new ids.
+			rc := reduced[li].cols
+			rv := reduced[li].vals
+			tC := make([]int, len(rc))
+			copy(tC, rc)
+			for idx, c := range rc {
+				if nid, ok := levelNew[c-n]; ok {
+					tC[idx] = nid
+				}
+			}
+			sortPair(tC, rv)
+			lC, lV, nrC, nrV := ilu.EliminateRow(w, n+g, tC, rv,
+				pc.lCols[li], pc.lVals[li],
+				func(k int) *ilu.URow { return pivotByNew[k] },
+				nl, nl1, tau, par.M, par.K, st)
+			pc.lCols[li], pc.lVals[li] = lC, lV
+			reduced[li] = redRow{nrC, nrV}
+			pc.Stats.CopiedEntries += len(nrC)
+			next = append(next, li)
+		}
+		remaining = next
+		nl = nl1
+	}
+	charge()
+	pc.Stats.NumLevels = len(pc.levels)
+
+	// ---- Final translation: combined indices → elimination order -------
+	// One gather publishes every interface row's (original, new) pair so
+	// stored U rows can be renumbered.
+	var pairs []int
+	for li, g := range pc.owned {
+		if !plan.Interior[g] {
+			pairs = append(pairs, g, pc.newOf[li])
+		}
+	}
+	allPairs := p.AllGatherInts(pairs)
+	newOfIface := make(map[int]int, plan.NInterface)
+	for _, pp := range allPairs {
+		for i := 0; i < len(pp); i += 2 {
+			newOfIface[pp[i]] = pp[i+1]
+		}
+	}
+	for li := range pc.uCols {
+		for k, c := range pc.uCols[li] {
+			if c >= n {
+				nid, ok := newOfIface[c-n]
+				if !ok {
+					panic("core: unfactored column survived the factorization")
+				}
+				pc.uCols[li][k] = nid
+			}
+		}
+		sortPair(pc.uCols[li], pc.uVals[li])
+	}
+
+	pc.xInt = make([]float64, nInt)
+	pc.xIface = make([]float64, plan.NInterface)
+	p.Barrier()
+	return pc
+}
+
+// sortPair sorts cols ascending, permuting vals alongside.
+func sortPair(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
+}

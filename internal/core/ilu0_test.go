@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/ilu"
+	"repro/internal/machine"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+func runFactorILU0(t *testing.T, a *sparse.CSR, P int) ([]*ProcPrecond, *Plan) {
+	t.Helper()
+	g := graph.FromMatrix(a)
+	part := partition.KWay(g, P, partition.Options{Seed: 17})
+	lay, err := dist.NewLayout(a.N, P, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(a, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs := make([]*ProcPrecond, P)
+	m := machine.New(P, machine.T3D())
+	m.Run(func(p *machine.Proc) {
+		pcs[p.ID] = FactorILU0(p, plan, 0, 1)
+	})
+	return pcs, plan
+}
+
+func TestParallelILU0PatternEqualsPermutedA(t *testing.T) {
+	a := matgen.Torso(6, 6, 6, 2)
+	for _, P := range []int{2, 4} {
+		pcs, _ := runFactorILU0(t, a, P)
+		f, perm, err := GatherFactors(pcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.CheckStructure(); err != nil {
+			t.Fatal(err)
+		}
+		pap := a.Permute(perm)
+		// Union pattern of L and U must exactly equal the pattern of PAPᵀ.
+		b := sparse.NewBuilder(a.N, a.N)
+		for i := 0; i < a.N; i++ {
+			cols, _ := f.L.Row(i)
+			for _, j := range cols {
+				b.Add(i, j, 1)
+			}
+			ucols, _ := f.U.Row(i)
+			for _, j := range ucols {
+				b.Add(i, j, 1)
+			}
+		}
+		union := b.Build()
+		if union.NNZ() != pap.NNZ() {
+			t.Fatalf("P=%d: ILU(0) pattern nnz %d, PAPᵀ nnz %d", P, union.NNZ(), pap.NNZ())
+		}
+		for i := 0; i < a.N; i++ {
+			uc, _ := union.Row(i)
+			ac, _ := pap.Row(i)
+			for k := range uc {
+				if uc[k] != ac[k] {
+					t.Fatalf("P=%d: row %d pattern differs", P, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelILU0EqualsSerialOnPermutedMatrix(t *testing.T) {
+	// The defining invariant: the parallel factorization is numerically
+	// identical to serial ILU(0) applied to the permuted matrix — the
+	// elimination order and the pattern restriction are the same, only
+	// the execution is distributed.
+	a := matgen.Torso(5, 5, 7, 6)
+	for _, P := range []int{2, 5} {
+		pcs, _ := runFactorILU0(t, a, P)
+		f, perm, err := GatherFactors(pcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ilu.ILU0(a.Permute(perm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.MaxAbsDiff(f.L, want.L); d > 1e-12 {
+			t.Errorf("P=%d: L differs from serial ILU0 of PAPᵀ by %v", P, d)
+		}
+		if d := sparse.MaxAbsDiff(f.U, want.U); d > 1e-12 {
+			t.Errorf("P=%d: U differs from serial ILU0 of PAPᵀ by %v", P, d)
+		}
+	}
+}
+
+func TestParallelILU0SingleProcEqualsSerial(t *testing.T) {
+	a := matgen.Grid2D(9, 9)
+	pcs, _ := runFactorILU0(t, a, 1)
+	f, perm, err := GatherFactors(pcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range perm {
+		if p != i {
+			t.Fatalf("P=1 permutation not identity at %d", i)
+		}
+	}
+	want, _, err := ilu.ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.MaxAbsDiff(f.L, want.L); d > 1e-12 {
+		t.Errorf("L differs from serial ILU0 by %v", d)
+	}
+	if d := sparse.MaxAbsDiff(f.U, want.U); d > 1e-12 {
+		t.Errorf("U differs from serial ILU0 by %v", d)
+	}
+}
+
+func TestParallelILU0FewerLevelsThanILUT(t *testing.T) {
+	// The static pattern needs only a colouring-sized number of levels;
+	// ILUT's fill forces far more.
+	a := matgen.Torso(8, 8, 8, 3)
+	P := 8
+	ilu0, _ := runFactorILU0(t, a, P)
+	ilut, _, _ := runFactor(t, a, P, Options{Params: ilu.Params{M: 10, Tau: 1e-6}})
+	q0 := ilu0[0].NumLevels()
+	qT := ilut[0].NumLevels()
+	t.Logf("levels: ILU(0)=%d ILUT(10,1e-6)=%d", q0, qT)
+	if q0*3 > qT {
+		t.Errorf("ILU(0) levels (%d) should be ≪ ILUT levels (%d)", q0, qT)
+	}
+}
+
+func TestParallelILU0SolveMatchesGathered(t *testing.T) {
+	a := matgen.Torso(6, 6, 6, 4)
+	n := a.N
+	P := 4
+	pcs, plan := runFactorILU0(t, a, P)
+	lay := plan.Lay
+	f, perm, err := GatherFactors(pcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 1.3)
+	}
+	want := make([]float64, n)
+	f.Solve(want, sparse.PermuteVec(b, perm))
+	bParts := lay.Scatter(b)
+	yParts := make([][]float64, P)
+	m := machine.New(P, machine.T3D())
+	m.Run(func(p *machine.Proc) {
+		y := make([]float64, lay.NLocal(p.ID))
+		pcs[p.ID].Solve(p, y, bParts[p.ID])
+		yParts[p.ID] = y
+	})
+	got := lay.Gather(yParts)
+	for i := 0; i < n; i++ {
+		if math.Abs(got[i]-want[perm[i]]) > 1e-9*math.Max(1, math.Abs(want[perm[i]])) {
+			t.Fatalf("solve mismatch at %d", i)
+		}
+	}
+}
+
+func TestParallelILU0PreconditionsGMRES(t *testing.T) {
+	// One preconditioned step should substantially reduce the residual —
+	// less than ILUT at small tau, but far better than nothing.
+	a := matgen.Grid2D(12, 12)
+	n := a.N
+	P := 4
+	pcs, plan := runFactorILU0(t, a, P)
+	lay := plan.Lay
+	b := sparse.Ones(n)
+	bParts := lay.Scatter(b)
+	xParts := make([][]float64, P)
+	m := machine.New(P, machine.T3D())
+	m.Run(func(p *machine.Proc) {
+		x := make([]float64, lay.NLocal(p.ID))
+		pcs[p.ID].Solve(p, x, bParts[p.ID])
+		xParts[p.ID] = x
+	})
+	x := lay.Gather(xParts)
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	rel1 := sparse.Norm2(r) / sparse.Norm2(b)
+	if rel1 >= 1 {
+		t.Fatalf("ILU(0) step did not reduce the residual: %v", rel1)
+	}
+	// Richardson iteration with M = ILU(0) must converge steadily.
+	rParts := lay.Scatter(r)
+	m2 := machine.New(P, machine.T3D())
+	m2.Run(func(p *machine.Proc) {
+		xl := xParts[p.ID]
+		rl := rParts[p.ID]
+		z := make([]float64, len(xl))
+		dm := dist.NewMatrix(p, lay, a)
+		for it := 0; it < 10; it++ {
+			pcs[p.ID].Solve(p, z, rl)
+			for i := range xl {
+				xl[i] += z[i]
+			}
+			dm.MulVec(p, rl, xl)
+			for i := range rl {
+				rl[i] = bParts[p.ID][i] - rl[i]
+			}
+		}
+	})
+	x = lay.Gather(xParts)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	// ILU(0) on a Laplacian converges slowly but steadily: ten further
+	// steps must at least halve the first-step residual.
+	if rel := sparse.Norm2(r) / sparse.Norm2(b); rel > rel1/2 {
+		t.Errorf("Richardson with ILU(0) stalled at residual %v (first step %v)", rel, rel1)
+	}
+}

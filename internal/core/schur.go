@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ilu"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+// redRow is the current reduced-matrix row of an unfactored interface
+// unknown, in combined indices (all columns ≥ n, i.e. unfactored).
+type redRow struct {
+	cols []int
+	vals []float64
+}
+
+// schurBlockRound implements the paper's §7 sketch: partition-extracted
+// concurrency for the interface. Every processor identifies the remaining
+// rows that currently couple only to its own rows — in both directions —
+// and factors them *sequentially* with no communication, all processors
+// at once; the mutual independence of the per-processor blocks makes this
+// a single level of the elimination order. Returns the updated remaining
+// list and whether any row was factored globally (if not, the caller
+// falls back to an independent-set level).
+func (pc *ProcPrecond) schurBlockRound(
+	p *machine.Proc,
+	w *sparse.WorkRow,
+	remaining []int,
+	reduced []redRow,
+	nl *int,
+	ufinal map[int]*ilu.URow,
+	par ilu.Params,
+	st *ilu.Stats,
+) ([]int, bool) {
+	plan := pc.plan
+	lay := plan.Lay
+	me := pc.me
+	n := plan.A.N
+
+	// Publish which remote rows my reduced rows reference, so owners can
+	// tell which of their rows are coupled across the boundary.
+	var refs []int
+	seen := make(map[int]bool)
+	for _, li := range remaining {
+		for _, c := range reduced[li].cols {
+			o := c - n
+			if lay.PartOf[o] != me && !seen[o] {
+				seen[o] = true
+				refs = append(refs, o)
+			}
+		}
+	}
+	sort.Ints(refs)
+	all := p.AllGatherInts(refs)
+	remoteRef := make(map[int]bool)
+	for q, ids := range all {
+		if q == me {
+			continue
+		}
+		for _, g := range ids {
+			if lay.PartOf[g] == me {
+				remoteRef[g] = true
+			}
+		}
+	}
+
+	// My block: remaining rows neither referencing nor referenced by a
+	// remote row under the *current* structure (fill included).
+	var block []int
+	for _, li := range remaining {
+		g := pc.owned[li]
+		if remoteRef[g] {
+			continue
+		}
+		local := true
+		for _, c := range reduced[li].cols {
+			if lay.PartOf[c-n] != me {
+				local = false
+				break
+			}
+		}
+		if local {
+			block = append(block, li)
+		}
+	}
+
+	counts := p.AllGatherInts([]int{len(block)})
+	total := 0
+	myOffset := *nl
+	for q := 0; q < lay.P; q++ {
+		if q < me {
+			myOffset += counts[q][0]
+		}
+		total += counts[q][0]
+	}
+	if total == 0 {
+		return remaining, false
+	}
+	nl1 := *nl + total
+
+	// Assign ids and factor the block sequentially, exactly like a
+	// processor's interior phase but over the reduced matrix.
+	blockNew := make(map[int]int, len(block))
+	for r, li := range block {
+		blockNew[pc.owned[li]] = myOffset + r
+	}
+	blockU := make([]*ilu.URow, len(block))
+	pivotFn := func(k int) *ilu.URow { return blockU[k-myOffset] }
+
+	translate := func(li int) ([]int, []float64) {
+		rc := reduced[li].cols
+		rv := reduced[li].vals
+		tC := make([]int, 0, len(rc)+len(pc.lCols[li]))
+		tV := make([]float64, 0, len(rv)+len(pc.lVals[li]))
+		// Prior L entries (already final ids < *nl) ride along so the 3rd
+		// dropping rule sees the whole factored part.
+		tC = append(tC, pc.lCols[li]...)
+		tV = append(tV, pc.lVals[li]...)
+		for idx, c := range rc {
+			if nid, ok := blockNew[c-n]; ok {
+				tC = append(tC, nid)
+			} else {
+				tC = append(tC, c)
+			}
+			tV = append(tV, rv[idx])
+		}
+		sortPair(tC, tV)
+		return tC, tV
+	}
+
+	blockSet := make(map[int]bool, len(block))
+	for _, li := range block {
+		blockSet[li] = true
+	}
+	for r, li := range block {
+		g := pc.owned[li]
+		tau := par.Tau * plan.RowTau[g]
+		myNew := myOffset + r
+		tC, tV := translate(li)
+		lC, lV, rC, rV := ilu.EliminateRowSeq(w, myNew, tC, tV,
+			pivotFn, myOffset, myNew, tau, par.M, 0, st)
+		urow, err := ilu.FactorPivotRow(myNew, rC, rV, tau, par.M, st)
+		if err != nil {
+			panic(err)
+		}
+		urow.Col = myNew
+		urow.Orig = g
+		blockU[r] = &urow
+		ufinal[g] = &urow
+		pc.newOf[li] = myNew
+		pc.lCols[li], pc.lVals[li] = lC, lV
+		pc.uCols[li], pc.uVals[li] = urow.Cols, urow.Vals
+		pc.uDiag[li] = urow.Diag
+		reduced[li] = redRow{}
+	}
+	pc.levels = append(pc.levels, LevelInfo{Start: *nl, Size: total})
+	pc.levelMembers = append(pc.levelMembers, block)
+
+	// Eliminate the block's unknowns from my other remaining rows. Blocks
+	// of different processors are mutually invisible, so this is local.
+	var next []int
+	for _, li := range remaining {
+		if blockSet[li] {
+			continue
+		}
+		g := pc.owned[li]
+		tau := par.Tau * plan.RowTau[g]
+		tC, tV := translate(li)
+		lC, lV, nrC, nrV := ilu.EliminateRowSeq(w, n+g, tC, tV,
+			pivotFn, myOffset, myOffset+len(block), tau, par.M, par.K, st)
+		pc.lCols[li], pc.lVals[li] = lC, lV
+		reduced[li] = redRow{nrC, nrV}
+		pc.Stats.CopiedEntries += len(nrC)
+		next = append(next, li)
+	}
+	*nl = nl1
+	return next, true
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"repro/internal/machine"
+)
+
+// levelValues is the per-level exchange payload of the triangular solves:
+// each processor publishes the solution values of its level members.
+type levelValues struct {
+	NewIDs []int
+	Vals   []float64
+}
+
+// publishLevel makes the just-solved values of level l visible to every
+// processor (one synchronization point per level, as in §5 of the paper:
+// the communication volume is proportional to the interface size and
+// there are q implicit synchronization points per solve).
+func (pc *ProcPrecond) publishLevel(p *machine.Proc, l int) {
+	members := pc.levelMembers[l]
+	msg := levelValues{NewIDs: make([]int, len(members)), Vals: make([]float64, len(members))}
+	for k, li := range members {
+		msg.NewIDs[k] = pc.newOf[li]
+		msg.Vals[k] = pc.xIface[pc.newOf[li]-pc.plan.TotInterior]
+	}
+	all := p.AllGather(msg, 16*len(members))
+	for _, a := range all {
+		lv := a.(levelValues)
+		for k, nid := range lv.NewIDs {
+			pc.xIface[nid-pc.plan.TotInterior] = lv.Vals[k]
+		}
+	}
+}
+
+// SolveForward solves L·y = b for this processor's unknowns. b and y are
+// local vectors in owned-row order (y and b may alias). Collective: every
+// processor must call it together.
+func (pc *ProcPrecond) SolveForward(p *machine.Proc, y, b []float64) {
+	if len(y) != len(pc.owned) || len(b) != len(pc.owned) {
+		panic("core: SolveForward local vector length mismatch")
+	}
+	tot := pc.plan.TotInterior
+	intBase := pc.plan.IntBase[pc.me]
+	flops := 0
+
+	// Interior unknowns: purely local, ascending elimination order. An
+	// interior L row references only earlier local interiors.
+	for _, li := range pc.interiorLocal {
+		s := b[li]
+		cols := pc.lCols[li]
+		vals := pc.lVals[li]
+		for k, c := range cols {
+			s -= vals[k] * pc.xInt[c-intBase]
+		}
+		flops += 2 * len(cols)
+		pc.xInt[pc.newOf[li]-intBase] = s
+	}
+	p.Work(float64(flops))
+
+	// Interface unknowns level by level: an interface L row references
+	// local interiors and interface pivots of earlier levels.
+	for l := range pc.levels {
+		flops = 0
+		for _, li := range pc.levelMembers[l] {
+			s := b[li]
+			cols := pc.lCols[li]
+			vals := pc.lVals[li]
+			for k, c := range cols {
+				if c < tot {
+					s -= vals[k] * pc.xInt[c-intBase]
+				} else {
+					s -= vals[k] * pc.xIface[c-tot]
+				}
+			}
+			flops += 2 * len(cols)
+			pc.xIface[pc.newOf[li]-tot] = s
+		}
+		p.Work(float64(flops))
+		pc.publishLevel(p, l)
+	}
+
+	// Collect owned results.
+	for li := range pc.owned {
+		nid := pc.newOf[li]
+		if nid < tot {
+			y[li] = pc.xInt[nid-intBase]
+		} else {
+			y[li] = pc.xIface[nid-tot]
+		}
+	}
+}
+
+// SolveBackward solves U·y = b for this processor's unknowns, traversing
+// the interface levels in reverse and finishing with the local interior
+// block. Collective.
+func (pc *ProcPrecond) SolveBackward(p *machine.Proc, y, b []float64) {
+	if len(y) != len(pc.owned) || len(b) != len(pc.owned) {
+		panic("core: SolveBackward local vector length mismatch")
+	}
+	tot := pc.plan.TotInterior
+	intBase := pc.plan.IntBase[pc.me]
+
+	for l := len(pc.levels) - 1; l >= 0; l-- {
+		flops := 0
+		// Members in descending elimination order: independent-set levels
+		// have no intra-level coupling, but the Schur-block levels of the
+		// §7 variant are sequential within a processor, so later members
+		// must be solved first.
+		members := pc.levelMembers[l]
+		for mi := len(members) - 1; mi >= 0; mi-- {
+			li := members[mi]
+			s := b[li]
+			cols := pc.uCols[li]
+			vals := pc.uVals[li]
+			for k, c := range cols {
+				// Interface U rows reference only later interface levels.
+				s -= vals[k] * pc.xIface[c-tot]
+			}
+			flops += 2*len(cols) + 1
+			pc.xIface[pc.newOf[li]-tot] = s / pc.uDiag[li]
+		}
+		p.Work(float64(flops))
+		pc.publishLevel(p, l)
+	}
+
+	// Interior unknowns in reverse local order; their U rows reference
+	// later local interiors and interface unknowns (all levels known now).
+	flops := 0
+	for k := len(pc.interiorLocal) - 1; k >= 0; k-- {
+		li := pc.interiorLocal[k]
+		s := b[li]
+		cols := pc.uCols[li]
+		vals := pc.uVals[li]
+		for idx, c := range cols {
+			if c < tot {
+				s -= vals[idx] * pc.xInt[c-intBase]
+			} else {
+				s -= vals[idx] * pc.xIface[c-tot]
+			}
+		}
+		flops += 2*len(cols) + 1
+		pc.xInt[pc.newOf[li]-intBase] = s / pc.uDiag[li]
+	}
+	p.Work(float64(flops))
+
+	for li := range pc.owned {
+		nid := pc.newOf[li]
+		if nid < tot {
+			y[li] = pc.xInt[nid-intBase]
+		} else {
+			y[li] = pc.xIface[nid-tot]
+		}
+	}
+}
+
+// Solve applies the preconditioner: y = U⁻¹·L⁻¹·b on the distributed
+// factors (y and b may alias). Collective.
+func (pc *ProcPrecond) Solve(p *machine.Proc, y, b []float64) {
+	pc.SolveForward(p, y, b)
+	pc.SolveBackward(p, y, y)
+}
+
+// NumLevels reports q, the number of independent sets the factorization
+// used for the interface unknowns.
+func (pc *ProcPrecond) NumLevels() int { return len(pc.levels) }
+
+// Levels returns the level structure (shared across processors).
+func (pc *ProcPrecond) Levels() []LevelInfo { return pc.levels }
+
+// NNZ reports the local stored entries of L and U (unit diagonal of L
+// implicit, diagonal of U counted).
+func (pc *ProcPrecond) NNZ() int {
+	n := 0
+	for li := range pc.owned {
+		n += len(pc.lCols[li]) + len(pc.uCols[li]) + 1
+	}
+	return n
+}

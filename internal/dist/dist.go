@@ -1,0 +1,254 @@
+// Package dist provides the distributed matrix and vector kernels of the
+// system: a row distribution (layout) of a square sparse matrix over the
+// virtual machine's processors, ghost-value exchange, parallel
+// matrix–vector products, and reduction-based inner products/norms — the
+// building blocks the paper's iterative solver runs on.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+// Layout is a row distribution of an n×n matrix: PartOf[i] is the owning
+// processor of global row/unknown i, Rows[p] lists processor p's rows in
+// increasing global order. Layouts are immutable after construction and
+// safely shared by all processors.
+type Layout struct {
+	N      int
+	P      int
+	PartOf []int
+	Rows   [][]int
+	local  []map[int]int // per proc: global id → position in Rows[p]
+}
+
+// NewLayout builds a layout from a part assignment (values in [0, P)).
+func NewLayout(n, p int, partOf []int) (*Layout, error) {
+	if len(partOf) != n {
+		return nil, fmt.Errorf("dist: partOf has %d entries for %d rows", len(partOf), n)
+	}
+	l := &Layout{N: n, P: p, PartOf: append([]int(nil), partOf...)}
+	l.Rows = make([][]int, p)
+	for i, q := range partOf {
+		if q < 0 || q >= p {
+			return nil, fmt.Errorf("dist: row %d assigned to invalid processor %d", i, q)
+		}
+		l.Rows[q] = append(l.Rows[q], i)
+	}
+	l.local = make([]map[int]int, p)
+	for q := 0; q < p; q++ {
+		l.local[q] = make(map[int]int, len(l.Rows[q]))
+		for k, g := range l.Rows[q] {
+			l.local[q][g] = k
+		}
+	}
+	return l, nil
+}
+
+// NLocal reports how many rows processor q owns.
+func (l *Layout) NLocal(q int) int { return len(l.Rows[q]) }
+
+// LocalIndex returns the local position of global row g on its owner, or
+// −1 if q does not own g.
+func (l *Layout) LocalIndex(q, g int) int {
+	if idx, ok := l.local[q][g]; ok {
+		return idx
+	}
+	return -1
+}
+
+// Scatter splits a global vector into per-processor local vectors.
+func (l *Layout) Scatter(x []float64) [][]float64 {
+	out := make([][]float64, l.P)
+	for q := 0; q < l.P; q++ {
+		out[q] = make([]float64, len(l.Rows[q]))
+		for k, g := range l.Rows[q] {
+			out[q][k] = x[g]
+		}
+	}
+	return out
+}
+
+// Gather reassembles a global vector from per-processor local vectors.
+func (l *Layout) Gather(parts [][]float64) []float64 {
+	x := make([]float64, l.N)
+	for q := 0; q < l.P; q++ {
+		for k, g := range l.Rows[q] {
+			x[g] = parts[q][k]
+		}
+	}
+	return x
+}
+
+// Matrix is one processor's view of a distributed matrix: the global CSR
+// is shared read-only and each processor touches only its own rows, plus a
+// ghost-exchange plan for the off-processor columns those rows reference.
+type Matrix struct {
+	Lay *Layout
+	A   *sparse.CSR
+
+	me        int
+	ghostIDs  []int       // remote global columns, grouped by owner
+	ghostSlot map[int]int // global id → index into ghost arrays
+	recvFrom  [][]int     // per proc: count prefix into ghostIDs (via ranges)
+	sendTo    [][]int     // per proc: local indices of owned values to ship
+	ghost     []float64   // ghost value buffer reused across products
+}
+
+// Message tags used by this package.
+const (
+	tagGhost = 9201
+)
+
+// NewMatrix builds processor p's view of A under the layout, performing
+// the collective setup exchange that tells every owner which values its
+// neighbours need. All processors must call it together.
+func NewMatrix(p *machine.Proc, lay *Layout, a *sparse.CSR) *Matrix {
+	if a.N != lay.N || a.M != lay.N {
+		panic("dist: matrix/layout size mismatch")
+	}
+	m := &Matrix{Lay: lay, A: a, me: p.ID, ghostSlot: make(map[int]int)}
+	P := lay.P
+	need := make([][]int, P)
+	for _, g := range lay.Rows[p.ID] {
+		cols, _ := a.Row(g)
+		for _, j := range cols {
+			q := lay.PartOf[j]
+			if q == p.ID {
+				continue
+			}
+			if _, ok := m.ghostSlot[j]; !ok {
+				m.ghostSlot[j] = -1 // placeholder; slotted below
+				need[q] = append(need[q], j)
+			}
+		}
+	}
+	for q := range need {
+		sort.Ints(need[q])
+	}
+	for q := 0; q < P; q++ {
+		for _, j := range need[q] {
+			m.ghostSlot[j] = len(m.ghostIDs)
+			m.ghostIDs = append(m.ghostIDs, j)
+		}
+	}
+	m.recvFrom = need
+	m.ghost = make([]float64, len(m.ghostIDs))
+
+	// Exchange request lists so owners learn what to send.
+	var flat []int
+	for q := 0; q < P; q++ {
+		if len(need[q]) == 0 {
+			continue
+		}
+		flat = append(flat, q, len(need[q]))
+		flat = append(flat, need[q]...)
+	}
+	all := p.AllGatherInts(flat)
+	m.sendTo = make([][]int, P)
+	for src := 0; src < P; src++ {
+		f := all[src]
+		for i := 0; i < len(f); {
+			dst, cnt := f[i], f[i+1]
+			ids := f[i+2 : i+2+cnt]
+			i += 2 + cnt
+			if dst != p.ID {
+				continue
+			}
+			for _, g := range ids {
+				li := lay.LocalIndex(p.ID, g)
+				if li < 0 {
+					panic("dist: neighbour requested a row we do not own")
+				}
+				m.sendTo[src] = append(m.sendTo[src], li)
+			}
+		}
+	}
+	return m
+}
+
+// NGhost reports the number of off-processor values each product fetches.
+func (m *Matrix) NGhost() int { return len(m.ghostIDs) }
+
+// exchangeGhosts ships owned x values to neighbours and fills the ghost
+// buffer from theirs.
+func (m *Matrix) exchangeGhosts(p *machine.Proc, x []float64) {
+	P := m.Lay.P
+	for q := 0; q < P; q++ {
+		if q == m.me || len(m.sendTo[q]) == 0 {
+			continue
+		}
+		msg := make([]float64, len(m.sendTo[q]))
+		for k, li := range m.sendTo[q] {
+			msg[k] = x[li]
+		}
+		p.Send(q, tagGhost, msg, machine.BytesOfFloats(len(msg)))
+	}
+	pos := 0
+	for q := 0; q < P; q++ {
+		if q == m.me || len(m.recvFrom[q]) == 0 {
+			continue
+		}
+		msg := p.Recv(q, tagGhost).([]float64)
+		copy(m.ghost[pos:pos+len(msg)], msg)
+		pos += len(msg)
+	}
+}
+
+// MulVec computes the local rows of y = A·x. x and y hold the owned
+// values in Rows[p] order. The ghost exchange and the 2·nnz flops are
+// charged to the virtual clock.
+func (m *Matrix) MulVec(p *machine.Proc, y, x []float64) {
+	rows := m.Lay.Rows[m.me]
+	if len(x) != len(rows) || len(y) != len(rows) {
+		panic("dist: MulVec local vector length mismatch")
+	}
+	m.exchangeGhosts(p, x)
+	flops := 0
+	for k, g := range rows {
+		cols, vals := m.A.Row(g)
+		var s float64
+		for idx, j := range cols {
+			q := m.Lay.PartOf[j]
+			if q == m.me {
+				s += vals[idx] * x[m.Lay.LocalIndex(m.me, j)]
+			} else {
+				s += vals[idx] * m.ghost[m.ghostSlot[j]]
+			}
+			flops += 2
+		}
+		y[k] = s
+	}
+	p.Work(float64(flops))
+}
+
+// Dot computes the global inner product of two distributed vectors.
+func Dot(p *machine.Proc, x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("dist: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	p.Work(float64(2 * len(x)))
+	return p.AllReduceFloat64(s, machine.OpSum)
+}
+
+// Norm2 computes the global Euclidean norm of a distributed vector.
+func Norm2(p *machine.Proc, x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	p.Work(float64(2 * len(x)))
+	total := p.AllReduceFloat64(s, machine.OpSum)
+	if total < 0 {
+		total = 0
+	}
+	return math.Sqrt(total)
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	g := FromMatrix(matgen.Torso(6, 6, 6, 1))
+	perm := g.RCM()
+	sparse.InversePermutation(perm) // panics if invalid
+}
+
+func TestRCMReducesBandwidthOfShuffledGrid(t *testing.T) {
+	// A Morton-ordered (shuffled) grid has large bandwidth; RCM must
+	// bring it close to the natural-ordering bandwidth.
+	a := matgen.Torso(8, 8, 8, 2)
+	g := FromMatrix(a)
+	identity := sparse.IdentityPermutation(g.NVtx)
+	before := g.Bandwidth(identity)
+	after := g.Bandwidth(g.RCM())
+	if after*2 >= before {
+		t.Errorf("RCM bandwidth %d not ≪ original %d", after, before)
+	}
+}
+
+func TestRCMOnPath(t *testing.T) {
+	// A path graph reordered by RCM has bandwidth 1.
+	n := 20
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+			b.Add(i+1, i, -1)
+		}
+	}
+	g := FromMatrix(b.Build())
+	if bw := g.Bandwidth(g.RCM()); bw != 1 {
+		t.Errorf("path RCM bandwidth = %d, want 1", bw)
+	}
+}
+
+func TestRCMDisconnected(t *testing.T) {
+	// Two components: ordering must still be a permutation covering both.
+	b := sparse.NewBuilder(6, 6)
+	for i := 0; i < 6; i++ {
+		b.Add(i, i, 1)
+	}
+	b.Add(0, 1, -1)
+	b.Add(1, 0, -1)
+	b.Add(4, 5, -1)
+	b.Add(5, 4, -1)
+	g := FromMatrix(b.Build())
+	perm := g.RCM()
+	sparse.InversePermutation(perm)
+}
+
+func TestBandwidthIdentityGrid(t *testing.T) {
+	g := FromMatrix(matgen.Grid2D(4, 6))
+	// Lexicographic 4×6 grid: bandwidth = ny = 6.
+	if bw := g.Bandwidth(sparse.IdentityPermutation(g.NVtx)); bw != 6 {
+		t.Errorf("grid bandwidth = %d, want 6", bw)
+	}
+}
+
+func TestGreedyColoringValid(t *testing.T) {
+	g := FromMatrix(matgen.Torso(6, 6, 6, 4))
+	color, nc := g.GreedyColoring(nil)
+	if !g.ValidateColoring(color) {
+		t.Fatal("invalid coloring")
+	}
+	if nc < 2 {
+		t.Fatalf("suspicious color count %d", nc)
+	}
+	// Max color index consistent with count.
+	for _, c := range color {
+		if c < 0 || c >= nc {
+			t.Fatalf("color %d out of range [0,%d)", c, nc)
+		}
+	}
+}
+
+func TestGreedyColoringBipartiteGrid(t *testing.T) {
+	// 5-point grids are bipartite: natural-order greedy gives 2 colors.
+	g := FromMatrix(matgen.Grid2D(6, 7))
+	color, nc := g.GreedyColoring(nil)
+	if nc != 2 {
+		t.Fatalf("grid coloring used %d colors, want 2", nc)
+	}
+	if !g.ValidateColoring(color) {
+		t.Fatal("invalid coloring")
+	}
+}
+
+func TestValidateColoringDetectsConflict(t *testing.T) {
+	g := FromMatrix(matgen.Grid2D(2, 2))
+	bad := make([]int, g.NVtx) // all same color on a connected graph
+	if g.ValidateColoring(bad) {
+		t.Fatal("conflict not detected")
+	}
+}

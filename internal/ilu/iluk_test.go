@@ -1,0 +1,182 @@
+package ilu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func samePattern(a, b *sparse.CSR) bool {
+	if a.N != b.N || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for k := range a.Cols {
+		if a.Cols[k] != b.Cols[k] {
+			return false
+		}
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestILU0PatternMatchesA(t *testing.T) {
+	a := matgen.Grid2D(6, 6)
+	f, _, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+	// Union of L and U patterns must equal the pattern of A.
+	b := sparse.NewBuilder(a.N, a.N)
+	for i := 0; i < a.N; i++ {
+		cols, _ := f.L.Row(i)
+		for _, j := range cols {
+			b.Add(i, j, 1)
+		}
+		ucols, _ := f.U.Row(i)
+		for _, j := range ucols {
+			b.Add(i, j, 1)
+		}
+	}
+	union := b.Build()
+	if union.NNZ() != a.NNZ() {
+		t.Fatalf("ILU0 pattern nnz %d, A nnz %d", union.NNZ(), a.NNZ())
+	}
+	for i := 0; i < a.N; i++ {
+		uc, _ := union.Row(i)
+		ac, _ := a.Row(i)
+		for k := range uc {
+			if uc[k] != ac[k] {
+				t.Fatalf("row %d pattern differs", i)
+			}
+		}
+	}
+}
+
+func TestILU0OnTridiagonalIsExact(t *testing.T) {
+	// A tridiagonal matrix suffers no fill, so ILU(0) is the complete LU.
+	a := sparse.FromDense([][]float64{
+		{2, -1, 0, 0},
+		{-1, 2, -1, 0},
+		{0, -1, 2, -1},
+		{0, 0, -1, 2},
+	})
+	f, _, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.MaxAbsDiff(f.Product(), a); d > 1e-12 {
+		t.Errorf("tridiagonal ILU0 residual %v", d)
+	}
+}
+
+func TestILUKLevelsNested(t *testing.T) {
+	a := matgen.Grid2D(7, 7)
+	var prevNNZ int
+	for _, k := range []int{0, 1, 2, 3} {
+		f, _, err := ILUK(a, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.CheckStructure(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		nnz := f.NNZ()
+		if nnz < prevNNZ {
+			t.Errorf("ILU(%d) has fewer entries (%d) than ILU(%d) (%d)", k, nnz, k-1, prevNNZ)
+		}
+		prevNNZ = nnz
+	}
+}
+
+func TestILUKLargeLevelApproachesExact(t *testing.T) {
+	a := matgen.Grid2D(5, 5)
+	f, _, err := ILUK(a, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.MaxAbsDiff(f.Product(), a); d > 1e-8 {
+		t.Errorf("ILU(k→∞) residual %v, want ≈ 0", d)
+	}
+}
+
+func TestILUKAccuracyImprovesWithLevel(t *testing.T) {
+	a := matgen.Grid2D(9, 9)
+	res := func(k int) float64 {
+		f, _, err := ILUK(a, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sparse.MaxAbsDiff(f.Product(), a)
+	}
+	r0, r2 := res(0), res(2)
+	if r2 >= r0 {
+		t.Errorf("ILU(2) residual %v not better than ILU(0) %v", r2, r0)
+	}
+}
+
+func TestILUKNegativeLevel(t *testing.T) {
+	if _, _, err := ILUK(matgen.Grid2D(2, 2), -1); err == nil {
+		t.Error("negative level accepted")
+	}
+}
+
+func TestJacobi(t *testing.T) {
+	a := matgen.Grid2D(4, 4)
+	f, err := Jacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sparse.Ones(a.N)
+	x := make([]float64, a.N)
+	f.Solve(x, b)
+	for i := range x {
+		if math.Abs(x[i]-0.25) > 1e-15 {
+			t.Fatalf("Jacobi solve x[%d] = %v, want 0.25", i, x[i])
+		}
+	}
+}
+
+func TestJacobiZeroDiagonal(t *testing.T) {
+	a := sparse.FromDense([][]float64{{0, 1}, {1, 0}})
+	if _, err := Jacobi(a); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+}
+
+func TestSymbolicILUKAddsMissingDiagonal(t *testing.T) {
+	a := sparse.FromDense([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	// Entries at (0,0)/(1,1) are zero hence unstored; symbolic must add
+	// the diagonal so the numeric phase can pivot (fixed up to the floor).
+	pat, err := symbolicILUK(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.At(0, 0) != 0 && !hasCol(pat, 0, 0) {
+		t.Error("diagonal (0,0) missing from symbolic pattern")
+	}
+	if !hasCol(pat, 0, 0) || !hasCol(pat, 1, 1) {
+		t.Error("diagonal missing from symbolic pattern")
+	}
+}
+
+func hasCol(a *sparse.CSR, i, j int) bool {
+	cols, _ := a.Row(i)
+	for _, c := range cols {
+		if c == j {
+			return true
+		}
+	}
+	return false
+}

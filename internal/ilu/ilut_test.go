@@ -1,0 +1,212 @@
+package ilu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func TestCompleteLUEqualsA(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"grid", matgen.Grid2D(5, 5)},
+		{"random", matgen.RandomSPDPattern(40, 5, 3)},
+		{"convdiff", matgen.ConvDiff2D(5, 5, 3, 1)},
+	} {
+		f, err := CompleteLU(tc.a)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := f.CheckStructure(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		lu := f.Product()
+		if d := sparse.MaxAbsDiff(lu, tc.a); d > 1e-8 {
+			t.Errorf("%s: ‖LU − A‖∞ = %v, want ≈ 0", tc.name, d)
+		}
+	}
+}
+
+func TestCompleteLUSolves(t *testing.T) {
+	a := matgen.Grid2D(8, 8)
+	f, err := CompleteLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.N
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i))
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xTrue)
+	x := make([]float64, n)
+	f.Solve(x, b)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestSolveInvertsFactors(t *testing.T) {
+	a := matgen.RandomSPDPattern(60, 6, 11)
+	f, _, err := ILUT(a, Params{M: 8, Tau: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.N
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// y = L·U·x computed via Product, then Solve must return x.
+	lu := f.Product()
+	y := make([]float64, n)
+	lu.MulVec(y, x)
+	got := make([]float64, n)
+	f.Solve(got, y)
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-6*math.Max(1, math.Abs(x[i])) {
+			t.Fatalf("solve mismatch at %d: %v vs %v", i, got[i], x[i])
+		}
+	}
+}
+
+func TestILUTRespectsFillCap(t *testing.T) {
+	a := matgen.Grid2D(10, 10)
+	for _, m := range []int{1, 3, 5} {
+		f, _, err := ILUT(a, Params{M: m, Tau: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < a.N; i++ {
+			if got := f.L.RowNNZ(i); got > m {
+				t.Fatalf("m=%d: L row %d has %d entries", m, i, got)
+			}
+			if got := f.U.RowNNZ(i); got > m+1 { // +1 for the diagonal
+				t.Fatalf("m=%d: U row %d has %d entries", m, i, got)
+			}
+		}
+	}
+}
+
+func TestILUTThresholdDropsEntries(t *testing.T) {
+	a := matgen.Grid2D(12, 12)
+	loose, _, err := ILUT(a, Params{M: 0, Tau: 1e-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, _, err := ILUT(a, Params{M: 0, Tau: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.NNZ() >= tight.NNZ() {
+		t.Errorf("larger threshold should drop more: nnz %d vs %d", loose.NNZ(), tight.NNZ())
+	}
+}
+
+func TestILUTMoreFillBetterAccuracy(t *testing.T) {
+	a := matgen.RandomSPDPattern(80, 6, 21)
+	var prev float64 = math.Inf(1)
+	for _, m := range []int{2, 8, 80} {
+		f, _, err := ILUT(a, Params{M: m, Tau: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sparse.MaxAbsDiff(f.Product(), a)
+		if res > prev*1.5 { // allow slack; trend must be non-increasing
+			t.Errorf("m=%d: residual %v worse than previous %v", m, res, prev)
+		}
+		if res < prev {
+			prev = res
+		}
+	}
+	if prev > 1e-8 {
+		t.Errorf("unlimited fill should reproduce A, residual %v", prev)
+	}
+}
+
+func TestILUTStatsPopulated(t *testing.T) {
+	a := matgen.Grid2D(8, 8)
+	_, st, err := ILUT(a, Params{M: 2, Tau: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Flops <= 0 {
+		t.Error("no flops counted")
+	}
+	if st.Dropped <= 0 {
+		t.Error("no drops counted for a lossy factorization")
+	}
+}
+
+func TestILUTErrors(t *testing.T) {
+	if _, _, err := ILUT(sparse.NewCSR(2, 3), Params{}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, _, err := ILUT(matgen.Grid2D(2, 2), Params{Tau: -1}); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, _, err := ILUT(sparse.NewCSR(2, 2), Params{}); err == nil {
+		t.Error("empty row accepted")
+	}
+}
+
+func TestILUTDiagonalAlwaysKept(t *testing.T) {
+	a := matgen.ConvDiff2D(6, 6, 40, 40)
+	f, _, err := ILUT(a, Params{M: 1, Tau: 1e-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckStructure(); err != nil {
+		t.Fatal(err) // CheckStructure verifies every diagonal exists
+	}
+}
+
+func TestILUTPreconditionerQuality(t *testing.T) {
+	// An ILUT preconditioner must reduce the residual of a single
+	// Richardson step versus no preconditioning.
+	a := matgen.Grid2D(15, 15)
+	n := a.N
+	f, _, err := ILUT(a, Params{M: 5, Tau: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sparse.Ones(n)
+	// x = M⁻¹ b should give ‖b − A·x‖ ≪ ‖b‖.
+	x := make([]float64, n)
+	f.Solve(x, b)
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if rel := sparse.Norm2(r) / sparse.Norm2(b); rel > 0.5 {
+		t.Errorf("one preconditioned step leaves relative residual %v", rel)
+	}
+}
+
+func TestSolveLSolveUPanics(t *testing.T) {
+	a := matgen.Grid2D(3, 3)
+	f, err := CompleteLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("SolveL dim", func() { f.SolveL(make([]float64, 2), make([]float64, 9)) })
+	mustPanic("SolveU dim", func() { f.SolveU(make([]float64, 9), make([]float64, 1)) })
+}

@@ -1,0 +1,140 @@
+package ilu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func TestILUTPNoPivotEqualsILUTQuality(t *testing.T) {
+	// permTol ≤ 1 disables pivoting: the factors must reproduce A exactly
+	// with no dropping, like CompleteLU.
+	a := matgen.Grid2D(6, 6)
+	r, err := ILUTP(a, Params{M: 0, Tau: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range r.Pos {
+		if p != j {
+			t.Fatalf("unexpected column swap at %d without pivoting", j)
+		}
+	}
+	if d := sparse.MaxAbsDiff(r.Factors.Product(), a); d > 1e-8 {
+		t.Errorf("‖LU − A‖∞ = %v", d)
+	}
+}
+
+func TestILUTPExactWithPivoting(t *testing.T) {
+	// With pivoting enabled and no dropping, LU must equal A·Q exactly.
+	rng := rand.New(rand.NewSource(3))
+	n := 25
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			b.Add(i, rng.Intn(n), rng.NormFloat64())
+		}
+		b.Add(i, (i+7)%n, 3+rng.Float64()) // strong off-diagonal
+	}
+	a := b.Build()
+	r, err := ILUTP(a, Params{M: 0, Tau: 0}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse.InversePermutation(r.Pos) // valid permutation
+	// Build A·Q: entry (i, j) of A lands at column Pos[j].
+	aq := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			aq.Add(i, r.Pos[j], vals[k])
+		}
+	}
+	if d := sparse.MaxAbsDiff(r.Factors.Product(), aq.Build()); d > 1e-6 {
+		t.Errorf("‖LU − AQ‖∞ = %v", d)
+	}
+}
+
+func TestILUTPSolvesZeroDiagonalSystem(t *testing.T) {
+	// A permuted identity-like system with zero diagonal everywhere:
+	// plain ILUT must fall back to pivot floors (inaccurate), ILUTP
+	// pivots and solves exactly.
+	n := 12
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, (i+1)%n, 2.0)
+		b.Add(i, (i+3)%n, 0.5)
+	}
+	a := b.Build()
+	r, err := ILUTP(a, Params{M: 0, Tau: 0}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Cos(float64(i))
+	}
+	rhs := make([]float64, n)
+	a.MulVec(rhs, xTrue)
+	x := make([]float64, n)
+	r.Solve(x, rhs)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+	if r.Stats.FixedPivot != 0 {
+		t.Errorf("ILUTP still needed %d pivot floors", r.Stats.FixedPivot)
+	}
+}
+
+func TestILUTPSolveUndoesPermutation(t *testing.T) {
+	a := matgen.ConvDiff2D(8, 8, 25, -10)
+	r, err := ILUTP(a, Params{M: 0, Tau: 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := sparse.Ones(a.N)
+	rhs := make([]float64, a.N)
+	a.MulVec(rhs, xTrue)
+	x := make([]float64, a.N)
+	r.Solve(x, rhs)
+	for i := range x {
+		if math.Abs(x[i]-1) > 1e-7 {
+			t.Fatalf("x[%d] = %v, want 1", i, x[i])
+		}
+	}
+}
+
+func TestILUTPRespectsCaps(t *testing.T) {
+	a := matgen.Grid2D(10, 10)
+	r, err := ILUTP(a, Params{M: 4, Tau: 1e-6}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N; i++ {
+		if got := r.Factors.L.RowNNZ(i); got > 4 {
+			t.Fatalf("L row %d has %d > 4 entries", i, got)
+		}
+		if got := r.Factors.U.RowNNZ(i); got > 5 {
+			t.Fatalf("U row %d has %d > 5 entries", i, got)
+		}
+	}
+	if err := r.Factors.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestILUTPErrors(t *testing.T) {
+	if _, err := ILUTP(sparse.NewCSR(2, 3), Params{}, 10); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := ILUTP(matgen.Grid2D(2, 2), Params{Tau: -1}, 10); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := ILUTP(sparse.NewCSR(2, 2), Params{}, 10); err == nil {
+		t.Error("empty row accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package ilu
+
+import (
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/mis"
+	"repro/internal/sparse"
+)
+
+func TestMultiElimCompleteLUExact(t *testing.T) {
+	for _, a := range []*sparse.CSR{
+		matgen.Grid2D(6, 6),
+		matgen.RandomSPDPattern(40, 4, 7),
+	} {
+		res, err := MultiElimILUT(a, Params{M: 0, Tau: 0}, mis.DefaultRounds, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pap := a.Permute(res.Perm)
+		if d := sparse.MaxAbsDiff(res.Factors.Product(), pap); d > 1e-8 {
+			t.Errorf("‖LU − PAPᵀ‖∞ = %v", d)
+		}
+		if err := res.Factors.CheckStructure(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestMultiElimPermValid(t *testing.T) {
+	a := matgen.Torso(5, 5, 5, 3)
+	res, err := MultiElimILUT(a, Params{M: 8, Tau: 1e-4}, mis.DefaultRounds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse.InversePermutation(res.Perm)
+	total := 0
+	for _, s := range res.LevelSizes {
+		if s <= 0 {
+			t.Fatalf("empty level in %v", res.LevelSizes)
+		}
+		total += s
+	}
+	if total != a.N {
+		t.Fatalf("levels cover %d of %d rows", total, a.N)
+	}
+}
+
+func TestMultiElimLevelsAreIndependentInFactors(t *testing.T) {
+	a := matgen.Grid2D(8, 8)
+	res, err := MultiElimILUT(a, Params{M: 6, Tau: 1e-5}, mis.DefaultRounds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levelOf := make([]int, a.N)
+	pos := 0
+	for l, s := range res.LevelSizes {
+		for k := 0; k < s; k++ {
+			levelOf[pos] = l
+			pos++
+		}
+	}
+	check := func(m *sparse.CSR, name string) {
+		for i := 0; i < a.N; i++ {
+			cols, _ := m.Row(i)
+			for _, j := range cols {
+				if j != i && levelOf[i] == levelOf[j] {
+					t.Fatalf("%s couples same-level unknowns %d,%d", name, i, j)
+				}
+			}
+		}
+	}
+	check(res.Factors.L, "L")
+	check(res.Factors.U, "U")
+}
+
+func TestMultiElimPreconditionsGMRESStyleStep(t *testing.T) {
+	a := matgen.Torso(6, 6, 6, 5)
+	res, err := MultiElimILUT(a, Params{M: 10, Tau: 1e-4, K: 2}, mis.DefaultRounds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One preconditioned step on the permuted system must shrink the
+	// residual substantially.
+	n := a.N
+	pap := a.Permute(res.Perm)
+	b := sparse.Ones(n)
+	x := make([]float64, n)
+	res.Factors.Solve(x, b)
+	r := make([]float64, n)
+	pap.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if rel := sparse.Norm2(r) / sparse.Norm2(b); rel > 0.6 {
+		t.Errorf("one preconditioned step leaves residual %v", rel)
+	}
+}
+
+func TestMultiElimILUTStarFewerLevels(t *testing.T) {
+	a := matgen.Torso(7, 7, 7, 8)
+	plain, err := MultiElimILUT(a, Params{M: 10, Tau: 1e-6}, mis.DefaultRounds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := MultiElimILUT(a, Params{M: 10, Tau: 1e-6, K: 2}, mis.DefaultRounds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star.LevelSizes) > len(plain.LevelSizes) {
+		t.Errorf("ILUT* used more levels (%d) than ILUT (%d)",
+			len(star.LevelSizes), len(plain.LevelSizes))
+	}
+	t.Logf("multi-elimination levels: ILUT=%d ILUT*=%d", len(plain.LevelSizes), len(star.LevelSizes))
+}
+
+func TestMultiElimErrors(t *testing.T) {
+	if _, err := MultiElimILUT(sparse.NewCSR(2, 3), Params{}, 5, 1); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := MultiElimILUT(matgen.Grid2D(3, 3), Params{Tau: -1}, 5, 1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}

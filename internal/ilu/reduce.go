@@ -1,0 +1,343 @@
+package ilu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// URow is the U-factor row of a factored pivot, in global column indices.
+// The diagonal is held separately; Cols/Vals list the strictly-upper
+// entries in increasing column order. Pivot rows are what processors
+// exchange during the interface phase — the paper's "rows of U that need
+// to be communicated".
+type URow struct {
+	Col  int // the pivot's index in the (combined or final) column space
+	Orig int // the pivot's original row id, for cross-processor matching
+	Diag float64
+	Cols []int
+	Vals []float64
+}
+
+// FactorPivotRow turns the current reduced row of an independent-set
+// pivot into its U row (the paper's phase-2 step "factoring the nodes of
+// I_l only requires creating the rows of U"): entries below the relative
+// threshold tau are dropped and at most m off-diagonal entries survive.
+// cols/vals must contain the diagonal position i.
+func FactorPivotRow(i int, cols []int, vals []float64, tau float64, m int, st *Stats) (URow, error) {
+	r := URow{Col: i}
+	found := false
+	type ent struct {
+		col int
+		val float64
+	}
+	var keep []ent
+	for k, j := range cols {
+		if j == i {
+			r.Diag = vals[k]
+			found = true
+			continue
+		}
+		if math.Abs(vals[k]) < tau {
+			st.Dropped++
+			continue
+		}
+		keep = append(keep, ent{j, vals[k]})
+	}
+	if !found {
+		return r, fmt.Errorf("ilu: pivot row %d has no diagonal entry", i)
+	}
+	if r.Diag == 0 || math.Abs(r.Diag) < 1e-300 {
+		if r.Diag >= 0 {
+			r.Diag = pivotFloor(tau)
+		} else {
+			r.Diag = -pivotFloor(tau)
+		}
+		st.FixedPivot++
+	}
+	if m > 0 && len(keep) > m {
+		sort.Slice(keep, func(a, b int) bool {
+			av, bv := math.Abs(keep[a].val), math.Abs(keep[b].val)
+			if av != bv {
+				return av > bv
+			}
+			return keep[a].col < keep[b].col
+		})
+		st.Dropped += len(keep) - m
+		keep = keep[:m]
+	}
+	sort.Slice(keep, func(a, b int) bool { return keep[a].col < keep[b].col })
+	r.Cols = make([]int, len(keep))
+	r.Vals = make([]float64, len(keep))
+	for k, e := range keep {
+		r.Cols[k] = e.col
+		r.Vals[k] = e.val
+	}
+	return r, nil
+}
+
+// EliminateRow applies Algorithm 2 of the paper to one row that is *not*
+// in the current independent set: it eliminates the unknowns of the pivot
+// range [nl, nl1) from the row, merges the multipliers with the row's
+// accumulated L part, applies the 3rd dropping rule and splits the result
+// into the new L part (columns < nl1) and the next-level reduced row
+// (columns ≥ nl1).
+//
+//   - w is a reusable working row over the global index space (reset on
+//     entry and exit).
+//   - aCols/aVals is the current reduced row of i (columns in [nl, n)).
+//   - lCols/lVals is the L row accumulated over earlier levels (columns
+//     < nl).
+//   - pivot(k) returns the U row of pivot k for k in [nl, nl1); it is only
+//     called for columns actually present in the row.
+//   - tau is the row's relative drop tolerance (t × ‖original a_i‖₂).
+//   - m bounds the L part; kcap·m bounds the reduced part when kcap > 0
+//     (the ILUT* rule — kcap ≤ 0 reproduces plain ILUT).
+//
+// Because the pivots are independent, the eliminations cannot create fill
+// inside [nl, nl1), so a single increasing sweep over the row's original
+// pivot-range entries suffices — the property the paper exploits to
+// pre-post all communication.
+func EliminateRow(
+	w *sparse.WorkRow,
+	i int,
+	aCols []int, aVals []float64,
+	lCols []int, lVals []float64,
+	pivot func(k int) *URow,
+	nl, nl1 int,
+	tau float64, m, kcap int,
+	st *Stats,
+) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
+	n := w.Len()
+	w.Scatter(aCols, aVals)
+
+	// Eliminate pivot-range unknowns in increasing column order. aCols is
+	// sorted, and no new entries appear in [nl, nl1) during the sweep.
+	for _, k := range aCols {
+		if k < nl || k >= nl1 {
+			continue
+		}
+		if !w.Has(k) {
+			continue
+		}
+		p := pivot(k)
+		if p == nil {
+			panic(fmt.Sprintf("ilu: EliminateRow: missing pivot row %d", k))
+		}
+		wk := w.Get(k) / p.Diag
+		st.Flops++
+		if math.Abs(wk) < tau {
+			// 1st dropping rule.
+			w.Drop(k)
+			st.Dropped++
+			continue
+		}
+		w.Set(k, wk)
+		for idx, j := range p.Cols {
+			if j >= nl && j < nl1 {
+				panic(fmt.Sprintf("ilu: pivot %d has entry %d inside the independent range [%d,%d)", k, j, nl, nl1))
+			}
+			w.Add(j, -wk*p.Vals[idx])
+			st.Flops += 2
+		}
+	}
+
+	// Merge the accumulated L row (line 13 of Algorithm 2).
+	w.Scatter(lCols, lVals)
+
+	// 3rd dropping rule: threshold-and-cap the factored part; threshold
+	// (and, for ILUT*, cap at kcap·m) the reduced part. The diagonal of
+	// the reduced row is always preserved.
+	st.Dropped += w.DropBelow(0, nl1, tau, -1)
+	if m > 0 {
+		st.Dropped += w.KeepLargest(0, nl1, m, -1)
+	}
+	st.Dropped += w.DropBelow(nl1, n, tau, i)
+	if kcap > 0 && m > 0 {
+		st.Dropped += w.KeepLargest(nl1, n, kcap*m, i)
+	}
+	if !w.Has(i) {
+		// The reduced diagonal must exist for the row to be factorable
+		// later; recreate it at the pivot floor if elimination cancelled
+		// it exactly.
+		w.Set(i, pivotFloor(tau))
+		st.FixedPivot++
+	}
+
+	newLCols, newLVals = w.Gather(0, nl1, nil, nil)
+	redCols, redVals = w.Gather(nl1, n, nil, nil)
+	w.Reset()
+	return newLCols, newLVals, redCols, redVals
+}
+
+// EliminateRowSeq is the phase-1 variant of EliminateRow used when the
+// pivot block [nl, nl1) was factored *sequentially* (a processor's interior
+// rows) rather than as an independent set: eliminations may then create
+// fill back inside the pivot range, so the sweep is driven by a heap that
+// picks up fill positions, exactly like the main ILUT loop. Dropping rules
+// and the L/reduced split are identical to EliminateRow.
+func EliminateRowSeq(
+	w *sparse.WorkRow,
+	i int,
+	aCols []int, aVals []float64,
+	pivot func(k int) *URow,
+	nl, nl1 int,
+	tau float64, m, kcap int,
+	st *Stats,
+) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
+	n := w.Len()
+	w.Scatter(aCols, aVals)
+
+	var h colHeap
+	for _, k := range aCols {
+		if k >= nl && k < nl1 {
+			h = append(h, k)
+		}
+	}
+	heapInit(&h)
+	for h.Len() > 0 {
+		k := heapPop(&h)
+		if !w.Has(k) {
+			continue
+		}
+		p := pivot(k)
+		if p == nil {
+			panic(fmt.Sprintf("ilu: EliminateRowSeq: missing pivot row %d", k))
+		}
+		wk := w.Get(k) / p.Diag
+		st.Flops++
+		if math.Abs(wk) < tau {
+			w.Drop(k)
+			st.Dropped++
+			continue
+		}
+		w.Set(k, wk)
+		for idx, j := range p.Cols {
+			if j > k && j < nl1 && !w.Has(j) {
+				heapPush(&h, j)
+			}
+			w.Add(j, -wk*p.Vals[idx])
+			st.Flops += 2
+		}
+	}
+
+	st.Dropped += w.DropBelow(0, nl1, tau, -1)
+	if m > 0 {
+		st.Dropped += w.KeepLargest(0, nl1, m, -1)
+	}
+	st.Dropped += w.DropBelow(nl1, n, tau, i)
+	if kcap > 0 && m > 0 {
+		st.Dropped += w.KeepLargest(nl1, n, kcap*m, i)
+	}
+	if !w.Has(i) {
+		w.Set(i, pivotFloor(tau))
+		st.FixedPivot++
+	}
+
+	newLCols, newLVals = w.Gather(0, nl1, nil, nil)
+	redCols, redVals = w.Gather(nl1, n, nil, nil)
+	w.Reset()
+	return newLCols, newLVals, redCols, redVals
+}
+
+// EliminateRowStatic is the zero-fill (ILU(0)) counterpart of
+// EliminateRow: it eliminates the pivot block [nl, nl1) from a row while
+// confining every update to positions the row already has — no fill is
+// created and nothing is dropped, which is precisely why the schedule of
+// a static-pattern factorization can be precomputed (§3 of the paper).
+// Works for both sequential pivot blocks and independent sets, since
+// without fill the two traversals coincide. Returns the row's new L part
+// (columns < nl1) and its remaining static row (columns ≥ nl1).
+func EliminateRowStatic(
+	w *sparse.WorkRow,
+	i int,
+	aCols []int, aVals []float64,
+	lCols []int, lVals []float64,
+	pivot func(k int) *URow,
+	nl, nl1 int,
+	st *Stats,
+) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
+	n := w.Len()
+	w.Scatter(aCols, aVals)
+	for _, k := range aCols {
+		if k < nl || k >= nl1 || !w.Has(k) {
+			continue
+		}
+		p := pivot(k)
+		if p == nil {
+			panic(fmt.Sprintf("ilu: EliminateRowStatic: missing pivot row %d", k))
+		}
+		wk := w.Get(k) / p.Diag
+		st.Flops++
+		w.Set(k, wk)
+		for idx, j := range p.Cols {
+			if w.Has(j) { // static pattern: update existing positions only
+				w.Add(j, -wk*p.Vals[idx])
+				st.Flops += 2
+			}
+		}
+	}
+	w.Scatter(lCols, lVals)
+	newLCols, newLVals = w.Gather(0, nl1, nil, nil)
+	redCols, redVals = w.Gather(nl1, n, nil, nil)
+	w.Reset()
+	return newLCols, newLVals, redCols, redVals
+}
+
+// FactorPivotRowStatic builds a pivot's U row keeping the full static
+// pattern (no dropping). cols/vals must contain the diagonal position i.
+func FactorPivotRowStatic(i int, cols []int, vals []float64, st *Stats) (URow, error) {
+	return FactorPivotRow(i, cols, vals, 0, 0, st)
+}
+
+// Small heap helpers shared with the ILUT driver (container/heap without
+// the interface boilerplate for the hot path).
+func heapInit(h *colHeap) {
+	n := h.Len()
+	for i := n/2 - 1; i >= 0; i-- {
+		heapDown(*h, i, n)
+	}
+}
+
+func heapPush(h *colHeap, x int) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] <= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func heapPop(h *colHeap) int {
+	old := *h
+	n := len(old)
+	x := old[0]
+	old[0] = old[n-1]
+	*h = old[:n-1]
+	heapDown(*h, 0, n-1)
+	return x
+}
+
+func heapDown(h colHeap, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h[l] < h[m] {
+			m = l
+		}
+		if r < n && h[r] < h[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}

@@ -1,0 +1,188 @@
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+// DistOperator is a distributed matrix acting on local vectors;
+// dist.Matrix satisfies it.
+type DistOperator interface {
+	MulVec(p *machine.Proc, y, x []float64)
+}
+
+// DistPreconditioner applies M⁻¹ on local vectors; core.ProcPrecond
+// satisfies it.
+type DistPreconditioner interface {
+	Solve(p *machine.Proc, x, b []float64)
+}
+
+// DistIdentity is the unpreconditioned baseline.
+type DistIdentity struct{}
+
+// Solve copies b into x.
+func (DistIdentity) Solve(p *machine.Proc, x, b []float64) { copy(x, b) }
+
+// DistJacobi is the diagonal preconditioner of Table 3, applied with no
+// communication.
+type DistJacobi struct {
+	InvDiag []float64 // reciprocal local diagonal, owned-row order
+}
+
+// NewDistJacobi extracts the local diagonal of a distributed matrix.
+func NewDistJacobi(lay *dist.Layout, a *sparse.CSR, me int) (*DistJacobi, error) {
+	rows := lay.Rows[me]
+	inv := make([]float64, len(rows))
+	for k, g := range rows {
+		d := a.At(g, g)
+		if d == 0 {
+			return nil, fmt.Errorf("krylov: zero diagonal at row %d", g)
+		}
+		inv[k] = 1 / d
+	}
+	return &DistJacobi{InvDiag: inv}, nil
+}
+
+// Solve applies the inverse diagonal.
+func (j *DistJacobi) Solve(p *machine.Proc, x, b []float64) {
+	for i := range x {
+		x[i] = b[i] * j.InvDiag[i]
+	}
+	p.Work(float64(len(x)))
+}
+
+// DistGMRES runs left-preconditioned restarted GMRES on the virtual
+// machine. It is an SPMD collective: every processor calls it with its
+// local slices of x and b; the collective reductions keep the control
+// flow identical on all processors. Local BLAS-1 work is charged to the
+// virtual clock.
+func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b []float64, opt Options) (Result, error) {
+	nLocal := len(x)
+	if len(b) != nLocal {
+		return Result{}, fmt.Errorf("krylov: DistGMRES local length mismatch")
+	}
+	if prec == nil {
+		prec = DistIdentity{}
+	}
+	// Normalize against the *global* size for the matvec budget.
+	nGlobal := p.AllReduceInt(nLocal, machine.OpSum)
+	opt = opt.normalize(nGlobal)
+	m := opt.Restart
+
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, nLocal)
+	}
+	h := make([][]float64, m+1)
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	tmp := make([]float64, nLocal)
+	res := Result{}
+
+	axpy := func(alpha float64, src, dst []float64) {
+		for i := range dst {
+			dst[i] += alpha * src[i]
+		}
+		p.Work(float64(2 * nLocal))
+	}
+	scale := func(alpha float64, dst []float64) {
+		for i := range dst {
+			dst[i] *= alpha
+		}
+		p.Work(float64(nLocal))
+	}
+
+	prec.Solve(p, tmp, b)
+	bnorm := dist.Norm2(p, tmp)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		res.Converged = true
+		return res, nil
+	}
+
+	for res.NMatVec < opt.MaxMatVec {
+		op.MulVec(p, tmp, x)
+		res.NMatVec++
+		for i := range tmp {
+			tmp[i] = b[i] - tmp[i]
+		}
+		p.Work(float64(nLocal))
+		prec.Solve(p, v[0], tmp)
+		beta := dist.Norm2(p, v[0])
+		res.Residual = beta / bnorm
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		scale(1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		var k int
+		for k = 0; k < m && res.NMatVec < opt.MaxMatVec; k++ {
+			op.MulVec(p, tmp, v[k])
+			res.NMatVec++
+			prec.Solve(p, v[k+1], tmp)
+			for i := 0; i <= k; i++ {
+				h[i][k] = dist.Dot(p, v[k+1], v[i])
+				axpy(-h[i][k], v[i], v[k+1])
+			}
+			h[k+1][k] = dist.Norm2(p, v[k+1])
+			arnoldiNorm := h[k+1][k]
+			if h[k+1][k] > 0 {
+				scale(1/h[k+1][k], v[k+1])
+			}
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			cs[k], sn[k] = givens(h[k][k], h[k+1][k])
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			res.Residual = math.Abs(g[k+1]) / bnorm
+			if res.Residual <= opt.Tol {
+				k++
+				break
+			}
+			if arnoldiNorm == 0 {
+				k++
+				break
+			}
+		}
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			if h[i][i] == 0 {
+				return res, fmt.Errorf("krylov: DistGMRES Hessenberg breakdown at %d", i)
+			}
+			y[i] = s / h[i][i]
+		}
+		for j := 0; j < k; j++ {
+			axpy(y[j], v[j], x)
+		}
+		res.Restarts++
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

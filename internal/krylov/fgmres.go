@@ -1,0 +1,127 @@
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// FGMRES solves A·x = b with flexible (right-preconditioned) restarted
+// GMRES: the preconditioner may change from step to step, which admits
+// inner iterations or block preconditioners as M. Unlike left
+// preconditioning, the monitored residual is the *true* residual.
+func FGMRES(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Result, error) {
+	n := a.N
+	if a.M != n || len(x) != n || len(b) != n {
+		return Result{}, fmt.Errorf("krylov: FGMRES dimension mismatch")
+	}
+	if prec == nil {
+		prec = identityPrec{}
+	}
+	opt = opt.normalize(n)
+	m := opt.Restart
+
+	v := make([][]float64, m+1)
+	z := make([][]float64, m) // preconditioned directions
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	for i := range z {
+		z[i] = make([]float64, n)
+	}
+	h := make([][]float64, m+1)
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	tmp := make([]float64, n)
+	res := Result{}
+
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		res.Converged = true
+		return res, nil
+	}
+
+	for res.NMatVec < opt.MaxMatVec {
+		a.MulVec(tmp, x)
+		res.NMatVec++
+		for i := range tmp {
+			tmp[i] = b[i] - tmp[i]
+		}
+		beta := sparse.Norm2(tmp)
+		res.Residual = beta / bnorm
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		copy(v[0], tmp)
+		sparse.Scale(1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		var k int
+		for k = 0; k < m && res.NMatVec < opt.MaxMatVec; k++ {
+			prec.Solve(z[k], v[k])
+			a.MulVec(v[k+1], z[k])
+			res.NMatVec++
+			for i := 0; i <= k; i++ {
+				h[i][k] = sparse.Dot(v[k+1], v[i])
+				sparse.Axpy(-h[i][k], v[i], v[k+1])
+			}
+			h[k+1][k] = sparse.Norm2(v[k+1])
+			arnoldiNorm := h[k+1][k]
+			if h[k+1][k] > 0 {
+				sparse.Scale(1/h[k+1][k], v[k+1])
+			}
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			cs[k], sn[k] = givens(h[k][k], h[k+1][k])
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			res.Residual = math.Abs(g[k+1]) / bnorm
+			if res.Residual <= opt.Tol {
+				k++
+				break
+			}
+			if arnoldiNorm == 0 {
+				k++
+				break
+			}
+		}
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			if h[i][i] == 0 {
+				return res, fmt.Errorf("krylov: FGMRES Hessenberg breakdown at %d", i)
+			}
+			y[i] = s / h[i][i]
+		}
+		// x += Z·y (flexible update uses the preconditioned directions).
+		for j := 0; j < k; j++ {
+			sparse.Axpy(y[j], z[j], x)
+		}
+		res.Restarts++
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,258 @@
+// Package krylov implements the iterative solvers of the paper's
+// evaluation: restarted GMRES with left preconditioning (Saad & Schultz,
+// reference [13] of the paper) in both a serial form and a distributed
+// form running on the virtual machine, plus conjugate gradients for
+// symmetric positive definite systems.
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Preconditioner applies M⁻¹ to a vector. ilu.Factors satisfies it.
+type Preconditioner interface {
+	Solve(x, b []float64)
+}
+
+// identityPrec is the "no preconditioning" fallback.
+type identityPrec struct{}
+
+func (identityPrec) Solve(x, b []float64) { copy(x, b) }
+
+// Options configure a GMRES solve.
+type Options struct {
+	// Restart is the Krylov subspace dimension between restarts
+	// (GMRES(Restart)). Default 30.
+	Restart int
+	// MaxMatVec bounds the total matrix–vector products. Default 10·n.
+	MaxMatVec int
+	// Tol is the relative residual reduction target: stop when
+	// ‖M⁻¹(b−Ax)‖ ≤ Tol·‖M⁻¹b‖ (left preconditioning monitors the
+	// preconditioned residual, as the paper's solver does). Default 1e-8.
+	Tol float64
+}
+
+func (o Options) normalize(n int) Options {
+	if o.Restart <= 0 {
+		o.Restart = 30
+	}
+	if o.MaxMatVec <= 0 {
+		o.MaxMatVec = 10 * n
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	return o
+}
+
+// Result reports a solve's outcome.
+type Result struct {
+	Converged bool
+	NMatVec   int     // matrix–vector products performed (the paper's NMV)
+	Residual  float64 // final preconditioned relative residual
+	Restarts  int
+}
+
+// GMRES solves A·x = b with left-preconditioned restarted GMRES; x holds
+// the initial guess on entry and the solution on exit. A nil prec means
+// no preconditioning.
+func GMRES(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Result, error) {
+	n := a.N
+	if a.M != n || len(x) != n || len(b) != n {
+		return Result{}, fmt.Errorf("krylov: GMRES dimension mismatch")
+	}
+	if prec == nil {
+		prec = identityPrec{}
+	}
+	opt = opt.normalize(n)
+	m := opt.Restart
+
+	// Workspace.
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, m+1) // h[i][j]: Hessenberg, row i, col j
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	tmp := make([]float64, n)
+	res := Result{}
+
+	// ‖M⁻¹b‖ for the stopping rule.
+	prec.Solve(tmp, b)
+	bnorm := sparse.Norm2(tmp)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		res.Converged = true
+		return res, nil
+	}
+
+	for res.NMatVec < opt.MaxMatVec {
+		// r = M⁻¹(b − A·x)
+		a.MulVec(tmp, x)
+		res.NMatVec++
+		for i := range tmp {
+			tmp[i] = b[i] - tmp[i]
+		}
+		prec.Solve(v[0], tmp)
+		beta := sparse.Norm2(v[0])
+		res.Residual = beta / bnorm
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		sparse.Scale(1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		var k int
+		for k = 0; k < m && res.NMatVec < opt.MaxMatVec; k++ {
+			// Arnoldi step with modified Gram–Schmidt.
+			a.MulVec(tmp, v[k])
+			res.NMatVec++
+			prec.Solve(v[k+1], tmp)
+			for i := 0; i <= k; i++ {
+				h[i][k] = sparse.Dot(v[k+1], v[i])
+				sparse.Axpy(-h[i][k], v[i], v[k+1])
+			}
+			h[k+1][k] = sparse.Norm2(v[k+1])
+			arnoldiNorm := h[k+1][k]
+			if h[k+1][k] > 0 {
+				sparse.Scale(1/h[k+1][k], v[k+1])
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			cs[k], sn[k] = givens(h[k][k], h[k+1][k])
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+
+			res.Residual = math.Abs(g[k+1]) / bnorm
+			if res.Residual <= opt.Tol {
+				k++
+				break
+			}
+			if arnoldiNorm == 0 {
+				// Lucky breakdown: subspace exhausted.
+				k++
+				break
+			}
+		}
+		// Solve the k×k triangular system and update x.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			if h[i][i] == 0 {
+				return res, fmt.Errorf("krylov: GMRES Hessenberg breakdown at %d", i)
+			}
+			y[i] = s / h[i][i]
+		}
+		for j := 0; j < k; j++ {
+			sparse.Axpy(y[j], v[j], x)
+		}
+		res.Restarts++
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// givens returns (c, s) such that the rotation zeroes b against a.
+func givens(a, b float64) (c, s float64) {
+	if b == 0 {
+		return 1, 0
+	}
+	if math.Abs(b) > math.Abs(a) {
+		t := a / b
+		s = 1 / math.Sqrt(1+t*t)
+		c = s * t
+		return c, s
+	}
+	t := b / a
+	c = 1 / math.Sqrt(1+t*t)
+	s = c * t
+	return c, s
+}
+
+// CG solves a symmetric positive definite system with preconditioned
+// conjugate gradients; provided as the standard alternative for the SPD
+// workloads (G0, TORSO are SPD).
+func CG(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Result, error) {
+	n := a.N
+	if a.M != n || len(x) != n || len(b) != n {
+		return Result{}, fmt.Errorf("krylov: CG dimension mismatch")
+	}
+	if prec == nil {
+		prec = identityPrec{}
+	}
+	opt = opt.normalize(n)
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	res := Result{}
+
+	a.MulVec(r, x)
+	res.NMatVec++
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		res.Converged = true
+		return res, nil
+	}
+	prec.Solve(z, r)
+	copy(p, z)
+	rz := sparse.Dot(r, z)
+	for res.NMatVec < opt.MaxMatVec {
+		res.Residual = sparse.Norm2(r) / bnorm
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		a.MulVec(ap, p)
+		res.NMatVec++
+		pap := sparse.Dot(p, ap)
+		if pap <= 0 {
+			return res, fmt.Errorf("krylov: CG detected a non-SPD operator (pᵀAp = %v)", pap)
+		}
+		alpha := rz / pap
+		sparse.Axpy(alpha, p, x)
+		sparse.Axpy(-alpha, ap, r)
+		prec.Solve(z, r)
+		rzNew := sparse.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.Residual = sparse.Norm2(r) / bnorm
+	return res, nil
+}

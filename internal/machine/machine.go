@@ -1,0 +1,456 @@
+// Package machine simulates the distributed-memory message-passing computer
+// the paper runs on (a Cray T3D). P virtual processors execute SPMD Go code
+// as goroutines; all inter-processor data flow goes through explicit
+// Send/Recv and collectives, exactly as an MPI program would be structured.
+//
+// Each virtual processor carries a virtual clock advanced by a LogP-style
+// cost model: computation advances the local clock by flops × FlopTime;
+// a message arrives at senderTime + Latency + bytes × ByteTime, and the
+// receiver's clock jumps to at least the arrival time; collectives cost a
+// logarithmic number of message steps. The modelled elapsed time of a run
+// is the maximum clock over processors — the makespan of the communication
+// DAG — which reproduces the *scaling shape* a real distributed machine
+// exhibits even though the host has far fewer physical cores.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// CostModel holds the machine constants of the LogP-style clock.
+type CostModel struct {
+	FlopTime float64 // seconds per floating-point operation
+	Latency  float64 // seconds per point-to-point message (wire + software)
+	ByteTime float64 // seconds per payload byte
+	Overhead float64 // CPU seconds charged to each end per message
+}
+
+// T3D returns constants approximating the paper's Cray T3D: 150 MHz Alpha
+// EV4 processors sustaining ~15 Mflop/s on sparse kernels, a few µs of
+// message latency (the T3D's remote-store network was unusually fast for
+// its era — "a small latency" in the paper's words), and ~150 MB/s links.
+func T3D() CostModel {
+	return CostModel{
+		FlopTime: 1.0 / 15e6,
+		Latency:  5e-6,
+		ByteTime: 1.0 / 150e6,
+		Overhead: 1e-6,
+	}
+}
+
+// Workstation returns constants for a cluster of T3D-class nodes on a
+// commodity Ethernet-class network: identical processors, two orders of
+// magnitude more latency, an order of magnitude less bandwidth. Only the
+// network differs from T3D(), isolating the effect the paper's conclusion
+// is about — ILUT*'s synchronization savings matter most on slow networks.
+func Workstation() CostModel {
+	return CostModel{
+		FlopTime: 1.0 / 15e6,
+		Latency:  500e-6,
+		ByteTime: 1.0 / 10e6,
+		Overhead: 10e-6,
+	}
+}
+
+// Zero returns a cost model in which time never advances; useful for tests
+// that only care about data movement semantics.
+func Zero() CostModel { return CostModel{} }
+
+// Stats accumulates per-processor activity.
+type Stats struct {
+	Flops       float64
+	MsgsSent    int64
+	BytesSent   int64
+	Collectives int64
+	Time        float64 // final virtual clock
+	// Busy is the clock time spent computing (Work/Sleep); Time − Busy is
+	// communication, synchronization and idling — the overhead the paper's
+	// scalability analysis is about.
+	Busy float64
+}
+
+// Result summarizes a completed Run.
+type Result struct {
+	Elapsed float64 // max virtual clock over processors (modelled seconds)
+	PerProc []Stats
+}
+
+// TotalFlops sums the flop counts of all processors.
+func (r Result) TotalFlops() float64 {
+	var s float64
+	for _, st := range r.PerProc {
+		s += st.Flops
+	}
+	return s
+}
+
+// TotalBytes sums the bytes sent by all processors.
+func (r Result) TotalBytes() int64 {
+	var s int64
+	for _, st := range r.PerProc {
+		s += st.BytesSent
+	}
+	return s
+}
+
+// OverheadFraction reports the share of processor-time spent on
+// communication, synchronization and idling: 1 − Σbusy / (P × makespan).
+func (r Result) OverheadFraction() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	var busy float64
+	for _, st := range r.PerProc {
+		busy += st.Busy
+	}
+	return 1 - busy/(r.Elapsed*float64(len(r.PerProc)))
+}
+
+type message struct {
+	tag     int
+	payload any
+	arrival float64
+}
+
+// Machine is a P-processor virtual machine. Create one per parallel run.
+type Machine struct {
+	P    int
+	Cost CostModel
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	mail []msgQueue // index src*P + dst
+
+	rvOp     string
+	rvCount  int
+	rvGen    int64
+	rvVals   []any
+	rvTimes  []float64
+	rvResult *rvResult
+
+	failed any
+}
+
+type msgQueue struct {
+	q []message
+}
+
+type rvResult struct {
+	vals    []any
+	maxTime float64
+}
+
+// New creates a machine with P processors and the given cost model.
+func New(p int, cost CostModel) *Machine {
+	if p < 1 {
+		panic("machine: need at least one processor")
+	}
+	m := &Machine{P: p, Cost: cost, mail: make([]msgQueue, p*p)}
+	m.cond = sync.NewCond(&m.mu)
+	m.rvVals = make([]any, p)
+	m.rvTimes = make([]float64, p)
+	return m
+}
+
+// Proc is the handle a virtual processor uses inside Run. It must only be
+// used from the goroutine it was handed to.
+type Proc struct {
+	ID int
+	m  *Machine
+
+	now   float64
+	stats Stats
+}
+
+// Run executes f on every processor concurrently and returns once all have
+// finished. If any processor panics, the panic value is captured, all
+// blocked processors are woken with the same failure, and Run re-panics
+// with the original value.
+func (m *Machine) Run(f func(*Proc)) Result {
+	procs := make([]*Proc, m.P)
+	var wg sync.WaitGroup
+	wg.Add(m.P)
+	for i := 0; i < m.P; i++ {
+		procs[i] = &Proc{ID: i, m: m}
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					m.fail(r)
+				}
+			}()
+			f(p)
+		}(procs[i])
+	}
+	wg.Wait()
+	m.mu.Lock()
+	failed := m.failed
+	m.mu.Unlock()
+	if failed != nil {
+		panic(failed)
+	}
+	res := Result{PerProc: make([]Stats, m.P)}
+	for i, p := range procs {
+		p.stats.Time = p.now
+		res.PerProc[i] = p.stats
+		if p.now > res.Elapsed {
+			res.Elapsed = p.now
+		}
+	}
+	return res
+}
+
+func (m *Machine) fail(cause any) {
+	m.mu.Lock()
+	if m.failed == nil {
+		m.failed = cause
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// procAbort wraps the original panic so that secondary processors woken by
+// a failure do not overwrite the root cause when they unwind.
+type procAbort struct{ cause any }
+
+// Time returns the processor's current virtual clock in modelled seconds.
+func (p *Proc) Time() float64 { return p.now }
+
+// Machine returns the machine this processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Stats returns a snapshot of the processor's counters.
+func (p *Proc) Stats() Stats {
+	s := p.stats
+	s.Time = p.now
+	return s
+}
+
+// Work advances the virtual clock by flops floating-point operations.
+func (p *Proc) Work(flops float64) {
+	p.stats.Flops += flops
+	dt := flops * p.m.Cost.FlopTime
+	p.now += dt
+	p.stats.Busy += dt
+}
+
+// Sleep advances the virtual clock by dt modelled seconds without counting
+// flops; used to model non-flop local work (copying, sorting).
+func (p *Proc) Sleep(dt float64) {
+	p.now += dt
+	p.stats.Busy += dt
+}
+
+// Send delivers payload to processor dst under the given tag. bytes is the
+// payload size used by the cost model (use BytesOf* helpers). Sends are
+// asynchronous and unbounded; matching is FIFO per (src, dst, tag).
+func (p *Proc) Send(dst, tag int, payload any, bytes int) {
+	m := p.m
+	if dst < 0 || dst >= m.P {
+		panic(fmt.Sprintf("machine: Send to invalid processor %d", dst))
+	}
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(bytes)
+	p.now += m.Cost.Overhead
+	arrival := p.now + m.Cost.Latency + float64(bytes)*m.Cost.ByteTime
+	m.mu.Lock()
+	m.mail[p.ID*m.P+dst].q = append(m.mail[p.ID*m.P+dst].q, message{tag: tag, payload: payload, arrival: arrival})
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Recv blocks until a message with the given tag from src is available and
+// returns its payload, advancing the clock to at least the arrival time.
+func (p *Proc) Recv(src, tag int) any {
+	m := p.m
+	if src < 0 || src >= m.P {
+		panic(fmt.Sprintf("machine: Recv from invalid processor %d", src))
+	}
+	msg := m.takeMessage(src*m.P+p.ID, tag)
+	p.now += m.Cost.Overhead
+	if msg.arrival > p.now {
+		p.now = msg.arrival
+	}
+	return msg.payload
+}
+
+// takeMessage blocks until the mailbox holds a message with the given tag
+// and removes it. The machine mutex is held with defer so that a failure
+// panic cannot leak the lock.
+func (m *Machine) takeMessage(box, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		m.checkFailedLocked()
+		q := m.mail[box].q
+		for i := range q {
+			if q[i].tag == tag {
+				msg := q[i]
+				m.mail[box].q = append(q[:i], q[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *Machine) checkFailedLocked() {
+	if m.failed != nil {
+		panic(procAbort{m.failed})
+	}
+}
+
+// collect is the rendezvous underlying every collective: all P processors
+// deposit a value; everyone receives the full value slice and the maximum
+// clock at entry. op names the collective for cross-call mismatch checks.
+func (p *Proc) collect(op string, val any) ([]any, float64) {
+	m := p.m
+	p.stats.Collectives++
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checkFailedLocked()
+	if m.rvCount == 0 {
+		m.rvOp = op
+	} else if m.rvOp != op {
+		panic(fmt.Sprintf("machine: collective mismatch: %q vs %q", m.rvOp, op))
+	}
+	m.rvVals[p.ID] = val
+	m.rvTimes[p.ID] = p.now
+	m.rvCount++
+	myGen := m.rvGen
+	if m.rvCount == m.P {
+		maxT := math.Inf(-1)
+		for _, t := range m.rvTimes {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		vals := append([]any(nil), m.rvVals...)
+		m.rvResult = &rvResult{vals: vals, maxTime: maxT}
+		m.rvCount = 0
+		m.rvGen++
+		m.cond.Broadcast()
+		return vals, maxT
+	}
+	for m.rvGen == myGen {
+		m.checkFailedLocked()
+		m.cond.Wait()
+	}
+	return m.rvResult.vals, m.rvResult.maxTime
+}
+
+// logP returns ceil(log2 P), at least 1.
+func (p *Proc) logP() float64 {
+	l := math.Ceil(math.Log2(float64(p.m.P)))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// Barrier synchronizes all processors: everyone leaves with the same clock,
+// max-over-procs plus a logarithmic synchronization cost.
+func (p *Proc) Barrier() {
+	_, maxT := p.collect("barrier", nil)
+	p.now = maxT + 2*p.logP()*p.m.Cost.Latency
+}
+
+// ReduceOp selects the combining operator of an AllReduce.
+type ReduceOp int
+
+// Reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// AllReduceFloat64 combines one float64 per processor with op; all
+// processors receive the result.
+func (p *Proc) AllReduceFloat64(v float64, op ReduceOp) float64 {
+	vals, maxT := p.collect("allreduce_f64", v)
+	p.now = maxT + p.collectiveCost(8)
+	out := vals[0].(float64)
+	for _, a := range vals[1:] {
+		x := a.(float64)
+		switch op {
+		case OpSum:
+			out += x
+		case OpMax:
+			if x > out {
+				out = x
+			}
+		case OpMin:
+			if x < out {
+				out = x
+			}
+		}
+	}
+	return out
+}
+
+// AllReduceInt combines one int per processor with op.
+func (p *Proc) AllReduceInt(v int, op ReduceOp) int {
+	vals, maxT := p.collect("allreduce_int", v)
+	p.now = maxT + p.collectiveCost(8)
+	out := vals[0].(int)
+	for _, a := range vals[1:] {
+		x := a.(int)
+		switch op {
+		case OpSum:
+			out += x
+		case OpMax:
+			if x > out {
+				out = x
+			}
+		case OpMin:
+			if x < out {
+				out = x
+			}
+		}
+	}
+	return out
+}
+
+// AllGather deposits one value per processor and returns the slice indexed
+// by processor ID. bytes is the per-processor payload size for the cost
+// model.
+func (p *Proc) AllGather(v any, bytes int) []any {
+	vals, maxT := p.collect("allgather", v)
+	// Recursive-doubling allgather moves ~P×bytes per processor total.
+	p.now = maxT + p.logP()*p.m.Cost.Latency + float64(p.m.P*bytes)*p.m.Cost.ByteTime
+	return vals
+}
+
+// AllGatherInts gathers one []int per processor.
+func (p *Proc) AllGatherInts(xs []int) [][]int {
+	vals := p.AllGather(xs, 8*len(xs))
+	out := make([][]int, len(vals))
+	for i, v := range vals {
+		out[i] = v.([]int)
+	}
+	return out
+}
+
+// AllGatherFloats gathers one []float64 per processor.
+func (p *Proc) AllGatherFloats(xs []float64) [][]float64 {
+	vals := p.AllGather(xs, 8*len(xs))
+	out := make([][]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v.([]float64)
+	}
+	return out
+}
+
+// collectiveCost models an allreduce-style exchange of b bytes.
+func (p *Proc) collectiveCost(b int) float64 {
+	return p.logP() * (p.m.Cost.Latency + float64(b)*p.m.Cost.ByteTime)
+}
+
+// BytesOfFloats returns the modelled wire size of n float64s.
+func BytesOfFloats(n int) int { return 8 * n }
+
+// BytesOfInts returns the modelled wire size of n int indices.
+func BytesOfInts(n int) int { return 8 * n }

@@ -1,0 +1,419 @@
+package machine
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	m := New(2, Zero())
+	var got int
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Send(1, 7, 42, 8)
+		} else {
+			got = p.Recv(0, 7).(int)
+		}
+	})
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestSendRecvFIFOPerTag(t *testing.T) {
+	m := New(2, Zero())
+	var order []int
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			for i := 0; i < 5; i++ {
+				p.Send(1, 1, i, 8)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				order = append(order, p.Recv(0, 1).(int))
+			}
+		}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestRecvByTagOutOfOrder(t *testing.T) {
+	m := New(2, Zero())
+	var a, b int
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Send(1, 10, 100, 8)
+			p.Send(1, 20, 200, 8)
+		} else {
+			b = p.Recv(0, 20).(int) // receive the later tag first
+			a = p.Recv(0, 10).(int)
+		}
+	})
+	if a != 100 || b != 200 {
+		t.Fatalf("tag-directed receive failed: a=%d b=%d", a, b)
+	}
+}
+
+func TestClockAdvancesOnWork(t *testing.T) {
+	cost := CostModel{FlopTime: 1e-6}
+	m := New(1, cost)
+	res := m.Run(func(p *Proc) {
+		p.Work(1000)
+	})
+	if math.Abs(res.Elapsed-1e-3) > 1e-12 {
+		t.Fatalf("elapsed = %v, want 1e-3", res.Elapsed)
+	}
+	if res.PerProc[0].Flops != 1000 {
+		t.Fatalf("flops = %v", res.PerProc[0].Flops)
+	}
+}
+
+func TestMessageTimestampPropagation(t *testing.T) {
+	cost := CostModel{FlopTime: 1e-6, Latency: 1e-3, ByteTime: 1e-6}
+	m := New(2, cost)
+	var recvTime float64
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Work(5000) // clock = 5ms
+			p.Send(1, 0, nil, 1000)
+		} else {
+			p.Recv(0, 0)
+			recvTime = p.Time()
+		}
+	})
+	// Receiver idle until 5ms + 1ms latency + 1ms transfer = 7ms.
+	want := 0.007
+	if math.Abs(recvTime-want) > 1e-9 {
+		t.Fatalf("recv clock = %v, want %v", recvTime, want)
+	}
+}
+
+func TestRecvDoesNotRewindClock(t *testing.T) {
+	cost := CostModel{FlopTime: 1e-6, Latency: 1e-6}
+	m := New(2, cost)
+	var recvTime float64
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Send(1, 0, nil, 0) // arrives early
+		} else {
+			p.Work(1e6) // 1 second of local work first
+			p.Recv(0, 0)
+			recvTime = p.Time()
+		}
+	})
+	if recvTime < 1.0 {
+		t.Fatalf("clock rewound to %v", recvTime)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	cost := CostModel{FlopTime: 1e-6, Latency: 1e-6}
+	m := New(4, Zero())
+	m.Cost = cost
+	times := make([]float64, 4)
+	m.Run(func(p *Proc) {
+		p.Work(float64(p.ID) * 1000) // uneven work
+		p.Barrier()
+		times[p.ID] = p.Time()
+	})
+	for i := 1; i < 4; i++ {
+		if times[i] != times[0] {
+			t.Fatalf("clocks differ after barrier: %v", times)
+		}
+	}
+	if times[0] < 3e-3 {
+		t.Fatalf("barrier time %v below slowest processor", times[0])
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	m := New(5, Zero())
+	sums := make([]float64, 5)
+	maxs := make([]int, 5)
+	mins := make([]int, 5)
+	m.Run(func(p *Proc) {
+		sums[p.ID] = p.AllReduceFloat64(float64(p.ID+1), OpSum)
+		maxs[p.ID] = p.AllReduceInt(p.ID, OpMax)
+		mins[p.ID] = p.AllReduceInt(p.ID+10, OpMin)
+	})
+	for i := 0; i < 5; i++ {
+		if sums[i] != 15 {
+			t.Errorf("proc %d sum = %v, want 15", i, sums[i])
+		}
+		if maxs[i] != 4 {
+			t.Errorf("proc %d max = %d, want 4", i, maxs[i])
+		}
+		if mins[i] != 10 {
+			t.Errorf("proc %d min = %d, want 10", i, mins[i])
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	m := New(3, Zero())
+	var results [3][][]int
+	m.Run(func(p *Proc) {
+		results[p.ID] = p.AllGatherInts([]int{p.ID, p.ID * 10})
+	})
+	for pid := 0; pid < 3; pid++ {
+		for src := 0; src < 3; src++ {
+			got := results[pid][src]
+			if got[0] != src || got[1] != src*10 {
+				t.Fatalf("proc %d: gathered[%d] = %v", pid, src, got)
+			}
+		}
+	}
+}
+
+func TestAllGatherFloats(t *testing.T) {
+	m := New(2, Zero())
+	var out [][]float64
+	m.Run(func(p *Proc) {
+		g := p.AllGatherFloats([]float64{float64(p.ID) + 0.5})
+		if p.ID == 0 {
+			out = g
+		}
+	})
+	if out[0][0] != 0.5 || out[1][0] != 1.5 {
+		t.Fatalf("gathered %v", out)
+	}
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	m := New(4, Zero())
+	m.Run(func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			s := p.AllReduceInt(1, OpSum)
+			if s != 4 {
+				panic("bad sum")
+			}
+		}
+	})
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := New(2, Zero())
+	res := m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Send(1, 0, nil, 100)
+			p.Send(1, 0, nil, 50)
+		} else {
+			p.Recv(0, 0)
+			p.Recv(0, 0)
+		}
+		p.Barrier()
+	})
+	if res.PerProc[0].MsgsSent != 2 || res.PerProc[0].BytesSent != 150 {
+		t.Errorf("proc 0 stats = %+v", res.PerProc[0])
+	}
+	if res.PerProc[1].MsgsSent != 0 {
+		t.Errorf("proc 1 sent %d messages", res.PerProc[1].MsgsSent)
+	}
+	if res.PerProc[0].Collectives != 1 {
+		t.Errorf("collectives = %d", res.PerProc[0].Collectives)
+	}
+	if res.TotalBytes() != 150 {
+		t.Errorf("TotalBytes = %d", res.TotalBytes())
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	m := New(3, Zero())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate from Run")
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.ID == 1 {
+			panic("boom")
+		}
+		// Other processors block; the failure must wake them.
+		p.Recv((p.ID+1)%3, 99)
+	})
+}
+
+func TestElapsedIsMax(t *testing.T) {
+	cost := CostModel{FlopTime: 1e-6}
+	m := New(3, cost)
+	res := m.Run(func(p *Proc) {
+		p.Work(float64(p.ID) * 1e6)
+	})
+	if math.Abs(res.Elapsed-2.0) > 1e-9 {
+		t.Fatalf("Elapsed = %v, want 2.0", res.Elapsed)
+	}
+}
+
+func TestManyProcessorsStress(t *testing.T) {
+	m := New(64, Zero())
+	var total int64
+	m.Run(func(p *Proc) {
+		// Ring exchange.
+		next := (p.ID + 1) % 64
+		prev := (p.ID + 63) % 64
+		p.Send(next, 5, p.ID, 8)
+		v := p.Recv(prev, 5).(int)
+		atomic.AddInt64(&total, int64(v))
+		p.Barrier()
+	})
+	if total != 64*63/2 {
+		t.Fatalf("ring total = %d", total)
+	}
+}
+
+// Property: virtual clocks are non-decreasing through any sequence of
+// operations, and barrier leaves all clocks equal.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		p := int(seed%4) + 2
+		m := New(p, T3D())
+		ok := int32(1)
+		m.Run(func(pr *Proc) {
+			last := pr.Time()
+			check := func() {
+				if pr.Time() < last {
+					atomic.StoreInt32(&ok, 0)
+				}
+				last = pr.Time()
+			}
+			pr.Work(float64((seed%100)+1) * 10)
+			check()
+			pr.Send((pr.ID+1)%p, 1, nil, int(seed%1000))
+			check()
+			pr.Recv((pr.ID+p-1)%p, 1)
+			check()
+			pr.Barrier()
+			check()
+			pr.AllReduceFloat64(1, OpSum)
+			check()
+		})
+		return ok == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestT3DConstantsSane(t *testing.T) {
+	c := T3D()
+	if c.FlopTime <= 0 || c.Latency <= 0 || c.ByteTime <= 0 {
+		t.Fatal("T3D constants must be positive")
+	}
+	w := Workstation()
+	if w.Latency <= c.Latency {
+		t.Error("workstation network should be slower than T3D")
+	}
+}
+
+func TestCollectiveMismatchPanics(t *testing.T) {
+	m := New(2, Zero())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched collectives")
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Barrier()
+		} else {
+			p.AllReduceInt(1, OpSum)
+		}
+	})
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	m := New(1, Zero())
+	res := m.Run(func(p *Proc) {
+		p.Sleep(0.25)
+	})
+	if res.Elapsed != 0.25 {
+		t.Fatalf("Elapsed = %v, want 0.25", res.Elapsed)
+	}
+}
+
+func TestSendInvalidDestination(t *testing.T) {
+	m := New(2, Zero())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Send(5, 0, nil, 0)
+		} else {
+			p.Recv(0, 0)
+		}
+	})
+}
+
+func TestProcStatsSnapshot(t *testing.T) {
+	m := New(1, CostModel{FlopTime: 1})
+	m.Run(func(p *Proc) {
+		p.Work(3)
+		s := p.Stats()
+		if s.Flops != 3 || s.Time != 3 {
+			panic("stats snapshot wrong")
+		}
+	})
+}
+
+func TestBytesHelpers(t *testing.T) {
+	if BytesOfFloats(3) != 24 || BytesOfInts(2) != 16 {
+		t.Fatal("byte helpers wrong")
+	}
+}
+
+func TestMachineAccessor(t *testing.T) {
+	m := New(3, Zero())
+	m.Run(func(p *Proc) {
+		if p.Machine() != m || p.Machine().P != 3 {
+			panic("Machine accessor wrong")
+		}
+	})
+}
+
+func TestTotalFlopsAndResult(t *testing.T) {
+	m := New(2, CostModel{FlopTime: 1e-9})
+	res := m.Run(func(p *Proc) {
+		p.Work(100)
+	})
+	if res.TotalFlops() != 200 {
+		t.Fatalf("TotalFlops = %v", res.TotalFlops())
+	}
+}
+
+func TestBusyAndOverheadAccounting(t *testing.T) {
+	cost := CostModel{FlopTime: 1e-3, Latency: 1e-3}
+	m := New(2, cost)
+	res := m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Work(10) // 10 ms busy
+			p.Send(1, 0, nil, 0)
+		} else {
+			p.Recv(0, 0) // idles ~11 ms
+		}
+	})
+	if res.PerProc[0].Busy <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+	of := res.OverheadFraction()
+	if of <= 0 || of >= 1 {
+		t.Fatalf("overhead fraction %v out of (0,1)", of)
+	}
+	// Proc 1 did no work: overhead ≥ 50% of processor-time minus proc 0's
+	// send overhead share.
+	if of < 0.4 {
+		t.Fatalf("overhead fraction %v implausibly low", of)
+	}
+}

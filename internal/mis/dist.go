@@ -1,0 +1,344 @@
+package mis
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// Message tags used by Distributed; callers sharing a machine must avoid
+// this range.
+const (
+	tagState = 9102
+	tagCand  = 9103
+	tagSel   = 9104
+	tagExcl  = 9105
+)
+
+type stateMsg struct {
+	Keys   []uint64
+	Active []bool
+}
+
+// Exchange describes the communication plan the setup phase derived and
+// the global activity count observed in the first round. The parallel
+// factorization reuses the plan to push pivot rows: the processors that
+// requested a vertex's MIS state are exactly the processors whose rows
+// reference that vertex.
+type Exchange struct {
+	// NeedBy[q] lists local indices of owned vertices processor q needs.
+	NeedBy [][]int
+	// ReqFrom[q] lists global ids this processor requested from q.
+	ReqFrom [][]int
+	// GlobalActive is the total number of active vertices at entry.
+	GlobalActive int
+}
+
+// Distributed computes an independent set of a directed graph whose
+// vertices are distributed over the processors of a virtual machine.
+// It mirrors the paper's implementation: a communication setup phase
+// determines which vertex keys each processor pair must exchange (the
+// boundary vertices), then each augmentation round performs three
+// neighbour exchanges (keys, tentative flags, selected flags) plus the
+// exclusion notices required by the directed two-step fix-up.
+//
+//   - owned lists this processor's global vertex ids;
+//   - adj[i] lists the out-neighbours (global ids) of owned[i];
+//   - active[i] marks vertices still eligible (nil = all);
+//   - owner maps any global id appearing in adj to its processor.
+//
+// All processors must call Distributed collectively with the same rounds
+// and seed. The returned mask is over owned, and the union across
+// processors is independent and nonempty whenever any vertex is active.
+func Distributed(p *machine.Proc, owned []int, adj [][]int, active []bool, owner func(int) int, rounds int, seed int64) []bool {
+	sel, _ := DistributedPlan(p, owned, adj, active, owner, rounds, seed)
+	return sel
+}
+
+// DistributedPlan is Distributed exposing the communication plan and the
+// global activity count (see Exchange).
+func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, owner func(int) int, rounds int, seed int64) ([]bool, *Exchange) {
+	if rounds <= 0 {
+		rounds = DefaultRounds
+	}
+	nLocal := len(owned)
+	P := p.Machine().P
+
+	localIdx := make(map[int]int, nLocal)
+	for i, g := range owned {
+		localIdx[g] = i
+	}
+
+	// --- communication setup phase -------------------------------------
+	// Collect the remote vertices whose state we need: every out-neighbour
+	// we do not own.
+	reqFrom := make([][]int, P)
+	remoteSlot := make(map[int]int) // global id → index into remote arrays
+	var remotes []int
+	for _, nbrs := range adj {
+		for _, g := range nbrs {
+			if _, ok := localIdx[g]; ok {
+				continue
+			}
+			if _, ok := remoteSlot[g]; ok {
+				continue
+			}
+			remoteSlot[g] = len(remotes)
+			remotes = append(remotes, g)
+			q := owner(g)
+			reqFrom[q] = append(reqFrom[q], g)
+		}
+	}
+	for q := range reqFrom {
+		sort.Ints(reqFrom[q])
+	}
+	// Re-slot remotes in (proc, id) order so message payloads are
+	// positional.
+	remotes = remotes[:0]
+	for q := 0; q < P; q++ {
+		for _, g := range reqFrom[q] {
+			remoteSlot[g] = len(remotes)
+			remotes = append(remotes, g)
+		}
+	}
+
+	// Tell every owner which of its vertices we need: flatten request
+	// lists as [dst, count, ids...]* and allgather.
+	var flat []int
+	for q := 0; q < P; q++ {
+		if len(reqFrom[q]) == 0 {
+			continue
+		}
+		flat = append(flat, q, len(reqFrom[q]))
+		flat = append(flat, reqFrom[q]...)
+	}
+	allReq := p.AllGatherInts(flat)
+	needBy := make([][]int, P) // needBy[q]: local indices of vertices proc q needs
+	for src := 0; src < P; src++ {
+		f := allReq[src]
+		for i := 0; i < len(f); {
+			dst, cnt := f[i], f[i+1]
+			ids := f[i+2 : i+2+cnt]
+			i += 2 + cnt
+			if dst != p.ID {
+				continue
+			}
+			for _, g := range ids {
+				li, ok := localIdx[g]
+				if !ok {
+					panic("mis: processor asked for a vertex we do not own")
+				}
+				needBy[src] = append(needBy[src], li)
+			}
+		}
+	}
+
+	// --- augmentation rounds --------------------------------------------
+	act := make([]bool, nLocal)
+	if active == nil {
+		for i := range act {
+			act[i] = true
+		}
+	} else {
+		copy(act, active)
+	}
+	sel := make([]bool, nLocal)
+	cand := make([]bool, nLocal)
+	keys := make([]uint64, nLocal)
+
+	remKey := make([]uint64, len(remotes))
+	remAct := make([]bool, len(remotes))
+	remCand := make([]bool, len(remotes))
+	remSel := make([]bool, len(remotes))
+
+	// exchange sends one flag/key set per boundary vertex in both
+	// directions, following the setup lists.
+	exchangeBools := func(tag int, local []bool, remote []bool) {
+		for q := 0; q < P; q++ {
+			if q == p.ID || len(needBy[q]) == 0 {
+				continue
+			}
+			msg := make([]bool, len(needBy[q]))
+			for k, li := range needBy[q] {
+				msg[k] = local[li]
+			}
+			p.Send(q, tag, msg, len(msg))
+		}
+		pos := 0
+		for q := 0; q < P; q++ {
+			if q == p.ID || len(reqFrom[q]) == 0 {
+				continue
+			}
+			msg := p.Recv(q, tag).([]bool)
+			copy(remote[pos:pos+len(msg)], msg)
+			pos += len(msg)
+		}
+	}
+
+	ex := &Exchange{NeedBy: needBy, ReqFrom: reqFrom}
+	for r := 0; r < rounds; r++ {
+		nActive := 0
+		for i := range owned {
+			if act[i] {
+				keys[i] = key(seed, r, owned[i])
+				nActive++
+			}
+		}
+		// A single global reduction in the first round detects the
+		// nothing-to-do case; later rounds run unconditionally (messages
+		// stay matched, and an empty round is cheap), keeping the
+		// synchronization count at one per MIS call.
+		if r == 0 {
+			ex.GlobalActive = p.AllReduceInt(nActive, machine.OpSum)
+		}
+		if ex.GlobalActive == 0 {
+			break
+		}
+
+		// Exchange keys + active state of boundary vertices.
+		for q := 0; q < P; q++ {
+			if q == p.ID || len(needBy[q]) == 0 {
+				continue
+			}
+			msg := stateMsg{Keys: make([]uint64, len(needBy[q])), Active: make([]bool, len(needBy[q]))}
+			for k, li := range needBy[q] {
+				msg.Keys[k] = keys[li]
+				msg.Active[k] = act[li]
+			}
+			p.Send(q, tagState, msg, 9*len(needBy[q]))
+		}
+		pos := 0
+		for q := 0; q < P; q++ {
+			if q == p.ID || len(reqFrom[q]) == 0 {
+				continue
+			}
+			msg := p.Recv(q, tagState).(stateMsg)
+			copy(remKey[pos:], msg.Keys)
+			copy(remAct[pos:], msg.Active)
+			pos += len(msg.Keys)
+		}
+
+		// Step 1: tentative insertion.
+		scanned := 0
+		for i, g := range owned {
+			cand[i] = false
+			if !act[i] {
+				continue
+			}
+			ok := true
+			for _, u := range adj[i] {
+				if u == g {
+					continue
+				}
+				scanned++
+				var uk uint64
+				var ua bool
+				if li, isLocal := localIdx[u]; isLocal {
+					uk, ua = keys[li], act[li]
+				} else {
+					s := remoteSlot[u]
+					uk, ua = remKey[s], remAct[s]
+				}
+				if ua && !less(keys[i], g, uk, u) {
+					ok = false
+					break
+				}
+			}
+			cand[i] = ok
+		}
+		p.Work(float64(scanned))
+
+		// Exchange tentative flags; step 2 withdraws members that see
+		// another tentative member along an out-edge.
+		exchangeBools(tagCand, cand, remCand)
+		newSel := make([]bool, nLocal)
+		for i, g := range owned {
+			if !cand[i] {
+				continue
+			}
+			keep := true
+			for _, u := range adj[i] {
+				if u == g {
+					continue
+				}
+				var uc bool
+				if li, isLocal := localIdx[u]; isLocal {
+					uc = cand[li]
+				} else {
+					uc = remCand[remoteSlot[u]]
+				}
+				if uc {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				newSel[i] = true
+				sel[i] = true
+				act[i] = false
+			}
+		}
+
+		// Exchange selected flags: a vertex whose out-neighbour was
+		// selected deactivates.
+		exchangeBools(tagSel, newSel, remSel)
+		for i, g := range owned {
+			if !act[i] {
+				continue
+			}
+			for _, u := range adj[i] {
+				if u == g {
+					continue
+				}
+				var us bool
+				if li, isLocal := localIdx[u]; isLocal {
+					us = newSel[li]
+				} else {
+					us = remSel[remoteSlot[u]]
+				}
+				if us {
+					act[i] = false
+					break
+				}
+			}
+		}
+
+		// Exclusion notices along out-edges of selected vertices: the head
+		// of each such edge must deactivate even though it may not see the
+		// selected tail. Notices flow opposite to the request lists.
+		excl := make([][]int, P)
+		for i, g := range owned {
+			if !newSel[i] {
+				continue
+			}
+			for _, u := range adj[i] {
+				if u == g {
+					continue
+				}
+				if li, isLocal := localIdx[u]; isLocal {
+					act[li] = false
+				} else {
+					excl[owner(u)] = append(excl[owner(u)], u)
+				}
+			}
+		}
+		for q := 0; q < P; q++ {
+			if q == p.ID || len(reqFrom[q]) == 0 {
+				continue
+			}
+			p.Send(q, tagExcl, excl[q], 8*len(excl[q]))
+		}
+		for q := 0; q < P; q++ {
+			if q == p.ID || len(needBy[q]) == 0 {
+				continue
+			}
+			ids := p.Recv(q, tagExcl).([]int)
+			for _, g := range ids {
+				if li, ok := localIdx[g]; ok {
+					act[li] = false
+				}
+			}
+		}
+	}
+	return sel, ex
+}

@@ -1,0 +1,184 @@
+// Package mis computes maximal independent sets with Luby's randomized
+// algorithm (§4.1 of the paper): each vertex draws a random key and joins
+// the set when its key beats every neighbour's; the process repeats on the
+// undecided remainder for a fixed number of augmentation rounds (the paper
+// uses five). Because the reduced matrices of ILUT are in general only
+// *structurally nonsymmetric* directed graphs, the paper's two-step
+// insert-then-remove fix-up is applied: tentative members adjacent to other
+// tentative members along an out-edge withdraw, which restores
+// independence without requiring the reverse edges to be known.
+package mis
+
+import (
+	"fmt"
+)
+
+// DefaultRounds is the paper's augmentation-round count: almost all
+// independent vertices are discovered in the first few rounds, so the
+// algorithm stops early instead of iterating to exact maximality.
+const DefaultRounds = 5
+
+// key is the per-(vertex, round) pseudo-random draw. The comparison is on
+// (hash, id) so ties are impossible.
+func key(seed int64, round, v int) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(v)*0xbf58476d1ce4e5b9 + uint64(round)*0x94d049bb133111eb
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func less(k1 uint64, v1 int, k2 uint64, v2 int) bool {
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return v1 < v2
+}
+
+// Serial computes an independent set of the directed graph adj (adj[v]
+// lists the out-neighbours of v) restricted to the vertices with active[v]
+// true, running the given number of augmentation rounds. A nil active mask
+// means all vertices. The returned mask marks selected vertices.
+//
+// Guarantees: the result is independent (no edge in either direction
+// connects two selected vertices), and it is nonempty whenever any vertex
+// is active.
+func Serial(adj [][]int, active []bool, rounds int, seed int64) []bool {
+	n := len(adj)
+	if rounds <= 0 {
+		rounds = DefaultRounds
+	}
+	act := make([]bool, n)
+	if active == nil {
+		for i := range act {
+			act[i] = true
+		}
+	} else {
+		copy(act, active)
+	}
+	sel := make([]bool, n)
+	cand := make([]bool, n)
+	keys := make([]uint64, n)
+
+	for r := 0; r < rounds; r++ {
+		nActive := 0
+		for v := 0; v < n; v++ {
+			if act[v] {
+				keys[v] = key(seed, r, v)
+				nActive++
+			}
+		}
+		if nActive == 0 {
+			break
+		}
+		// Step 1: tentative insertion — beat every active out-neighbour.
+		for v := 0; v < n; v++ {
+			cand[v] = false
+			if !act[v] {
+				continue
+			}
+			ok := true
+			for _, u := range adj[v] {
+				if u == v || !act[u] {
+					continue
+				}
+				if !less(keys[v], v, keys[u], u) {
+					ok = false
+					break
+				}
+			}
+			cand[v] = ok
+		}
+		// Step 2: withdraw tentative members that see another tentative
+		// member along an out-edge (the nonsymmetric fix-up).
+		for v := 0; v < n; v++ {
+			if !cand[v] {
+				continue
+			}
+			keep := true
+			for _, u := range adj[v] {
+				if u != v && cand[u] {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				sel[v] = true
+			}
+		}
+		// Deactivate selected vertices and everything adjacent to them in
+		// either direction. Out-edges of selected vertices deactivate the
+		// head; out-edges pointing *to* selected vertices deactivate the
+		// tail.
+		for v := 0; v < n; v++ {
+			if sel[v] {
+				act[v] = false
+				for _, u := range adj[v] {
+					act[u] = false
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !act[v] {
+				continue
+			}
+			for _, u := range adj[v] {
+				if sel[u] {
+					act[v] = false
+					break
+				}
+			}
+		}
+	}
+	return sel
+}
+
+// VerifyIndependent checks that no edge of adj (in either direction)
+// connects two selected vertices. The paper's Figure 1(b) pitfall — fill
+// silently invalidating a precomputed colouring — makes this check the
+// core safety net of the whole factorization, so tests run it on every
+// level.
+func VerifyIndependent(adj [][]int, sel []bool) error {
+	for v := range adj {
+		if !sel[v] {
+			continue
+		}
+		for _, u := range adj[v] {
+			if u != v && sel[u] {
+				return fmt.Errorf("mis: selected vertices %d and %d share edge %d→%d", v, u, v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Maximal reports whether sel is maximal in the *symmetrized* graph: every
+// unselected vertex has a selected neighbour (in some direction). With few
+// augmentation rounds the result may legitimately be non-maximal; tests
+// use this to measure how close five rounds get.
+func Maximal(adj [][]int, active, sel []bool) bool {
+	n := len(adj)
+	blocked := make([]bool, n)
+	for v := range adj {
+		for _, u := range adj[v] {
+			if sel[u] {
+				blocked[v] = true
+			}
+			if sel[v] {
+				blocked[u] = true
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if active != nil && !active[v] {
+			continue
+		}
+		if !sel[v] && !blocked[v] {
+			return false
+		}
+	}
+	return true
+}

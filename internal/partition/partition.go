@@ -1,0 +1,544 @@
+// Package partition implements a from-scratch multilevel k-way graph
+// partitioner in the style the paper relies on (Karypis & Kumar's
+// multilevel scheme, reference [6] of the paper): heavy-edge-matching
+// coarsening, greedy graph-growing initial bisection, Fiduccia–Mattheyses
+// boundary refinement during uncoarsening, and recursive bisection to k
+// parts. It replaces the ParMETIS dependency of the original system.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Options control the partitioner. The zero value is usable; Normalize
+// fills in defaults.
+type Options struct {
+	// Ubfactor is the allowed imbalance: every part may weigh up to
+	// Ubfactor × (total/nparts). Default 1.05.
+	Ubfactor float64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices. Default 80.
+	CoarsenTo int
+	// NIter is the number of FM refinement passes per level. Default 6.
+	NIter int
+	// NInitTries is the number of greedy-growing attempts for the initial
+	// bisection of the coarsest graph. Default 8.
+	NInitTries int
+	// Seed drives every random choice; runs are reproducible. Default 1.
+	Seed int64
+}
+
+// Normalize returns a copy of o with defaults applied.
+func (o Options) Normalize() Options {
+	if o.Ubfactor < 1 {
+		o.Ubfactor = 1.05
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 80
+	}
+	if o.NIter <= 0 {
+		o.NIter = 6
+	}
+	if o.NInitTries <= 0 {
+		o.NInitTries = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// KWay partitions g into nparts parts by multilevel recursive bisection
+// and returns the part assignment (values in [0, nparts)).
+func KWay(g *graph.Graph, nparts int, opt Options) []int {
+	if nparts < 1 {
+		panic("partition: nparts must be ≥ 1")
+	}
+	opt = opt.Normalize()
+	part := make([]int, g.NVtx)
+	if nparts == 1 {
+		return part
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	vtxMap := make([]int, g.NVtx) // identity mapping at the top level
+	for i := range vtxMap {
+		vtxMap[i] = i
+	}
+	recursiveBisect(g, vtxMap, nparts, 0, part, opt, rng)
+	return part
+}
+
+// RandomKWay assigns vertices to parts uniformly at random (balanced by
+// round-robin of a shuffled order). Baseline for the partition-quality
+// ablation.
+func RandomKWay(g *graph.Graph, nparts int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(g.NVtx)
+	part := make([]int, g.NVtx)
+	for k, v := range order {
+		part[v] = k % nparts
+	}
+	return part
+}
+
+// recursiveBisect partitions the subgraph g (whose vertex v corresponds to
+// original vertex vtxMap[v]) into nparts parts numbered starting at
+// firstPart, writing assignments into the global part array.
+func recursiveBisect(g *graph.Graph, vtxMap []int, nparts, firstPart int, part []int, opt Options, rng *rand.Rand) {
+	if nparts == 1 {
+		for _, orig := range vtxMap {
+			part[orig] = firstPart
+		}
+		return
+	}
+	k0 := (nparts + 1) / 2
+	k1 := nparts - k0
+	total := g.TotalVWgt()
+	target0 := int(float64(total) * float64(k0) / float64(nparts))
+
+	side := multilevelBisect(g, target0, opt, rng)
+
+	sub0, map0 := subgraph(g, side, 0)
+	sub1, map1 := subgraph(g, side, 1)
+	// Compose mappings back to original vertices.
+	orig0 := make([]int, len(map0))
+	for i, v := range map0 {
+		orig0[i] = vtxMap[v]
+	}
+	orig1 := make([]int, len(map1))
+	for i, v := range map1 {
+		orig1[i] = vtxMap[v]
+	}
+	recursiveBisect(sub0, orig0, k0, firstPart, part, opt, rng)
+	recursiveBisect(sub1, orig1, k1, firstPart+k0, part, opt, rng)
+}
+
+// subgraph extracts the vertices of g with side[v] == which, returning the
+// induced subgraph and the mapping from subgraph vertex → g vertex.
+func subgraph(g *graph.Graph, side []int, which int) (*graph.Graph, []int) {
+	newID := make([]int, g.NVtx)
+	var vmap []int
+	for v := 0; v < g.NVtx; v++ {
+		if side[v] == which {
+			newID[v] = len(vmap)
+			vmap = append(vmap, v)
+		} else {
+			newID[v] = -1
+		}
+	}
+	s := &graph.Graph{NVtx: len(vmap), Xadj: make([]int, len(vmap)+1)}
+	for i, v := range vmap {
+		deg := 0
+		for _, u := range g.Neighbors(v) {
+			if newID[u] >= 0 {
+				deg++
+			}
+		}
+		s.Xadj[i+1] = s.Xadj[i] + deg
+	}
+	s.Adj = make([]int, s.Xadj[len(vmap)])
+	s.AdjWgt = make([]int, s.Xadj[len(vmap)])
+	s.VWgt = make([]int, len(vmap))
+	for i, v := range vmap {
+		s.VWgt[i] = g.VWgt[v]
+		p := s.Xadj[i]
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for k, u := range adj {
+			if newID[u] >= 0 {
+				s.Adj[p] = newID[u]
+				s.AdjWgt[p] = wgt[k]
+				p++
+			}
+		}
+	}
+	return s, vmap
+}
+
+// level holds one rung of the multilevel hierarchy.
+type level struct {
+	g    *graph.Graph
+	cmap []int // fine vertex → coarse vertex in the next level
+}
+
+// multilevelBisect bisects g so that side 0 weighs approximately target0.
+// Returns the 0/1 side assignment.
+func multilevelBisect(g *graph.Graph, target0 int, opt Options, rng *rand.Rand) []int {
+	// Coarsening phase.
+	var levels []level
+	cur := g
+	for cur.NVtx > opt.CoarsenTo {
+		coarse, cmap := coarsen(cur, rng)
+		if coarse.NVtx >= cur.NVtx*95/100 {
+			// Matching stalled (e.g. star graphs); stop coarsening.
+			break
+		}
+		levels = append(levels, level{g: cur, cmap: cmap})
+		cur = coarse
+	}
+
+	// Initial bisection on the coarsest graph.
+	side := initialBisect(cur, target0, opt, rng)
+	fmRefine(cur, side, target0, opt, rng)
+
+	// Uncoarsening with refinement.
+	for li := len(levels) - 1; li >= 0; li-- {
+		fine := levels[li]
+		fineSide := make([]int, fine.g.NVtx)
+		for v := 0; v < fine.g.NVtx; v++ {
+			fineSide[v] = side[fine.cmap[v]]
+		}
+		side = fineSide
+		fmRefine(fine.g, side, target0, opt, rng)
+	}
+	return side
+}
+
+// coarsen performs one level of heavy-edge matching and graph contraction.
+func coarsen(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int) {
+	match := make([]int, g.NVtx)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(g.NVtx)
+	cmap := make([]int, g.NVtx)
+	nc := 0
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		best, bestW := -1, -1
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for k, u := range adj {
+			if match[u] == -1 && wgt[k] > bestW {
+				best, bestW = u, wgt[k]
+			}
+		}
+		if best == -1 {
+			match[v] = v
+			cmap[v] = nc
+			nc++
+		} else {
+			match[v] = best
+			match[best] = v
+			cmap[v] = nc
+			cmap[best] = nc
+			nc++
+		}
+	}
+
+	coarse := &graph.Graph{NVtx: nc, Xadj: make([]int, nc+1), VWgt: make([]int, nc)}
+	for v := 0; v < g.NVtx; v++ {
+		coarse.VWgt[cmap[v]] += g.VWgt[v]
+	}
+
+	// Merge adjacency lists of matched pairs with a stamped workspace.
+	stamp := make([]int, nc)
+	slot := make([]int, nc)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var cadj []int
+	var cwgt []int
+	members := make([][2]int, nc)
+	for i := range members {
+		members[i] = [2]int{-1, -1}
+	}
+	for v := 0; v < g.NVtx; v++ {
+		c := cmap[v]
+		if members[c][0] == -1 {
+			members[c][0] = v
+		} else {
+			members[c][1] = v
+		}
+	}
+	for c := 0; c < nc; c++ {
+		start := len(cadj)
+		for _, v := range members[c] {
+			if v == -1 {
+				continue
+			}
+			adj := g.Neighbors(v)
+			wgt := g.EdgeWeights(v)
+			for k, u := range adj {
+				cu := cmap[u]
+				if cu == c {
+					continue // internal edge of the contracted pair
+				}
+				if stamp[cu] != c {
+					stamp[cu] = c
+					slot[cu] = len(cadj)
+					cadj = append(cadj, cu)
+					cwgt = append(cwgt, wgt[k])
+				} else {
+					cwgt[slot[cu]] += wgt[k]
+				}
+			}
+		}
+		coarse.Xadj[c+1] = coarse.Xadj[c] + (len(cadj) - start)
+	}
+	coarse.Adj = cadj
+	coarse.AdjWgt = cwgt
+	return coarse, cmap
+}
+
+// initialBisect produces a starting bisection of the coarsest graph by
+// greedy graph growing: grow a BFS region from a random seed until side 0
+// reaches its target weight; repeat several times and keep the smallest
+// refined cut.
+func initialBisect(g *graph.Graph, target0 int, opt Options, rng *rand.Rand) []int {
+	best := make([]int, g.NVtx)
+	bestCut := -1
+	side := make([]int, g.NVtx)
+	for try := 0; try < opt.NInitTries; try++ {
+		for i := range side {
+			side[i] = 1
+		}
+		w0 := 0
+		start := rng.Intn(g.NVtx)
+		queue := []int{start}
+		seen := make([]bool, g.NVtx)
+		seen[start] = true
+		for len(queue) > 0 && w0 < target0 {
+			v := queue[0]
+			queue = queue[1:]
+			side[v] = 0
+			w0 += g.VWgt[v]
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		// If the BFS ran out of vertices (disconnected graph), fill from
+		// arbitrary remaining vertices.
+		for v := 0; v < g.NVtx && w0 < target0; v++ {
+			if side[v] == 1 {
+				side[v] = 0
+				w0 += g.VWgt[v]
+			}
+		}
+		fmRefine(g, side, target0, opt, rng)
+		cut := g.EdgeCut(side)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			copy(best, side)
+		}
+	}
+	return best
+}
+
+// fmRefine runs Fiduccia–Mattheyses boundary refinement passes on a
+// bisection in place, respecting the balance tolerance in opt.
+func fmRefine(g *graph.Graph, side []int, target0 int, opt Options, rng *rand.Rand) {
+	total := g.TotalVWgt()
+	maxVW := 1
+	for _, w := range g.VWgt {
+		if w > maxVW {
+			maxVW = w
+		}
+	}
+	// Allowed deviation from the target split.
+	dev := int(float64(total) * (opt.Ubfactor - 1))
+	if dev < maxVW {
+		dev = maxVW
+	}
+	lo0, hi0 := target0-dev, target0+dev
+	// Never allow a side to empty out, no matter how small the graph.
+	if lo0 < 1 {
+		lo0 = 1
+	}
+	if hi0 > total-1 {
+		hi0 = total - 1
+	}
+
+	for pass := 0; pass < opt.NIter; pass++ {
+		if !fmPass(g, side, target0, lo0, hi0, rng) {
+			break
+		}
+	}
+}
+
+// fmPass performs a single FM pass: tentatively move the best-gain
+// boundary vertices one at a time (each vertex at most once), then roll
+// back to the best prefix observed. Reports whether the cut improved.
+func fmPass(g *graph.Graph, side []int, target0, lo0, hi0 int, rng *rand.Rand) bool {
+	n := g.NVtx
+	gain := make([]int, n)
+	locked := make([]bool, n)
+	w0 := 0
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			w0 += g.VWgt[v]
+		}
+	}
+	h := newGainHeap(n)
+	computeGain := func(v int) int {
+		ext, in := 0, 0
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for k, u := range adj {
+			if side[u] != side[v] {
+				ext += wgt[k]
+			} else {
+				in += wgt[k]
+			}
+		}
+		return ext - in
+	}
+	for v := 0; v < n; v++ {
+		gain[v] = computeGain(v)
+		// Seed the heap with boundary vertices only; moving interior
+		// vertices first never helps and bloats the pass.
+		if isBoundary(g, side, v) {
+			h.push(v, gain[v])
+		}
+	}
+
+	type move struct {
+		v    int
+		gain int
+	}
+	var moves []move
+	cutDelta := 0
+	bestDelta := 0
+	bestPrefix := 0
+	balancedAtBest := w0 >= lo0 && w0 <= hi0
+
+	for h.len() > 0 {
+		v, gv := h.pop()
+		if locked[v] || gv != gain[v] {
+			if !locked[v] {
+				h.push(v, gain[v]) // stale entry; reinsert with fresh gain
+			}
+			continue
+		}
+		// Balance check for moving v to the other side.
+		nw0 := w0
+		if side[v] == 0 {
+			nw0 -= g.VWgt[v]
+		} else {
+			nw0 += g.VWgt[v]
+		}
+		if nw0 < lo0-g.VWgt[v] || nw0 > hi0+g.VWgt[v] {
+			continue // hopelessly unbalancing; skip this vertex
+		}
+		locked[v] = true
+		side[v] ^= 1
+		w0 = nw0
+		cutDelta -= gv
+		moves = append(moves, move{v, gv})
+		// Update neighbour gains.
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for k, u := range adj {
+			if locked[u] {
+				continue
+			}
+			if side[u] == side[v] {
+				gain[u] -= 2 * wgt[k]
+			} else {
+				gain[u] += 2 * wgt[k]
+			}
+			h.push(u, gain[u])
+		}
+		balanced := w0 >= lo0 && w0 <= hi0
+		if (balanced && !balancedAtBest) || (balanced == balancedAtBest && cutDelta < bestDelta) {
+			bestDelta = cutDelta
+			bestPrefix = len(moves)
+			balancedAtBest = balanced
+		}
+	}
+
+	// Roll back moves after the best prefix.
+	for i := len(moves) - 1; i >= bestPrefix; i-- {
+		side[moves[i].v] ^= 1
+	}
+	return bestDelta < 0
+}
+
+func isBoundary(g *graph.Graph, side []int, v int) bool {
+	for _, u := range g.Neighbors(v) {
+		if side[u] != side[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that part is a proper nparts-way assignment of g and
+// returns the cut and part weights. Used by tests and the CLI.
+func Validate(g *graph.Graph, part []int, nparts int) (cut int, weights []int, err error) {
+	if len(part) != g.NVtx {
+		return 0, nil, fmt.Errorf("partition: assignment length %d for %d vertices", len(part), g.NVtx)
+	}
+	for v, p := range part {
+		if p < 0 || p >= nparts {
+			return 0, nil, fmt.Errorf("partition: vertex %d assigned to invalid part %d", v, p)
+		}
+	}
+	return g.EdgeCut(part), g.PartWeights(part, nparts), nil
+}
+
+// gainHeap is a binary max-heap of (vertex, gain) pairs. It permits stale
+// entries: pop returns the recorded gain so callers can detect and discard
+// entries that no longer match the current gain table.
+type gainHeap struct {
+	vtx  []int
+	gain []int
+}
+
+func newGainHeap(capHint int) *gainHeap {
+	return &gainHeap{vtx: make([]int, 0, capHint), gain: make([]int, 0, capHint)}
+}
+
+func (h *gainHeap) len() int { return len(h.vtx) }
+
+func (h *gainHeap) push(v, g int) {
+	h.vtx = append(h.vtx, v)
+	h.gain = append(h.gain, g)
+	i := len(h.vtx) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.gain[p] >= h.gain[i] {
+			break
+		}
+		h.swap(p, i)
+		i = p
+	}
+}
+
+func (h *gainHeap) pop() (int, int) {
+	v, g := h.vtx[0], h.gain[0]
+	last := len(h.vtx) - 1
+	h.swap(0, last)
+	h.vtx = h.vtx[:last]
+	h.gain = h.gain[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.gain[l] > h.gain[m] {
+			m = l
+		}
+		if r < last && h.gain[r] > h.gain[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+	return v, g
+}
+
+func (h *gainHeap) swap(i, j int) {
+	h.vtx[i], h.vtx[j] = h.vtx[j], h.vtx[i]
+	h.gain[i], h.gain[j] = h.gain[j], h.gain[i]
+}

@@ -1,0 +1,229 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/matgen"
+)
+
+func gridGraph(nx, ny int) *graph.Graph {
+	return graph.FromMatrix(matgen.Grid2D(nx, ny))
+}
+
+func TestKWayBasicInvariants(t *testing.T) {
+	g := gridGraph(20, 20)
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		part := KWay(g, k, Options{Seed: 42})
+		cut, weights, err := Validate(g, part, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Every part nonempty.
+		for p, w := range weights {
+			if w == 0 {
+				t.Errorf("k=%d: part %d empty", k, p)
+			}
+		}
+		if k == 1 && cut != 0 {
+			t.Errorf("k=1 cut = %d, want 0", cut)
+		}
+	}
+}
+
+func TestKWayBalance(t *testing.T) {
+	g := gridGraph(30, 30)
+	for _, k := range []int{2, 4, 8, 16} {
+		part := KWay(g, k, Options{Seed: 7, Ubfactor: 1.05})
+		_, weights, err := Validate(g, part, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := float64(g.TotalVWgt()) / float64(k)
+		for p, w := range weights {
+			// Recursive bisection compounds tolerance; allow 1.30×.
+			if float64(w) > 1.30*target {
+				t.Errorf("k=%d part %d weight %d exceeds 1.3×target (%.1f)", k, p, w, target)
+			}
+		}
+	}
+}
+
+func TestKWayBeatsRandomCut(t *testing.T) {
+	g := gridGraph(32, 32)
+	for _, k := range []int{2, 4, 8} {
+		ml := KWay(g, k, Options{Seed: 3})
+		rnd := RandomKWay(g, k, 3)
+		mlCut := g.EdgeCut(ml)
+		rndCut := g.EdgeCut(rnd)
+		if mlCut*2 >= rndCut {
+			t.Errorf("k=%d: multilevel cut %d not ≪ random cut %d", k, mlCut, rndCut)
+		}
+	}
+}
+
+func TestBisectionCutNearOptimalOnGrid(t *testing.T) {
+	// Optimal bisection of an n×n grid cuts ~n edges. Allow 3×.
+	n := 24
+	g := gridGraph(n, n)
+	part := KWay(g, 2, Options{Seed: 11})
+	cut := g.EdgeCut(part)
+	if cut > 3*n {
+		t.Errorf("bisection cut %d, want ≤ %d for %d×%d grid", cut, 3*n, n, n)
+	}
+}
+
+func TestKWayDeterministicForSeed(t *testing.T) {
+	g := gridGraph(15, 15)
+	p1 := KWay(g, 4, Options{Seed: 5})
+	p2 := KWay(g, 4, Options{Seed: 5})
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestKWayIrregularGraph(t *testing.T) {
+	a := matgen.RandomSPDPattern(400, 6, 99)
+	g := graph.FromMatrix(a)
+	part := KWay(g, 8, Options{Seed: 1})
+	_, weights, err := Validate(g, part, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, w := range weights {
+		if w == 0 {
+			t.Errorf("part %d empty", p)
+		}
+	}
+}
+
+func TestKWayTorso(t *testing.T) {
+	a := matgen.Torso(8, 8, 8, 1)
+	g := graph.FromMatrix(a)
+	part := KWay(g, 4, Options{Seed: 2})
+	cut, _, err := Validate(g, part, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndCut := g.EdgeCut(RandomKWay(g, 4, 2))
+	if cut >= rndCut {
+		t.Errorf("multilevel cut %d no better than random %d on torso", cut, rndCut)
+	}
+}
+
+func TestKWayNpartsExceedsVertices(t *testing.T) {
+	g := gridGraph(2, 2) // 4 vertices
+	part := KWay(g, 4, Options{Seed: 1})
+	if _, weights, err := Validate(g, part, 4); err != nil {
+		t.Fatal(err)
+	} else {
+		for p, w := range weights {
+			if w != 1 {
+				t.Errorf("part %d weight %d, want 1", p, w)
+			}
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	g := gridGraph(3, 3)
+	if _, _, err := Validate(g, []int{0}, 2); err == nil {
+		t.Error("expected length error")
+	}
+	bad := make([]int, 9)
+	bad[0] = 7
+	if _, _, err := Validate(g, bad, 2); err == nil {
+		t.Error("expected out-of-range part error")
+	}
+}
+
+func TestGainHeap(t *testing.T) {
+	h := newGainHeap(4)
+	h.push(1, 5)
+	h.push(2, 9)
+	h.push(3, 1)
+	h.push(4, 9)
+	v, g := h.pop()
+	if g != 9 {
+		t.Fatalf("pop gain %d, want 9", g)
+	}
+	_ = v
+	if _, g2 := h.pop(); g2 != 9 {
+		t.Fatalf("second pop gain %d, want 9", g2)
+	}
+	if _, g3 := h.pop(); g3 != 5 {
+		t.Fatalf("third pop gain %d, want 5", g3)
+	}
+	if _, g4 := h.pop(); g4 != 1 {
+		t.Fatalf("fourth pop gain %d, want 1", g4)
+	}
+	if h.len() != 0 {
+		t.Fatal("heap not empty")
+	}
+}
+
+func TestSubgraphExtraction(t *testing.T) {
+	g := gridGraph(4, 4)
+	side := make([]int, 16)
+	for v := 8; v < 16; v++ {
+		side[v] = 1
+	}
+	sub, vmap := subgraph(g, side, 0)
+	if sub.NVtx != 8 {
+		t.Fatalf("subgraph NVtx = %d, want 8", sub.NVtx)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edge count: the 2×4 block has 10 internal edges.
+	if sub.NEdges() != 10 {
+		t.Errorf("subgraph edges = %d, want 10", sub.NEdges())
+	}
+	for i, v := range vmap {
+		if v != i {
+			t.Errorf("vmap[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+// Property: KWay always produces a valid cover with nonempty parts when
+// k ≤ number of vertices, for random connected-ish graphs.
+func TestKWayValidCoverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		n := 20 + int(seed%60)
+		a := matgen.RandomSPDPattern(n, 4, seed)
+		g := graph.FromMatrix(a)
+		k := 2 + int(seed%6)
+		part := KWay(g, k, Options{Seed: seed + 1})
+		_, weights, err := Validate(g, part, k)
+		if err != nil {
+			return false
+		}
+		for _, w := range weights {
+			if w == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.Normalize()
+	if o.Ubfactor < 1 || o.CoarsenTo <= 0 || o.NIter <= 0 || o.NInitTries <= 0 || o.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	custom := Options{Ubfactor: 1.2, CoarsenTo: 10, NIter: 3, NInitTries: 2, Seed: 9}.Normalize()
+	if custom != (Options{Ubfactor: 1.2, CoarsenTo: 10, NIter: 3, NInitTries: 2, Seed: 9}) {
+		t.Fatalf("custom values overridden: %+v", custom)
+	}
+}

@@ -1,0 +1,374 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testMatrix() *CSR {
+	// 4×4:
+	//  2 -1  0  0
+	// -1  2 -1  0
+	//  0 -1  2 -1
+	//  0  0 -1  2
+	return FromDense([][]float64{
+		{2, -1, 0, 0},
+		{-1, 2, -1, 0},
+		{0, -1, 2, -1},
+		{0, 0, -1, 2},
+	})
+}
+
+func TestFromDenseAndAt(t *testing.T) {
+	a := testMatrix()
+	if a.N != 4 || a.M != 4 {
+		t.Fatalf("dims = %d×%d, want 4×4", a.N, a.M)
+	}
+	if got := a.NNZ(); got != 10 {
+		t.Fatalf("NNZ = %d, want 10", got)
+	}
+	if got := a.At(1, 2); got != -1 {
+		t.Errorf("At(1,2) = %v, want -1", got)
+	}
+	if got := a.At(0, 3); got != 0 {
+		t.Errorf("At(0,3) = %v, want 0", got)
+	}
+	if got := a.At(2, 2); got != 2 {
+		t.Errorf("At(2,2) = %v, want 2", got)
+	}
+}
+
+func TestRowAccessorsSorted(t *testing.T) {
+	a := testMatrix()
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		if len(cols) != len(vals) {
+			t.Fatalf("row %d: len(cols)=%d len(vals)=%d", i, len(cols), len(vals))
+		}
+		for k := 1; k < len(cols); k++ {
+			if cols[k] <= cols[k-1] {
+				t.Fatalf("row %d not strictly sorted: %v", i, cols)
+			}
+		}
+	}
+}
+
+func TestBuilderDuplicatesSummed(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2.5)
+	b.Add(1, 1, -1)
+	b.Add(0, 1, 4)
+	a := b.Build()
+	if got := a.At(0, 0); got != 3.5 {
+		t.Errorf("duplicate sum: got %v, want 3.5", got)
+	}
+	if got := a.At(0, 1); got != 4.0 {
+		t.Errorf("At(0,1) = %v, want 4", got)
+	}
+	if a.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", a.NNZ())
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range Add")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestMulVec(t *testing.T) {
+	a := testMatrix()
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	a.MulVec(y, x)
+	want := []float64{0, 0, 0, 5} // tridiagonal [-1 2 -1] action
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-15 {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMulVecTMatchesTransposeMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomCSR(rng, 17, 13, 0.2)
+	x := randomVec(rng, 17)
+	y1 := make([]float64, 13)
+	y2 := make([]float64, 13)
+	a.MulVecT(y1, x)
+	a.Transpose().MulVec(y2, x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("MulVecT mismatch at %d: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomCSR(rng, 23, 11, 0.15)
+	b := a.Transpose().Transpose()
+	if !a.Equal(b) {
+		t.Fatal("transpose twice did not return original")
+	}
+}
+
+func TestTransposeEntries(t *testing.T) {
+	a := testMatrix()
+	at := a.Transpose()
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.M; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose entry mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPermuteSymmetric(t *testing.T) {
+	a := testMatrix()
+	perm := []int{2, 0, 3, 1}
+	p := a.Permute(perm)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got, want := p.At(perm[i], perm[j]), a.At(i, j); got != want {
+				t.Fatalf("Permute: entry (%d,%d)→(%d,%d) = %v, want %v", i, j, perm[i], perm[j], got, want)
+			}
+		}
+	}
+}
+
+func TestPermuteIdentity(t *testing.T) {
+	a := testMatrix()
+	p := a.Permute(IdentityPermutation(4))
+	if !a.Equal(p) {
+		t.Fatal("identity permutation changed the matrix")
+	}
+}
+
+func TestPermuteRows(t *testing.T) {
+	a := testMatrix()
+	perm := []int{3, 1, 0, 2}
+	p := a.PermuteRows(perm)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got, want := p.At(perm[i], j), a.At(i, j); got != want {
+				t.Fatalf("PermuteRows: row %d→%d col %d = %v, want %v", i, perm[i], j, got, want)
+			}
+		}
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	perm := []int{2, 0, 3, 1}
+	inv := InversePermutation(perm)
+	for i, p := range perm {
+		if inv[p] != i {
+			t.Fatalf("inv[%d] = %d, want %d", p, inv[p], i)
+		}
+	}
+}
+
+func TestInversePermutationPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate permutation entry")
+		}
+	}()
+	InversePermutation([]int{0, 0, 1})
+}
+
+func TestSymmetrizeStructure(t *testing.T) {
+	a := FromDense([][]float64{
+		{1, 5, 0},
+		{0, 2, 0},
+		{7, 0, 3},
+	})
+	s := a.SymmetrizeStructure()
+	// Pattern must contain (1,0) and (0,2) as explicit (zero) entries.
+	hasEntry := func(m *CSR, i, j int) bool {
+		cols, _ := m.Row(i)
+		for _, c := range cols {
+			if c == j {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {2, 0}, {0, 2}} {
+		if !hasEntry(s, e[0], e[1]) {
+			t.Errorf("symmetrized pattern missing (%d,%d)", e[0], e[1])
+		}
+	}
+	// Original values preserved.
+	if s.At(0, 1) != 5 || s.At(2, 0) != 7 {
+		t.Error("symmetrization altered original values")
+	}
+	if s.At(1, 0) != 0 || s.At(0, 2) != 0 {
+		t.Error("fill-in entries should be explicit zeros")
+	}
+}
+
+func TestDiagonalAndNorms(t *testing.T) {
+	a := testMatrix()
+	d := a.Diagonal()
+	for i, v := range d {
+		if v != 2 {
+			t.Errorf("Diagonal[%d] = %v, want 2", i, v)
+		}
+	}
+	if got := a.RowNorm1(1); got != 4 {
+		t.Errorf("RowNorm1(1) = %v, want 4", got)
+	}
+	if got := a.RowNorm2(0); math.Abs(got-math.Sqrt(5)) > 1e-15 {
+		t.Errorf("RowNorm2(0) = %v, want sqrt(5)", got)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := testMatrix()
+	b := a.Clone()
+	if d := MaxAbsDiff(a, b); d != 0 {
+		t.Fatalf("identical matrices differ by %v", d)
+	}
+	b.Vals[0] += 0.25
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.25) > 1e-15 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.25", d)
+	}
+	// Entry present only in b.
+	c := FromDense([][]float64{{0, 0}, {0, 0}})
+	e := FromDense([][]float64{{0, 0.5}, {0, 0}})
+	if d := MaxAbsDiff(c, e); d != 0.5 {
+		t.Fatalf("MaxAbsDiff one-sided = %v, want 0.5", d)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	a := FromRows(2, 3,
+		[][]int{{0, 2}, {1}},
+		[][]float64{{1, 2}, {3}},
+	)
+	if a.At(0, 2) != 2 || a.At(1, 1) != 3 || a.NNZ() != 3 {
+		t.Fatal("FromRows produced wrong matrix")
+	}
+}
+
+func TestFromRowsPanicsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted row")
+		}
+	}()
+	FromRows(1, 3, [][]int{{2, 0}}, [][]float64{{1, 2}})
+}
+
+func TestIdentity(t *testing.T) {
+	a := Identity(5)
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, 5)
+	a.MulVec(y, x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("identity MulVec changed x at %d", i)
+		}
+	}
+}
+
+// Property: permuting a matrix and permuting vectors commute with MulVec:
+// (P A Pᵀ)(P x) = P(A x).
+func TestPermuteMulVecProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		a := randomCSR(r, n, n, 0.3)
+		perm := randomPermutation(r, n)
+		x := randomVec(r, n)
+
+		ax := make([]float64, n)
+		a.MulVec(ax, x)
+		pax := PermuteVec(ax, perm)
+
+		pap := a.Permute(perm)
+		px := PermuteVec(x, perm)
+		papx := make([]float64, n)
+		pap.MulVec(papx, px)
+
+		for i := range pax {
+			if math.Abs(pax[i]-papx[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Builder collapse is order-independent.
+func TestBuilderOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		type trip struct {
+			i, j int
+			v    float64
+		}
+		var trips []trip
+		for k := 0; k < 30; k++ {
+			trips = append(trips, trip{r.Intn(n), r.Intn(n), r.NormFloat64()})
+		}
+		b1 := NewBuilder(n, n)
+		for _, tr := range trips {
+			b1.Add(tr.i, tr.j, tr.v)
+		}
+		a1 := b1.Build()
+		// Shuffled order.
+		r.Shuffle(len(trips), func(x, y int) { trips[x], trips[y] = trips[y], trips[x] })
+		b2 := NewBuilder(n, n)
+		for _, tr := range trips {
+			b2.Add(tr.i, tr.j, tr.v)
+		}
+		a2 := b2.Build()
+		return MaxAbsDiff(a1, a2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- test helpers shared by the package ---
+
+func randomCSR(r *rand.Rand, n, m int, density float64) *CSR {
+	b := NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if r.Float64() < density {
+				b.Add(i, j, r.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randomVec(r *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func randomPermutation(r *rand.Rand, n int) []int {
+	p := IdentityPermutation(n)
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,114 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate format
+// (real, general), the interchange format used by sparse-matrix
+// collections. Indices are 1-based on disk.
+func WriteMatrixMarket(w io.Writer, a *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.N, a.M, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file (real; general or
+// symmetric — symmetric input is expanded to full storage). Pattern and
+// complex files are rejected.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: MatrixMarket: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: MatrixMarket: unsupported header %q", sc.Text())
+	}
+	if header[3] != "real" && header[3] != "integer" {
+		return nil, fmt.Errorf("sparse: MatrixMarket: unsupported field type %q", header[3])
+	}
+	symmetric := false
+	switch header[4] {
+	case "general":
+	case "symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("sparse: MatrixMarket: unsupported symmetry %q", header[4])
+	}
+
+	// Skip comments, read the size line.
+	var n, m, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &n, &m, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: MatrixMarket: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("sparse: MatrixMarket: invalid dimensions %d×%d", n, m)
+	}
+
+	b := NewBuilder(n, m)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			return nil, fmt.Errorf("sparse: MatrixMarket: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: MatrixMarket: bad row index %q", f[0])
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: MatrixMarket: bad column index %q", f[1])
+		}
+		v, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: MatrixMarket: bad value %q", f[2])
+		}
+		if i < 1 || i > n || j < 1 || j > m {
+			return nil, fmt.Errorf("sparse: MatrixMarket: entry (%d,%d) out of range", i, j)
+		}
+		b.Add(i-1, j-1, v)
+		if symmetric && i != j {
+			b.Add(j-1, i-1, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("sparse: MatrixMarket: expected %d entries, found %d", nnz, read)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,172 @@
+package sparse
+
+import (
+	"math"
+	"sort"
+)
+
+// WorkRow is the full-length working row of Algorithm 1 in the paper: a
+// dense value array w paired with a companion list of its nonzero
+// positions, so that scatter, gather and reset are all sparse operations.
+// One WorkRow is reused across all rows of a factorization.
+type WorkRow struct {
+	val   []float64
+	mark  []bool // position currently holds a live entry
+	inIdx []bool // position present in the companion index list (may be dropped)
+	idx   []int
+	cand  []int // scratch for KeepLargest; per-row so concurrent WorkRows never share
+}
+
+// NewWorkRow returns a WorkRow over vectors of length n.
+func NewWorkRow(n int) *WorkRow {
+	return &WorkRow{val: make([]float64, n), mark: make([]bool, n), inIdx: make([]bool, n)}
+}
+
+// Len reports the full (dense) length of the row.
+func (w *WorkRow) Len() int { return len(w.val) }
+
+// NNZ reports the number of positions currently marked (explicit zeros
+// that were Set remain counted until dropped or reset).
+func (w *WorkRow) NNZ() int {
+	n := 0
+	for _, j := range w.idx {
+		if w.mark[j] {
+			n++
+		}
+	}
+	return n
+}
+
+// Scatter loads the sparse row (cols, vals) into the working row,
+// accumulating into any positions already present.
+func (w *WorkRow) Scatter(cols []int, vals []float64) {
+	for k, j := range cols {
+		w.Add(j, vals[k])
+	}
+}
+
+// Add accumulates v into position j, marking it if previously unset.
+func (w *WorkRow) Add(j int, v float64) {
+	w.mark[j] = true
+	if !w.inIdx[j] {
+		w.inIdx[j] = true
+		w.idx = append(w.idx, j)
+	}
+	w.val[j] += v
+}
+
+// Set overwrites position j with v, marking it if previously unset.
+func (w *WorkRow) Set(j int, v float64) {
+	w.mark[j] = true
+	if !w.inIdx[j] {
+		w.inIdx[j] = true
+		w.idx = append(w.idx, j)
+	}
+	w.val[j] = v
+}
+
+// Get returns the value at position j (0 when unset).
+func (w *WorkRow) Get(j int) float64 { return w.val[j] }
+
+// Has reports whether position j is currently marked.
+func (w *WorkRow) Has(j int) bool { return w.mark[j] }
+
+// Drop unmarks position j and zeroes its value. The companion index list
+// is compacted lazily by Indices/Gather, so Drop is O(1).
+func (w *WorkRow) Drop(j int) {
+	if w.mark[j] {
+		w.mark[j] = false
+		w.val[j] = 0
+	}
+}
+
+// Indices returns the sorted list of currently-marked positions. The
+// returned slice is freshly compacted and owned by the WorkRow; it is valid
+// until the next mutating call.
+func (w *WorkRow) Indices() []int {
+	out := w.idx[:0]
+	for _, j := range w.idx {
+		if w.mark[j] {
+			out = append(out, j)
+		} else {
+			w.inIdx[j] = false
+		}
+	}
+	w.idx = out
+	sort.Ints(w.idx)
+	return w.idx
+}
+
+// Reset clears every marked position; an O(nnz) sparse operation
+// corresponding to "w = 0" in Algorithm 1.
+func (w *WorkRow) Reset() {
+	for _, j := range w.idx {
+		w.mark[j] = false
+		w.inIdx[j] = false
+		w.val[j] = 0
+	}
+	w.idx = w.idx[:0]
+}
+
+// Gather appends the marked positions in [lo, hi) in increasing column
+// order to (cols, vals) and returns the extended slices. The working row
+// is left unchanged.
+func (w *WorkRow) Gather(lo, hi int, cols []int, vals []float64) ([]int, []float64) {
+	for _, j := range w.Indices() {
+		if j >= lo && j < hi {
+			cols = append(cols, j)
+			vals = append(vals, w.val[j])
+		}
+	}
+	return cols, vals
+}
+
+// DropBelow unmarks every position in [lo, hi) whose magnitude is < tol,
+// except the protected position keep (pass −1 to protect nothing).
+// Returns the number of dropped entries.
+func (w *WorkRow) DropBelow(lo, hi int, tol float64, keep int) int {
+	dropped := 0
+	for _, j := range w.idx {
+		if !w.mark[j] || j < lo || j >= hi || j == keep {
+			continue
+		}
+		if math.Abs(w.val[j]) < tol {
+			w.Drop(j)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// KeepLargest retains at most m marked positions within [lo, hi) — the m
+// of largest magnitude — and unmarks the rest. The protected position keep
+// is never dropped and does not count toward m (pass −1 for none).
+// Ties are broken toward smaller column index so the result is
+// deterministic. Returns the number of dropped entries.
+func (w *WorkRow) KeepLargest(lo, hi, m int, keep int) int {
+	cand := w.cand[:0]
+	for _, j := range w.idx {
+		if w.mark[j] && j >= lo && j < hi && j != keep {
+			cand = append(cand, j)
+		}
+	}
+	w.cand = cand
+	if len(cand) <= m {
+		return 0
+	}
+	// Select the m largest by magnitude: sort descending by |value|,
+	// breaking ties by column index.
+	sort.Slice(cand, func(x, y int) bool {
+		ax, ay := math.Abs(w.val[cand[x]]), math.Abs(w.val[cand[y]])
+		if ax != ay {
+			return ax > ay
+		}
+		return cand[x] < cand[y]
+	})
+	dropped := 0
+	for _, j := range cand[m:] {
+		w.Drop(j)
+		dropped++
+	}
+	return dropped
+}

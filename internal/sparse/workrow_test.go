@@ -1,0 +1,261 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkRowScatterGather(t *testing.T) {
+	w := NewWorkRow(10)
+	w.Scatter([]int{3, 7, 1}, []float64{3.0, 7.0, 1.0})
+	if w.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", w.NNZ())
+	}
+	cols, vals := w.Gather(0, 10, nil, nil)
+	wantCols := []int{1, 3, 7}
+	wantVals := []float64{1, 3, 7}
+	for k := range wantCols {
+		if cols[k] != wantCols[k] || vals[k] != wantVals[k] {
+			t.Fatalf("Gather = (%v,%v), want (%v,%v)", cols, vals, wantCols, wantVals)
+		}
+	}
+}
+
+func TestWorkRowAccumulates(t *testing.T) {
+	w := NewWorkRow(5)
+	w.Add(2, 1.5)
+	w.Add(2, 2.5)
+	if got := w.Get(2); got != 4.0 {
+		t.Fatalf("accumulated value = %v, want 4", got)
+	}
+	if w.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (no duplicate index)", w.NNZ())
+	}
+}
+
+func TestWorkRowSetOverwrites(t *testing.T) {
+	w := NewWorkRow(5)
+	w.Add(1, 3)
+	w.Set(1, -7)
+	if got := w.Get(1); got != -7 {
+		t.Fatalf("Set result = %v, want -7", got)
+	}
+}
+
+func TestWorkRowDropAndReset(t *testing.T) {
+	w := NewWorkRow(8)
+	w.Scatter([]int{0, 4, 6}, []float64{1, 2, 3})
+	w.Drop(4)
+	if w.Has(4) || w.Get(4) != 0 {
+		t.Fatal("Drop did not clear position 4")
+	}
+	idx := w.Indices()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 6 {
+		t.Fatalf("Indices after drop = %v, want [0 6]", idx)
+	}
+	w.Reset()
+	if w.NNZ() != 0 {
+		t.Fatal("Reset left marked entries")
+	}
+	for j := 0; j < 8; j++ {
+		if w.Get(j) != 0 || w.Has(j) {
+			t.Fatalf("Reset left residue at %d", j)
+		}
+	}
+}
+
+func TestWorkRowGatherRange(t *testing.T) {
+	w := NewWorkRow(10)
+	w.Scatter([]int{1, 3, 5, 7, 9}, []float64{1, 3, 5, 7, 9})
+	cols, vals := w.Gather(3, 8, nil, nil)
+	if len(cols) != 3 || cols[0] != 3 || cols[2] != 7 {
+		t.Fatalf("range gather cols = %v, want [3 5 7]", cols)
+	}
+	if vals[1] != 5 {
+		t.Fatalf("range gather vals = %v", vals)
+	}
+}
+
+func TestDropBelow(t *testing.T) {
+	w := NewWorkRow(6)
+	w.Scatter([]int{0, 1, 2, 3}, []float64{0.01, -0.5, 0.02, 3})
+	n := w.DropBelow(0, 6, 0.1, 2) // protect index 2 even though tiny
+	if n != 1 {
+		t.Fatalf("dropped %d, want 1", n)
+	}
+	if w.Has(0) {
+		t.Error("index 0 should have been dropped")
+	}
+	if !w.Has(2) {
+		t.Error("protected index 2 was dropped")
+	}
+	if !w.Has(1) || !w.Has(3) {
+		t.Error("large entries were dropped")
+	}
+}
+
+func TestKeepLargest(t *testing.T) {
+	w := NewWorkRow(10)
+	w.Scatter([]int{0, 1, 2, 3, 4}, []float64{5, -4, 3, -2, 1})
+	dropped := w.KeepLargest(0, 10, 2, -1)
+	if dropped != 3 {
+		t.Fatalf("dropped %d, want 3", dropped)
+	}
+	if !w.Has(0) || !w.Has(1) {
+		t.Error("two largest entries should survive")
+	}
+	if w.Has(2) || w.Has(3) || w.Has(4) {
+		t.Error("smaller entries should have been dropped")
+	}
+}
+
+func TestKeepLargestProtected(t *testing.T) {
+	w := NewWorkRow(10)
+	w.Scatter([]int{0, 1, 2}, []float64{5, 4, 0.001})
+	w.KeepLargest(0, 10, 1, 2)
+	if !w.Has(2) {
+		t.Error("protected diagonal dropped")
+	}
+	if !w.Has(0) {
+		t.Error("largest entry dropped")
+	}
+	if w.Has(1) {
+		t.Error("entry 1 should have been dropped (m=1 excluding protected)")
+	}
+}
+
+func TestKeepLargestRange(t *testing.T) {
+	w := NewWorkRow(10)
+	w.Scatter([]int{0, 1, 5, 6}, []float64{100, 200, 1, 2})
+	// Only restrict within [5,10); the large low entries must be untouched.
+	w.KeepLargest(5, 10, 1, -1)
+	if !w.Has(0) || !w.Has(1) {
+		t.Error("entries outside range were dropped")
+	}
+	if w.Has(5) {
+		t.Error("smaller in-range entry should drop")
+	}
+	if !w.Has(6) {
+		t.Error("larger in-range entry should survive")
+	}
+}
+
+func TestKeepLargestDeterministicTies(t *testing.T) {
+	w := NewWorkRow(6)
+	w.Scatter([]int{4, 2, 0}, []float64{1, 1, 1})
+	w.KeepLargest(0, 6, 2, -1)
+	// Ties break toward smaller column index.
+	if !w.Has(0) || !w.Has(2) || w.Has(4) {
+		t.Errorf("tie-break wrong: has0=%v has2=%v has4=%v", w.Has(0), w.Has(2), w.Has(4))
+	}
+}
+
+// Property: after arbitrary operations, Indices() is sorted, duplicate-free
+// and matches Has().
+func TestWorkRowIndicesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(40)
+		w := NewWorkRow(n)
+		ref := make(map[int]float64)
+		for op := 0; op < 100; op++ {
+			j := r.Intn(n)
+			switch r.Intn(4) {
+			case 0:
+				v := r.NormFloat64()
+				w.Add(j, v)
+				ref[j] += v
+			case 1:
+				v := r.NormFloat64()
+				w.Set(j, v)
+				ref[j] = v
+			case 2:
+				w.Drop(j)
+				delete(ref, j)
+			case 3:
+				// no-op read
+				if w.Get(j) != ref[j] && !(ref[j] == 0 && !w.Has(j)) {
+					if math.Abs(w.Get(j)-ref[j]) > 1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		idx := w.Indices()
+		if len(idx) != len(ref) {
+			return false
+		}
+		prev := -1
+		for _, j := range idx {
+			if j <= prev {
+				return false
+			}
+			prev = j
+			if _, ok := ref[j]; !ok {
+				return false
+			}
+			if math.Abs(w.Get(j)-ref[j]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KeepLargest keeps exactly min(m, count) in-range entries and
+// they are the largest by magnitude.
+func TestKeepLargestProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(50)
+		w := NewWorkRow(n)
+		for j := 0; j < n; j++ {
+			if r.Float64() < 0.5 {
+				w.Set(j, r.NormFloat64())
+			}
+		}
+		lo, hi := 0, n
+		m := r.Intn(6)
+		// Record magnitudes in range before.
+		var mags []float64
+		for j := lo; j < hi; j++ {
+			if w.Has(j) {
+				mags = append(mags, math.Abs(w.Get(j)))
+			}
+		}
+		w.KeepLargest(lo, hi, m, -1)
+		kept := 0
+		minKept := math.Inf(1)
+		for j := lo; j < hi; j++ {
+			if w.Has(j) {
+				kept++
+				if a := math.Abs(w.Get(j)); a < minKept {
+					minKept = a
+				}
+			}
+		}
+		want := m
+		if len(mags) < m {
+			want = len(mags)
+		}
+		if kept != want {
+			return false
+		}
+		// Count entries strictly larger than the smallest kept one: must be < m.
+		larger := 0
+		for _, a := range mags {
+			if a > minKept {
+				larger++
+			}
+		}
+		return kept == 0 || larger < kept
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
