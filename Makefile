@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet lint test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Static SPMD-invariant checks (sendalias, collective, procescape,
+# bytesarg). Add -tests to also analyze _test.go files.
+lint:
+	$(GO) run ./cmd/pilutlint ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run with reduced problem sizes; matches the CI race lane.
+race:
+	PILUT_TEST_FAST=1 $(GO) test -race ./...
+
+check: build vet lint test

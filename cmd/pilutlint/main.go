@@ -1,0 +1,145 @@
+// Command pilutlint runs the repro/internal/analysis suite — sendalias,
+// collective, procescape, bytesarg — over packages of this module:
+//
+//	go run ./cmd/pilutlint ./...
+//
+// Arguments are package directories; "./..." (the default) walks the
+// module. Test files are skipped unless -tests is given, because the
+// machine package's own tests intentionally violate the invariants to
+// exercise failure paths. Suppress a finding with a trailing
+// "//pilutlint:ok <analyzer> <reason>" comment.
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/build"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pilutlint [-tests] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := expand(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilutlint:", err)
+		os.Exit(2)
+	}
+
+	ld, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilutlint:", err)
+		os.Exit(2)
+	}
+
+	found := false
+	broken := false
+	for _, dir := range dirs {
+		pkgs, err := ld.Load(dir, *tests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pilutlint:", err)
+			broken = true
+			continue
+		}
+		for _, pkg := range pkgs {
+			for _, a := range analysis.All() {
+				diags, err := a.Apply(pkg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pilutlint: %s: %s: %v\n", pkg.Path, a.Name, err)
+					broken = true
+					continue
+				}
+				for _, d := range diags {
+					fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+					found = true
+				}
+			}
+		}
+	}
+	switch {
+	case broken:
+		os.Exit(2)
+	case found:
+		os.Exit(1)
+	}
+}
+
+// expand resolves package patterns to directories containing Go files.
+// Only the "dir" and "dir/..." forms are supported — enough for a module
+// with no external dependencies.
+func expand(args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, arg := range args {
+		if root, ok := strings.CutSuffix(arg, "..."); ok {
+			root = filepath.Clean(strings.TrimSuffix(root, "/"))
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				// Match the go tool: testdata, vendor and dot/underscore
+				// directories are not part of "...".
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		info, err := os.Stat(arg)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("argument %q is not a directory (only dir and dir/... patterns are supported)", arg)
+		}
+		add(filepath.Clean(arg))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir holds at least one non-test Go file, so
+// test-only directories (like the repo root) are skipped rather than
+// failing to load.
+func hasGoFiles(dir string) bool {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return false
+	}
+	return len(bp.GoFiles) > 0
+}

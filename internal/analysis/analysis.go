@@ -1,0 +1,228 @@
+// Package analysis is a static-analysis suite for the machine layer's
+// SPMD invariants: every virtual processor must reach collectives in the
+// same order, all inter-processor data flow must go through Send/Recv
+// with by-value (freshly copied) payloads, *machine.Proc handles are
+// goroutine-confined, and modelled byte counts must come from BytesOf*
+// helpers so the LogP cost model stays honest.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built on the standard library only
+// — go/parser + go/types with a GOROOT/module source importer — because
+// this module carries no external dependencies. Run the analyzers with
+//
+//	go run ./cmd/pilutlint ./...
+//
+// A finding can be suppressed with an inline comment on the same line or
+// the line above:
+//
+//	//pilutlint:ok <analyzer> <reason>
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MachinePath is the import path of the simulated-machine package whose
+// invariants the analyzers enforce.
+const MachinePath = "repro/internal/machine"
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All returns the full suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{SendAlias, Collective, ProcEscape, BytesArg}
+}
+
+// Apply runs the analyzer over a loaded package and returns the findings
+// with //pilutlint:ok suppressions already filtered out, sorted by
+// position.
+func (a *Analyzer) Apply(pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	diags := suppress(a.Name, pkg, pass.diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// suppress drops diagnostics whose line, or the line above, carries a
+// "//pilutlint:ok <name>" comment.
+func suppress(name string, pkg *Package, diags []Diagnostic) []Diagnostic {
+	marker := "pilutlint:ok " + name
+	// Lines (per file) carrying a suppression for this analyzer.
+	ok := make(map[string]map[int]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, marker) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if ok[pos.Filename] == nil {
+					ok[pos.Filename] = make(map[int]bool)
+				}
+				ok[pos.Filename][pos.Line] = true
+				ok[pos.Filename][pos.Line+1] = true
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if ok[pos.Filename][pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// ---- shared type helpers -------------------------------------------------
+
+// isProcPtr reports whether t is *machine.Proc.
+func isProcPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamed(ptr.Elem(), MachinePath, "Proc")
+}
+
+func isNamed(t types.Type, path, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// procMethod returns the method name if call is a method call on a
+// *machine.Proc receiver (p.Send, p.Barrier, ...).
+func procMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	if isProcPtr(tv.Type) || isNamed(tv.Type, MachinePath, "Proc") {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// containsRefs reports whether values of t can alias other memory: a
+// slice, map, pointer, channel or interface anywhere inside it. Scalars
+// and pure-scalar structs are always safe to send.
+func containsRefs(t types.Type) bool {
+	return containsRefs1(t, make(map[types.Type]bool))
+}
+
+func containsRefs1(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	case *types.Basic:
+		return false // scalars; strings are immutable, hence safe too
+	case *types.Array:
+		return containsRefs1(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsRefs1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parentMap records the enclosing node of every AST node in a file.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(files []*ast.File) parentMap {
+	pm := make(parentMap)
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if len(stack) > 0 {
+				pm[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return pm
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit containing n.
+func enclosingFunc(pm parentMap, n ast.Node) ast.Node {
+	for p := pm[n]; p != nil; p = pm[p] {
+		switch p.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return p
+		}
+	}
+	return nil
+}
+
+// topLevelFunc returns the outermost FuncDecl containing n (climbing out
+// of nested FuncLits), or nil at package scope.
+func topLevelFunc(pm parentMap, n ast.Node) *ast.FuncDecl {
+	var top *ast.FuncDecl
+	for p := pm[n]; p != nil; p = pm[p] {
+		if fd, ok := p.(*ast.FuncDecl); ok {
+			top = fd
+		}
+	}
+	return top
+}

@@ -1,0 +1,142 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against // want "regexp" comments, in the style
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// A want comment expects a diagnostic on its own line:
+//
+//	p.Send(1, 0, xs, 8) // want `aliases memory`
+//
+// Several patterns on one line expect several diagnostics. Lines without
+// a want comment expect none.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	loaderOnce sync.Once
+	sharedLd   *analysis.Loader
+	loaderErr  error
+)
+
+// loader returns a process-wide Loader so every golden test shares one
+// type-checked standard library.
+func loader(dir string) (*analysis.Loader, error) {
+	loaderOnce.Do(func() {
+		sharedLd, loaderErr = analysis.NewLoader(dir)
+	})
+	return sharedLd, loaderErr
+}
+
+// wantRe matches one quoted pattern after a want marker.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package in dir, applies a, and reports any mismatch
+// between the diagnostics and the files' want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	ld, err := loader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := ld.Load(dir, false)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := a.Apply(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		check(t, a, pkg, diags)
+	}
+}
+
+func check(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	// Gather expectations per file:line.
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := wantIndex(c.Text)
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantRe.FindAllString(c.Text[idx:], -1) {
+					pat, err := unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", key, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	// Match diagnostics against expectations.
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic from %s: %s", key, a.Name, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+// wantIndex returns the offset just past the "want" marker in a comment,
+// or -1. The marker must be the first word of the comment text.
+func wantIndex(text string) int {
+	m := regexp.MustCompile(`^//\s*want\s`).FindString(text)
+	if m == "" {
+		return -1
+	}
+	return len(m)
+}
+
+func unquote(q string) (string, error) {
+	if q[0] == '`' {
+		return q[1 : len(q)-1], nil
+	}
+	return strconv.Unquote(q)
+}

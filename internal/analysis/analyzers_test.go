@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func testdata(t *testing.T, pkg string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSendAlias(t *testing.T) {
+	analysistest.Run(t, analysis.SendAlias, testdata(t, "sendalias"))
+}
+
+func TestCollective(t *testing.T) {
+	analysistest.Run(t, analysis.Collective, testdata(t, "collective"))
+}
+
+func TestProcEscape(t *testing.T) {
+	analysistest.Run(t, analysis.ProcEscape, testdata(t, "procescape"))
+}
+
+func TestBytesArg(t *testing.T) {
+	analysistest.Run(t, analysis.BytesArg, testdata(t, "bytesarg"))
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// defKind classifies how a variable received a value.
+type defKind int
+
+const (
+	defZero     defKind = iota // var x T with no initializer
+	defExpr                    // x := e, x = e, var x = e
+	defRange                   // for x := range e
+	defCompound                // x += e and friends
+)
+
+// varDef is one definition site of a variable.
+type varDef struct {
+	kind defKind
+	rhs  ast.Expr // nil for defZero; the range operand for defRange
+}
+
+// defIndex records, for every variable in the package, the expressions
+// assigned to it, plus which variables are function parameters or method
+// receivers. It is the shared substrate of the sendalias freshness check
+// and the bytesarg provenance check.
+type defIndex struct {
+	defs   map[*types.Var][]varDef
+	params map[*types.Var]bool
+}
+
+func buildDefIndex(pass *Pass) *defIndex {
+	idx := &defIndex{
+		defs:   make(map[*types.Var][]varDef),
+		params: make(map[*types.Var]bool),
+	}
+	info := pass.TypesInfo
+	addDef := func(lhs ast.Expr, d varDef) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return // x.f = e / x[i] = e mutate, they do not (re)define
+		}
+		var obj types.Object
+		if o := info.Defs[id]; o != nil {
+			obj = o
+		} else {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			idx.defs[v] = append(idx.defs[v], d)
+		}
+	}
+	markParams := func(ft *ast.FuncType, recv *ast.FieldList) {
+		for _, fl := range []*ast.FieldList{recv, ft.Params, ft.Results} {
+			if fl == nil {
+				continue
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						idx.params[v] = true
+					}
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				markParams(n.Type, n.Recv)
+			case *ast.FuncLit:
+				markParams(n.Type, nil)
+			case *ast.AssignStmt:
+				switch {
+				case n.Tok == token.ASSIGN || n.Tok == token.DEFINE:
+					if len(n.Lhs) == len(n.Rhs) {
+						for i, lhs := range n.Lhs {
+							addDef(lhs, varDef{kind: defExpr, rhs: n.Rhs[i]})
+						}
+					} else {
+						// x, y := f(): every LHS comes from the one call.
+						for _, lhs := range n.Lhs {
+							addDef(lhs, varDef{kind: defExpr, rhs: n.Rhs[0]})
+						}
+					}
+				default: // +=, -=, ...
+					addDef(n.Lhs[0], varDef{kind: defCompound, rhs: n.Rhs[0]})
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					switch {
+					case len(n.Values) == len(n.Names):
+						addDef(name, varDef{kind: defExpr, rhs: n.Values[i]})
+					case len(n.Values) == 0:
+						addDef(name, varDef{kind: defZero})
+					default:
+						addDef(name, varDef{kind: defExpr, rhs: n.Values[0]})
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Key != nil {
+					addDef(n.Key, varDef{kind: defRange, rhs: n.X})
+				}
+				if n.Value != nil {
+					addDef(n.Value, varDef{kind: defRange, rhs: n.X})
+				}
+			case *ast.TypeSwitchStmt:
+				// "switch v := x.(type)": v aliases x in each clause.
+				if a, ok := n.Assign.(*ast.AssignStmt); ok && len(a.Lhs) == 1 {
+					addDef(a.Lhs[0], varDef{kind: defExpr, rhs: a.Rhs[0]})
+				}
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// lookupVar resolves an identifier to its variable object, if any.
+func lookupVar(info *types.Info, id *ast.Ident) *types.Var {
+	var obj types.Object
+	if o := info.Uses[id]; o != nil {
+		obj = o
+	} else {
+		obj = info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Dir   string
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without golang.org/x/tools: it
+// resolves module-local import paths against the module root read from
+// go.mod and everything else against GOROOT/src, type-checking imports
+// from source recursively. The cache is shared so checking a whole tree
+// pays for the standard library once.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string
+	ModRoot string
+
+	cache map[string]*types.Package
+}
+
+// NewLoader builds a loader for the module containing dir (any directory
+// at or below the module root).
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		ModPath: path,
+		ModRoot: root,
+		cache:   make(map[string]*types.Package),
+	}, nil
+}
+
+// findModule walks up from dir to the first go.mod and returns the module
+// root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer by type-checking the imported package
+// from source (GOROOT or module-local).
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ld.cache[path]; ok {
+		return p, nil
+	}
+	dir, err := ld.dirOf(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files, err := ld.parse(dir, bp.GoFiles, 0)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: ld, FakeImportC: true}
+	pkg, err := conf.Check(path, ld.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking import %q: %w", path, err)
+	}
+	ld.cache[path] = pkg
+	return pkg, nil
+}
+
+func (ld *Loader) dirOf(path string) (string, error) {
+	if path == ld.ModPath {
+		return ld.ModRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, ld.ModPath+"/"); ok {
+		return filepath.Join(ld.ModRoot, filepath.FromSlash(rest)), nil
+	}
+	dir := filepath.Join(build.Default.GOROOT, "src", filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err != nil {
+		return "", fmt.Errorf("analysis: cannot resolve import %q: %w", path, err)
+	}
+	return dir, nil
+}
+
+func (ld *Loader) parse(dir string, names []string, mode parser.Mode) ([]*ast.File, error) {
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newInfo allocates the types.Info maps the analyzers need.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load type-checks the package in dir for analysis. With tests set, the
+// package's internal _test.go files are included, and a second Package is
+// returned for the external (_test-suffixed) test package if one exists.
+// The Packages carry full syntax (with comments) and type information.
+func (ld *Loader) Load(dir string, tests bool) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	path := ld.pathOf(dir, bp.Name)
+
+	names := append([]string(nil), bp.GoFiles...)
+	if tests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	files, err := ld.parse(dir, names, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: ld, FakeImportC: true}
+	tpkg, err := conf.Check(path, ld.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	if _, ok := ld.cache[path]; !ok && !tests {
+		// Only a test-free check is safe to reuse as an import: test files
+		// must not leak into importers of this package. And only the first
+		// instance may enter the cache — overwriting would hand later
+		// importers a types.Package distinct from the one already woven
+		// into earlier importers, and identical-looking types would stop
+		// being identical.
+		ld.cache[path] = tpkg
+	}
+	pkgs := []*Package{{Dir: dir, Path: path, Fset: ld.Fset, Files: files, Types: tpkg, Info: info}}
+
+	if tests && len(bp.XTestGoFiles) > 0 {
+		xfiles, err := ld.parse(dir, bp.XTestGoFiles, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		xinfo := newInfo()
+		xpkg, err := conf.Check(path+"_test", ld.Fset, xfiles, xinfo)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s_test: %w", path, err)
+		}
+		pkgs = append(pkgs, &Package{Dir: dir, Path: path + "_test", Fset: ld.Fset, Files: xfiles, Types: xpkg, Info: xinfo})
+	}
+	return pkgs, nil
+}
+
+// pathOf maps a directory to an import path: module-relative when inside
+// the module, synthetic otherwise (testdata packages).
+func (ld *Loader) pathOf(dir, pkgName string) string {
+	if rel, err := filepath.Rel(ld.ModRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return ld.ModPath
+		}
+		return ld.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return pkgName
+}

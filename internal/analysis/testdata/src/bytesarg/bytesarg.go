@@ -1,0 +1,46 @@
+// Package bytesarg exercises the bytesarg analyzer: modelled byte counts
+// at Send/AllGather sites must come from BytesOf* helpers (or be 0 for
+// pure control messages) so the LogP cost model stays honest.
+package bytesarg
+
+import "repro/internal/machine"
+
+// BytesOfPairs is a domain-specific sizing helper; any BytesOf* name is
+// accepted, package-qualified or not.
+func BytesOfPairs(n int) int { return 16 * n }
+
+// Violations: raw literals and hand-rolled arithmetic.
+func bad(p *machine.Proc, xs []int) {
+	p.Send(1, 0, xs, 8*len(xs)) // want `modelled byte count of Send should come from a BytesOf\* helper`
+
+	p.Send(1, 1, xs, 800) // want `modelled byte count of Send should come from a BytesOf\* helper`
+
+	p.AllGather(xs, len(xs)) // want `modelled byte count of AllGather should come from a BytesOf\* helper`
+
+	b := 8 * len(xs)
+	p.Send(1, 2, xs, b) // want `modelled byte count of Send should come from a BytesOf\* helper`
+}
+
+// Clean: helpers, zero, sums of helpers, accumulators, forwarded params.
+func good(p *machine.Proc, xs []int, flags []bool) {
+	p.Send(1, 0, xs, machine.BytesOfInts(len(xs)))
+	p.Send(1, 1, nil, 0)
+	p.Send(1, 2, xs, machine.BytesOfInts(len(xs))+machine.BytesOfBools(len(flags)))
+	p.Send(1, 3, xs, BytesOfPairs(len(xs)))
+	p.AllGather(len(xs), machine.BytesOfInts(1))
+
+	b := 0
+	b += machine.BytesOfInts(len(xs))
+	b += machine.BytesOfBools(len(flags))
+	p.Send(1, 4, xs, b)
+}
+
+// sendWith forwards its byte count: the obligation moves to its callers.
+func sendWith(p *machine.Proc, bytes int) {
+	p.Send(1, 0, []int{1}, bytes)
+}
+
+// Suppressed: a deliberately modelled constant header size.
+func waived(p *machine.Proc) {
+	p.Send(1, 0, nil, 64) //pilutlint:ok bytesarg fixed 64-byte header, modelled deliberately
+}

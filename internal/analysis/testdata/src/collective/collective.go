@@ -1,0 +1,59 @@
+// Package collective exercises the collective analyzer: Barrier and
+// AllReduce/AllGather must not sit behind control flow conditioned on
+// proc-local state.
+package collective
+
+import "repro/internal/machine"
+
+// Violations: the guard derives from p.ID or Recv data.
+func bad(p *machine.Proc, x int) {
+	if p.ID == 0 {
+		p.Barrier() // want `collective Barrier inside a branch whose condition derives from proc-local state`
+	}
+
+	id := p.ID
+	if id > 0 {
+		p.AllReduceInt(x, machine.OpSum) // want `collective AllReduceInt inside a branch whose condition derives from proc-local state`
+	}
+
+	switch p.ID {
+	case 0:
+		p.Barrier() // want `collective Barrier inside a switch whose condition derives from proc-local state`
+	}
+
+	n := p.Recv(0, 0).(int)
+	for i := 0; i < n; i++ {
+		p.AllGatherInts([]int{i}) // want `collective AllGatherInts inside a loop whose condition derives from proc-local state`
+	}
+
+	switch x {
+	case id:
+		p.Barrier() // want `collective Barrier inside a switch case whose condition derives from proc-local state`
+	}
+}
+
+// Clean: uniform guards — loop counters, AllReduce results, parameters.
+func good(p *machine.Proc, iters int, tol float64) {
+	for i := 0; i < iters; i++ {
+		p.Barrier()
+	}
+	res := p.AllReduceFloat64(tol, machine.OpMax)
+	if res > 1.0 {
+		p.Barrier()
+	}
+	if iters > 3 {
+		p.AllReduceInt(1, machine.OpSum)
+	}
+	// Proc-local work inside the branch is fine; only collectives rendezvous.
+	if p.ID == 0 {
+		p.Send(1, 0, []int{p.ID}, machine.BytesOfInts(1))
+	}
+}
+
+// Suppressed: every processor provably computes the same flag.
+func waived(p *machine.Proc, flags []bool) {
+	if flags[p.ID] {
+		//pilutlint:ok collective flags is replicated identically on all procs
+		p.Barrier()
+	}
+}

@@ -1,0 +1,49 @@
+// Package procescape exercises the procescape analyzer: a *machine.Proc
+// is confined to the goroutine Run handed it to.
+package procescape
+
+import "repro/internal/machine"
+
+var global *machine.Proc
+
+func worker(p *machine.Proc) {
+	p.Barrier()
+}
+
+// Violations: the Proc leaks to another goroutine or outlives the run.
+func bad(p *machine.Proc, ch chan *machine.Proc) {
+	go worker(p) // want `\*machine.Proc passed to a goroutine`
+
+	go p.Barrier() // want `\*machine.Proc method launched as a goroutine`
+
+	go func() {
+		p.Send(1, 0, nil, 0) // want `\*machine.Proc p captured by a go-statement closure`
+	}()
+
+	ch <- p // want `\*machine.Proc sent on a channel`
+
+	global = p // want `\*machine.Proc stored in a package-level variable`
+}
+
+// Clean: scalar results may cross goroutines; local aliases are fine.
+func good(p *machine.Proc, done chan int) {
+	go func(id int) {
+		done <- id
+	}(p.ID)
+
+	q := p // a local alias stays confined
+	q.Barrier()
+
+	go func() {
+		// A fresh closure variable shadowing the name is not a capture.
+		var p int
+		_ = p
+	}()
+}
+
+// Suppressed: a deliberate hand-off, e.g. a helper goroutine joined
+// before the processor body returns.
+func waived(p *machine.Proc) {
+	//pilutlint:ok procescape helper is joined before the proc body returns
+	go worker(p)
+}

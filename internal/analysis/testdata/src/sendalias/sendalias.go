@@ -1,0 +1,51 @@
+// Package sendalias exercises the sendalias analyzer: payloads of
+// Send/AllGather must not alias memory the sender retains.
+package sendalias
+
+import "repro/internal/machine"
+
+type holder struct {
+	data []float64
+}
+
+// Violations: the payload provably aliases sender-visible memory.
+func bad(p *machine.Proc, xs []int, h holder, rows [][]float64) {
+	p.Send(1, 0, xs, machine.BytesOfInts(len(xs)))    // want `payload of Send may alias memory the sender retains`
+	p.Send(1, 1, h.data, machine.BytesOfFloats(len(h.data))) // want `payload of Send may alias memory the sender retains`
+	for _, row := range rows {
+		p.Send(1, 2, row, machine.BytesOfFloats(len(row))) // want `payload of Send may alias memory the sender retains`
+	}
+	v := p.Recv(0, 3)
+	p.Send(2, 3, v, 0) // want `payload of Send may alias memory the sender retains`
+	p.AllGather(xs, machine.BytesOfInts(len(xs))) // want `payload of AllGather may alias memory the sender retains`
+	p.AllGatherInts(xs)                           // want `payload of AllGatherInts may alias memory the sender retains`
+
+	alias := xs
+	p.Send(1, 4, alias, machine.BytesOfInts(len(alias))) // want `payload of Send may alias memory the sender retains`
+}
+
+// Clean: freshly built payloads and scalar payloads.
+func good(p *machine.Proc, xs []int, n int) {
+	p.Send(1, 0, []int{1, 2, 3}, machine.BytesOfInts(3))
+
+	msg := make([]float64, n)
+	for i := range msg {
+		msg[i] = float64(i)
+	}
+	p.Send(1, 1, msg, machine.BytesOfFloats(len(msg)))
+
+	var out []int
+	out = append(out, xs...)
+	p.Send(1, 2, out, machine.BytesOfInts(len(out)))
+
+	p.Send(1, 3, machine.CopyInts(xs), machine.BytesOfInts(len(xs)))
+	p.Send(1, 4, n, machine.BytesOfInts(1)) // scalar payload: no references
+	p.Send(1, 5, nil, 0)
+	p.AllGatherInts(machine.CopyInts(xs))
+}
+
+// Suppressed: the sender provably never mutates xs again.
+func waived(p *machine.Proc, xs []int) {
+	//pilutlint:ok sendalias xs is never mutated after this send
+	p.Send(1, 0, xs, machine.BytesOfInts(len(xs)))
+}

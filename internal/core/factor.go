@@ -309,16 +309,13 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 				continue
 			}
 			var rows []ilu.URow
-			bytes := 0
 			for _, k := range ex.NeedBy[q] {
 				if !sel[k] {
 					continue
 				}
-				u := ufinal[ownedIDs[k]]
-				rows = append(rows, *u)
-				bytes += 24 + 16*len(u.Cols)
+				rows = append(rows, *ufinal[ownedIDs[k]])
 			}
-			p.Send(q, tagPivotRows, rows, bytes)
+			p.Send(q, tagPivotRows, rows, ilu.BytesOfURows(rows))
 		}
 		for q := 0; q < lay.P; q++ {
 			if q == me || len(ex.ReqFrom[q]) == 0 {

@@ -213,16 +213,13 @@ func FactorILU0(p *machine.Proc, plan *Plan, misRounds int, seed int64) *ProcPre
 				continue
 			}
 			var rows []ilu.URow
-			bytes := 0
 			for _, k := range lp.ex.NeedBy[q] {
 				if !lp.sel[k] {
 					continue
 				}
-				u := ufLocal[ownedIDs[k]]
-				rows = append(rows, *u)
-				bytes += 24 + 16*len(u.Cols)
+				rows = append(rows, *ufLocal[ownedIDs[k]])
 			}
-			p.Send(q, tagPivotRows, rows, bytes)
+			p.Send(q, tagPivotRows, rows, ilu.BytesOfURows(rows))
 		}
 		for q := 0; q < lay.P; q++ {
 			if q == me || len(lp.ex.ReqFrom[q]) == 0 {

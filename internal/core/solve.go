@@ -22,7 +22,7 @@ func (pc *ProcPrecond) publishLevel(p *machine.Proc, l int) {
 		msg.NewIDs[k] = pc.newOf[li]
 		msg.Vals[k] = pc.xIface[pc.newOf[li]-pc.plan.TotInterior]
 	}
-	all := p.AllGather(msg, 16*len(members))
+	all := p.AllGather(msg, machine.BytesOfInts(len(members))+machine.BytesOfFloats(len(members)))
 	for _, a := range all {
 		lv := a.(levelValues)
 		for k, nid := range lv.NewIDs {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -9,9 +10,13 @@ import (
 	"repro/internal/machine"
 )
 
-// tiny returns a configuration small enough for unit tests.
+// tiny returns a configuration small enough for unit tests. With
+// PILUT_TEST_FAST set (as the race-enabled CI lane does), the problems
+// shrink further: the race detector slows the simulated processors by
+// roughly an order of magnitude, and the smoke tests only assert table
+// shape and convergence flags, not resolution.
 func tiny() Config {
-	return Config{
+	c := Config{
 		Procs:     []int{2, 4},
 		Ms:        []int{5},
 		Taus:      []float64{1e-2, 1e-4},
@@ -21,6 +26,12 @@ func tiny() Config {
 		Seed:      1,
 		Cost:      machine.T3D(),
 	}
+	if os.Getenv("PILUT_TEST_FAST") != "" {
+		c.Procs = []int{2}
+		c.G0Side = 12
+		c.TorsoSide = 6
+	}
+	return c
 }
 
 func TestFactorizationOutcome(t *testing.T) {

@@ -21,6 +21,21 @@ type URow struct {
 	Vals []float64
 }
 
+// BytesOfURow returns the modelled wire size of one U row: the pivot's
+// column, original id and diagonal (8 bytes each) plus a (column, value)
+// pair per off-diagonal entry. Keeping the cost model behind a BytesOf*
+// helper is what the bytesarg analyzer enforces at Send/AllGather sites.
+func BytesOfURow(r *URow) int { return 24 + 16*len(r.Cols) }
+
+// BytesOfURows returns the modelled wire size of a pivot-row message.
+func BytesOfURows(rows []URow) int {
+	b := 0
+	for i := range rows {
+		b += BytesOfURow(&rows[i])
+	}
+	return b
+}
+
 // FactorPivotRow turns the current reduced row of an independent-set
 // pivot into its U row (the paper's phase-2 step "factoring the nodes of
 // I_l only requires creating the rows of U"): entries below the relative

@@ -1,0 +1,197 @@
+package machine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A Machine is single-use: rendezvous buffers, mailboxes and failure
+// state belong to one generation of processors. Reuse must be an explicit
+// panic, not silent corruption.
+func TestRunReusePanics(t *testing.T) {
+	m := New(2, Zero())
+	m.Run(func(p *Proc) { p.Barrier() })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected second Run on the same Machine to panic")
+		}
+		if !strings.Contains(r.(string), "single-use") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	m.Run(func(p *Proc) { p.Barrier() })
+}
+
+func TestRunReusePanicsAfterFailure(t *testing.T) {
+	m := New(2, Zero())
+	func() {
+		defer func() { recover() }()
+		m.Run(func(p *Proc) { panic("boom") })
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected Run on a failed Machine to panic")
+		}
+	}()
+	m.Run(func(p *Proc) {})
+}
+
+// A panic on one processor must carry its original value out of Run even
+// when the other processors are parked in a collective (not just in Recv,
+// which TestPanicPropagation covers).
+func TestPanicUnblocksCollective(t *testing.T) {
+	m := New(4, Zero())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate from Run")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("root cause lost: got %v, want \"boom\"", r)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.ID == 3 {
+			panic("boom")
+		}
+		p.Barrier()
+	})
+}
+
+// The collective-mismatch panic must also surface as the Run panic value
+// and wake processors parked in the other collective.
+func TestCollectiveMismatchReportsOps(t *testing.T) {
+	m := New(3, Zero())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected collective mismatch panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "collective mismatch") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.AllReduceInt(1, OpSum)
+		} else {
+			p.Barrier()
+		}
+	})
+}
+
+func TestWatchdogRecvDeadlockDump(t *testing.T) {
+	m := New(2, Zero())
+	m.SetWatchdog(50 * time.Millisecond)
+	defer func() {
+		r := recover()
+		de, ok := r.(*DeadlockError)
+		if !ok {
+			t.Fatalf("expected *DeadlockError, got %v", r)
+		}
+		for _, want := range []string{
+			"proc 0: blocked in Recv(src=1, tag=7)",
+			"proc 1: blocked in Recv(src=0, tag=9)",
+		} {
+			if !strings.Contains(de.Dump, want) {
+				t.Errorf("dump missing %q:\n%s", want, de.Dump)
+			}
+		}
+		if !strings.Contains(de.Error(), "watchdog") {
+			t.Errorf("Error() missing watchdog marker: %s", de.Error())
+		}
+	}()
+	m.Run(func(p *Proc) {
+		// Classic SPMD deadlock: both sides receive first, nobody sends.
+		if p.ID == 0 {
+			p.Recv(1, 7)
+		} else {
+			p.Recv(0, 9)
+		}
+	})
+}
+
+func TestWatchdogCollectiveDeadlockDump(t *testing.T) {
+	m := New(3, Zero())
+	m.SetWatchdog(50 * time.Millisecond)
+	defer func() {
+		r := recover()
+		de, ok := r.(*DeadlockError)
+		if !ok {
+			t.Fatalf("expected *DeadlockError, got %v", r)
+		}
+		if !strings.Contains(de.Dump, `waiting in collective "barrier" (2 of 3 arrived)`) {
+			t.Errorf("dump missing collective wait:\n%s", de.Dump)
+		}
+		if !strings.Contains(de.Dump, "blocked in Recv(src=0, tag=1)") {
+			t.Errorf("dump missing recv wait:\n%s", de.Dump)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		// Proc 2 waits for a message that never comes while the others
+		// enter the barrier: a one-sided collective, the static form of
+		// which the collective analyzer flags.
+		if p.ID == 2 {
+			p.Recv(0, 1)
+		} else {
+			p.Barrier()
+		}
+	})
+}
+
+func TestWatchdogDoesNotFireOnCompletion(t *testing.T) {
+	m := New(4, Zero())
+	m.SetWatchdog(time.Minute)
+	var total int64
+	res := m.Run(func(p *Proc) {
+		p.Send((p.ID+1)%4, 1, p.ID, 8)
+		v := p.Recv((p.ID+3)%4, 1).(int)
+		atomic.AddInt64(&total, int64(v))
+		p.Barrier()
+	})
+	if total != 6 {
+		t.Fatalf("ring total = %d", total)
+	}
+	if res.PerProc[0].MsgsSent != 1 {
+		t.Fatalf("stats lost: %+v", res.PerProc[0])
+	}
+}
+
+func TestSetWatchdogAfterRunPanics(t *testing.T) {
+	m := New(1, Zero())
+	m.Run(func(p *Proc) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected SetWatchdog after Run to panic")
+		}
+	}()
+	m.SetWatchdog(time.Second)
+}
+
+func TestCopyHelpers(t *testing.T) {
+	xs := []int{1, 2, 3}
+	cp := CopyInts(xs)
+	cp[0] = 99
+	if xs[0] != 1 {
+		t.Fatal("CopyInts aliases its input")
+	}
+	fs := []float64{1.5}
+	fcp := CopyFloats(fs)
+	fcp[0] = 0
+	if fs[0] != 1.5 {
+		t.Fatal("CopyFloats aliases its input")
+	}
+	bs := []bool{true}
+	bcp := CopyBools(bs)
+	bcp[0] = false
+	if !bs[0] {
+		t.Fatal("CopyBools aliases its input")
+	}
+	if BytesOfBools(5) != 5 || BytesOfUint64s(2) != 16 {
+		t.Fatal("byte helpers wrong")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 )
 
 // CostModel holds the machine constants of the LogP-style clock.
@@ -114,7 +115,10 @@ type message struct {
 	arrival float64
 }
 
-// Machine is a P-processor virtual machine. Create one per parallel run.
+// Machine is a P-processor virtual machine. A Machine is single-use:
+// create one per parallel run — Run panics if called a second time, since
+// mailboxes, rendezvous buffers and failure state would otherwise leak
+// from one generation of processors into the next.
 type Machine struct {
 	P    int
 	Cost CostModel
@@ -131,6 +135,10 @@ type Machine struct {
 	rvResult *rvResult
 
 	failed any
+
+	started  bool          // set by Run; a Machine is single-use
+	procs    []*Proc       // the run's processors, for the watchdog dump
+	watchdog time.Duration // 0 = disabled; see SetWatchdog
 }
 
 type msgQueue struct {
@@ -155,25 +163,56 @@ func New(p int, cost CostModel) *Machine {
 }
 
 // Proc is the handle a virtual processor uses inside Run. It must only be
-// used from the goroutine it was handed to.
+// used from the goroutine it was handed to: never capture a *Proc in a go
+// statement, store it in a package-level variable, or pass it through a
+// channel (the procescape analyzer enforces this).
 type Proc struct {
 	ID int
 	m  *Machine
 
 	now   float64
 	stats Stats
+
+	// blocked describes what the processor is waiting on, for the
+	// watchdog's deadlock dump. Guarded by m.mu; the clock field is the
+	// last virtual time observed at a machine operation, which is safe to
+	// read while the owning goroutine is blocked or between operations.
+	blocked blockedState
+}
+
+// blockedState records why a processor is parked inside the machine.
+type blockedState struct {
+	kind  string // "" (running), "recv", "collective"
+	src   int    // recv: source processor
+	tag   int    // recv: message tag
+	op    string // collective: operation name
+	clock float64
 }
 
 // Run executes f on every processor concurrently and returns once all have
 // finished. If any processor panics, the panic value is captured, all
 // blocked processors are woken with the same failure, and Run re-panics
-// with the original value.
+// with the original value. Run may be called at most once per Machine.
 func (m *Machine) Run(f func(*Proc)) Result {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		panic("machine: Run called twice on the same Machine; a Machine is single-use — create a new Machine per run")
+	}
+	m.started = true
 	procs := make([]*Proc, m.P)
+	for i := 0; i < m.P; i++ {
+		procs[i] = &Proc{ID: i, m: m}
+	}
+	m.procs = procs
+	m.mu.Unlock()
+
+	stopWatchdog := m.startWatchdog()
+	defer stopWatchdog()
+
 	var wg sync.WaitGroup
 	wg.Add(m.P)
 	for i := 0; i < m.P; i++ {
-		procs[i] = &Proc{ID: i, m: m}
 		go func(p *Proc) {
 			defer wg.Done()
 			defer func() {
@@ -189,6 +228,9 @@ func (m *Machine) Run(f func(*Proc)) Result {
 	failed := m.failed
 	m.mu.Unlock()
 	if failed != nil {
+		if abort, ok := failed.(procAbort); ok {
+			failed = abort.cause
+		}
 		panic(failed)
 	}
 	res := Result{PerProc: make([]Stats, m.P)}
@@ -256,6 +298,7 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 	p.now += m.Cost.Overhead
 	arrival := p.now + m.Cost.Latency + float64(bytes)*m.Cost.ByteTime
 	m.mu.Lock()
+	p.blocked.clock = p.now
 	m.mail[p.ID*m.P+dst].q = append(m.mail[p.ID*m.P+dst].q, message{tag: tag, payload: payload, arrival: arrival})
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -268,7 +311,7 @@ func (p *Proc) Recv(src, tag int) any {
 	if src < 0 || src >= m.P {
 		panic(fmt.Sprintf("machine: Recv from invalid processor %d", src))
 	}
-	msg := m.takeMessage(src*m.P+p.ID, tag)
+	msg := p.takeMessage(src, tag)
 	p.now += m.Cost.Overhead
 	if msg.arrival > p.now {
 		p.now = msg.arrival
@@ -278,10 +321,15 @@ func (p *Proc) Recv(src, tag int) any {
 
 // takeMessage blocks until the mailbox holds a message with the given tag
 // and removes it. The machine mutex is held with defer so that a failure
-// panic cannot leak the lock.
-func (m *Machine) takeMessage(box, tag int) message {
+// panic cannot leak the lock. While parked, the processor's blocked state
+// names the (src, tag) it is waiting on for the watchdog dump.
+func (p *Proc) takeMessage(src, tag int) message {
+	m := p.m
+	box := src*m.P + p.ID
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	p.blocked = blockedState{kind: "recv", src: src, tag: tag, clock: p.now}
+	defer func() { p.blocked = blockedState{clock: p.blocked.clock} }()
 	for {
 		m.checkFailedLocked()
 		q := m.mail[box].q
@@ -310,6 +358,8 @@ func (p *Proc) collect(op string, val any) ([]any, float64) {
 	p.stats.Collectives++
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	p.blocked = blockedState{kind: "collective", op: op, clock: p.now}
+	defer func() { p.blocked = blockedState{clock: p.blocked.clock} }()
 	m.checkFailedLocked()
 	if m.rvCount == 0 {
 		m.rvOp = op
@@ -426,7 +476,7 @@ func (p *Proc) AllGather(v any, bytes int) []any {
 
 // AllGatherInts gathers one []int per processor.
 func (p *Proc) AllGatherInts(xs []int) [][]int {
-	vals := p.AllGather(xs, 8*len(xs))
+	vals := p.AllGather(xs, BytesOfInts(len(xs)))
 	out := make([][]int, len(vals))
 	for i, v := range vals {
 		out[i] = v.([]int)
@@ -436,7 +486,7 @@ func (p *Proc) AllGatherInts(xs []int) [][]int {
 
 // AllGatherFloats gathers one []float64 per processor.
 func (p *Proc) AllGatherFloats(xs []float64) [][]float64 {
-	vals := p.AllGather(xs, 8*len(xs))
+	vals := p.AllGather(xs, BytesOfFloats(len(xs)))
 	out := make([][]float64, len(vals))
 	for i, v := range vals {
 		out[i] = v.([]float64)
@@ -454,3 +504,27 @@ func BytesOfFloats(n int) int { return 8 * n }
 
 // BytesOfInts returns the modelled wire size of n int indices.
 func BytesOfInts(n int) int { return 8 * n }
+
+// BytesOfUint64s returns the modelled wire size of n uint64 keys.
+func BytesOfUint64s(n int) int { return 8 * n }
+
+// BytesOfBools returns the modelled wire size of n boolean flags (one
+// byte each, as an MPI byte-typed message would ship them).
+func BytesOfBools(n int) int { return n }
+
+// The Copy* helpers detach a payload from the sender's memory before a
+// Send: because the simulated machine passes references where a real
+// distributed machine would serialize onto the wire, a sender that
+// retains and later mutates a sent slice silently corrupts the
+// receiver — the aliasing bug the sendalias analyzer flags. Copying at
+// the call site (or sending a freshly built buffer) restores the
+// by-value semantics of a real message.
+
+// CopyInts returns a copy of xs that shares no memory with it.
+func CopyInts(xs []int) []int { return append([]int(nil), xs...) }
+
+// CopyFloats returns a copy of xs that shares no memory with it.
+func CopyFloats(xs []float64) []float64 { return append([]float64(nil), xs...) }
+
+// CopyBools returns a copy of xs that shares no memory with it.
+func CopyBools(xs []bool) []bool { return append([]bool(nil), xs...) }

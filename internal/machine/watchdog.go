@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DeadlockError is the failure a watchdog-armed Run panics with when the
+// timeout expires: the SPMD program made no forward progress (typically a
+// Recv with no matching Send, or processors entering collectives in
+// different orders on a path the collective-mismatch check cannot see).
+// Dump holds a per-processor state report — what each virtual processor
+// was blocked on and its last observed virtual clock — turning a silent
+// test hang into an actionable message.
+type DeadlockError struct {
+	Timeout time.Duration
+	Dump    string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("machine: watchdog: run still blocked after %v\n%s", e.Timeout, e.Dump)
+}
+
+// SetWatchdog arms a per-Run timeout. If the run has not completed after
+// d, every processor blocked inside the machine is woken with a
+// *DeadlockError carrying a state dump, and Run panics with it. A
+// processor spinning in pure local compute cannot be interrupted — the
+// watchdog catches communication deadlocks, which always park in Recv or
+// a collective. Must be called before Run; d ≤ 0 disables the watchdog.
+func (m *Machine) SetWatchdog(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		panic("machine: SetWatchdog must be called before Run")
+	}
+	m.watchdog = d
+}
+
+// startWatchdog spawns the timer goroutine for an armed watchdog and
+// returns a function that disarms it when the run completes.
+func (m *Machine) startWatchdog() func() {
+	if m.watchdog <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTimer(m.watchdog)
+		defer t.Stop()
+		select {
+		case <-done:
+		case <-t.C:
+			m.mu.Lock()
+			if m.failed == nil {
+				m.failed = &DeadlockError{Timeout: m.watchdog, Dump: m.dumpLocked()}
+				m.cond.Broadcast()
+			}
+			m.mu.Unlock()
+		}
+	}()
+	return func() { close(done) }
+}
+
+// dumpLocked renders every processor's blocked state. Caller holds m.mu,
+// so the blocked fields are stable; clocks are the last values observed
+// at a machine operation (a running processor's true clock is private to
+// its goroutine).
+func (m *Machine) dumpLocked() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P=%d processors:\n", m.P)
+	for _, p := range m.procs {
+		switch p.blocked.kind {
+		case "recv":
+			fmt.Fprintf(&b, "  proc %d: blocked in Recv(src=%d, tag=%d) at t=%.3e\n",
+				p.ID, p.blocked.src, p.blocked.tag, p.blocked.clock)
+		case "collective":
+			fmt.Fprintf(&b, "  proc %d: waiting in collective %q (%d of %d arrived) at t=%.3e\n",
+				p.ID, p.blocked.op, m.rvCount, m.P, p.blocked.clock)
+		default:
+			fmt.Fprintf(&b, "  proc %d: not blocked in the machine (computing or finished; last seen at t=%.3e)\n",
+				p.ID, p.blocked.clock)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -162,7 +162,7 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 			for k, li := range needBy[q] {
 				msg[k] = local[li]
 			}
-			p.Send(q, tag, msg, len(msg))
+			p.Send(q, tag, msg, machine.BytesOfBools(len(msg)))
 		}
 		pos := 0
 		for q := 0; q < P; q++ {
@@ -205,7 +205,8 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 				msg.Keys[k] = keys[li]
 				msg.Active[k] = act[li]
 			}
-			p.Send(q, tagState, msg, 9*len(needBy[q]))
+			p.Send(q, tagState, msg,
+				machine.BytesOfUint64s(len(needBy[q]))+machine.BytesOfBools(len(needBy[q])))
 		}
 		pos := 0
 		for q := 0; q < P; q++ {
@@ -326,7 +327,10 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 			if q == p.ID || len(reqFrom[q]) == 0 {
 				continue
 			}
-			p.Send(q, tagExcl, excl[q], 8*len(excl[q]))
+			// Copy before sending: excl[q] stays referenced by the sender
+			// for the rest of the round, and a sent slice must never share
+			// memory with anything the sender may touch again.
+			p.Send(q, tagExcl, machine.CopyInts(excl[q]), machine.BytesOfInts(len(excl[q])))
 		}
 		for q := 0; q < P; q++ {
 			if q == p.ID || len(needBy[q]) == 0 {
