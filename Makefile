@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check
+.PHONY: all build vet lint test race check serve-smoke bench-service
 
 all: check
 
@@ -21,5 +21,16 @@ test:
 # Race-enabled run with reduced problem sizes; matches the CI race lane.
 race:
 	PILUT_TEST_FAST=1 $(GO) test -race ./...
+
+# End-to-end smoke of the solver daemon: builds pilutd, starts it, submits
+# the quickstart matrix over HTTP, solves it twice (asserting the second
+# solve hits the factorization cache), and shuts it down gracefully.
+serve-smoke:
+	$(GO) test ./cmd/pilutd -run TestEndToEnd -count=1 -v
+
+# Cold-factor vs cache-hit solve latency; writes BENCH_service.json.
+bench-service:
+	PILUT_BENCH_OUT=$(CURDIR)/BENCH_service.json \
+		$(GO) test ./internal/service -run TestEmitServiceBench -count=1 -v
 
 check: build vet lint test

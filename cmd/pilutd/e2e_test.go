@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// TestEndToEnd drives the real pilutd binary over HTTP: submit the
+// quickstart grid matrix, solve it twice (the second solve must hit the
+// factorization cache), check the stats endpoint, exercise a request
+// deadline, and shut the daemon down gracefully.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end smoke test builds and runs a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "pilutd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pilutd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-procs", "4")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting pilutd: %v", err)
+	}
+	exited := make(chan struct{})
+	var waitErr error
+	go func() { waitErr = cmd.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// The daemon logs its chosen address; scan for it.
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-exited:
+		t.Fatalf("pilutd exited before listening: %v", waitErr)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for pilutd to listen")
+	}
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+	post := func(path, contentType string, body []byte) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, contentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Submit the quickstart matrix as a MatrixMarket body.
+	a := matgen.Grid2D(32, 32)
+	var mm bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&mm, a); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post("/v1/matrices", "text/plain", mm.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var sub struct {
+		Key   string `json:"key"`
+		N     int    `json:"n"`
+		NNZ   int    `json:"nnz"`
+		Known bool   `json:"known"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("submit reply %s: %v", body, err)
+	}
+	if sub.N != a.N || sub.NNZ != a.NNZ() || sub.Known {
+		t.Fatalf("submit reply: %+v, want n=%d nnz=%d known=false", sub, a.N, a.NNZ())
+	}
+
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	solveBody, _ := json.Marshal(map[string]any{"key": sub.Key, "b": b, "tol": 1e-8})
+	type solveReply struct {
+		X          []float64 `json:"x"`
+		Converged  bool      `json:"converged"`
+		Iterations int       `json:"iterations"`
+		Residual   float64   `json:"residual"`
+		CacheHit   bool      `json:"cache_hit"`
+	}
+	var first, second solveReply
+
+	resp, body = post("/v1/solve", "application/json", solveBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve 1: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Converged || first.CacheHit {
+		t.Fatalf("solve 1: converged=%v cache_hit=%v, want true/false", first.Converged, first.CacheHit)
+	}
+	// Check the solution against the true operator, independently of the
+	// daemon's own residual report.
+	y := make([]float64, a.N)
+	a.MulVec(y, first.X)
+	var rr, bb float64
+	for i := range b {
+		d := b[i] - y[i]
+		rr += d * d
+		bb += b[i] * b[i]
+	}
+	if rel := math.Sqrt(rr / bb); rel > 1e-6 {
+		t.Fatalf("solve 1: true relative residual %g", rel)
+	}
+
+	// Second solve of the same matrix: no refactorization.
+	resp, body = post("/v1/solve", "application/json", solveBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve 2: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatalf("solve 2 did not hit the factorization cache: %s", body)
+	}
+	for i := range first.X {
+		if first.X[i] != second.X[i] {
+			t.Fatalf("cache-hit solve differs from cold solve at %d", i)
+		}
+	}
+
+	resp, body = get("/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	var st struct {
+		Cache struct {
+			Factorizations int64 `json:"factorizations"`
+			Hits           int64 `json:"hits"`
+			Misses         int64 `json:"misses"`
+		} `json:"cache"`
+		Solves struct {
+			Completed int64 `json:"completed"`
+		} `json:"solves"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("stats reply %s: %v", body, err)
+	}
+	if st.Cache.Factorizations != 1 || st.Cache.Hits < 1 {
+		t.Fatalf("stats: factorizations=%d hits=%d, want 1 factorization and ≥1 hit: %s",
+			st.Cache.Factorizations, st.Cache.Hits, body)
+	}
+	if st.Solves.Completed != 2 {
+		t.Fatalf("stats: completed=%d, want 2", st.Solves.Completed)
+	}
+
+	// A 1 ms deadline on an unreachable tolerance must answer 504 with
+	// the cancellation error, and leave the daemon healthy.
+	hardBody, _ := json.Marshal(map[string]any{
+		"key": sub.Key, "b": b, "tol": 1e-300, "max_matvec": 500000, "timeout_ms": 1,
+	})
+	resp, body = post("/v1/solve", "application/json", hardBody)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline solve: status %d, want 504: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "canceled") {
+		t.Fatalf("deadline solve reply does not mention cancellation: %s", body)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatal("daemon unhealthy after canceled solve")
+	}
+
+	// Unknown key → 404.
+	missBody, _ := json.Marshal(map[string]any{"key": "no-such-key", "b": b})
+	if resp, _ := post("/v1/solve", "application/json", missBody); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key: status %d, want 404", resp.StatusCode)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+		if waitErr != nil {
+			t.Fatalf("pilutd exited with %v, want clean exit", waitErr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pilutd did not exit after SIGTERM")
+	}
+}

@@ -1,0 +1,183 @@
+// Command pilutd runs the parallel-ILUT solver as a long-lived HTTP
+// daemon on top of internal/service: submit a matrix once (MatrixMarket
+// body, content-addressed), then solve any number of right-hand sides
+// against its cached factorization. Concurrent solves of the same matrix
+// are coalesced into multi-RHS runs.
+//
+//	POST /v1/matrices   MatrixMarket body      → {"key", "n", "nnz", "known"}
+//	POST /v1/solve      {"key", "b", ...}      → solution + solver stats
+//	GET  /v1/stats                             → service counters
+//	GET  /healthz                              → "ok"
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ilu"
+	"repro/internal/krylov"
+	"repro/internal/machine"
+	"repro/internal/service"
+	"repro/internal/sparse"
+)
+
+const maxMatrixBytes = 256 << 20
+
+type solveRequest struct {
+	Key       string    `json:"key"`
+	B         []float64 `json:"b"`
+	Restart   int       `json:"restart"`
+	Tol       float64   `json:"tol"`
+	MaxMatVec int       `json:"max_matvec"`
+	// TimeoutMs, when positive, bounds the request: an exceeded deadline
+	// cancels the solve collectively and answers 504.
+	TimeoutMs int `json:"timeout_ms"`
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("pilutd: encoding response: %v", err)
+	}
+}
+
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, service.ErrUnknownMatrix):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, krylov.ErrCanceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func newMux(svc *service.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/matrices", func(w http.ResponseWriter, r *http.Request) {
+		a, err := sparse.ReadMatrixMarket(http.MaxBytesReader(w, r.Body, maxMatrixBytes))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorReply{fmt.Sprintf("parsing MatrixMarket body: %v", err)})
+			return
+		}
+		key, known, err := svc.Submit(a)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, service.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, errorReply{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"key": key, "n": a.N, "nnz": a.NNZ(), "known": known,
+		})
+	})
+
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		var req solveRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMatrixBytes)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorReply{fmt.Sprintf("parsing solve request: %v", err)})
+			return
+		}
+		ctx := r.Context()
+		if req.TimeoutMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+			defer cancel()
+		}
+		res, err := svc.Solve(ctx, req.Key, req.B, service.SolveOptions{
+			Restart: req.Restart, Tol: req.Tol, MaxMatVec: req.MaxMatVec,
+		})
+		if err != nil {
+			writeJSON(w, solveStatus(err), errorReply{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.StatsSnapshot())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8417", "listen address (host:port, port 0 picks a free one)")
+	procs := flag.Int("procs", 4, "virtual processors per factorization/solve")
+	m := flag.Int("m", 10, "ILUT fill bound per row")
+	tau := flag.Float64("tau", 1e-4, "ILUT drop threshold")
+	k := flag.Int("k", 2, "ILUT* parameter K (0 selects plain ILUT)")
+	workers := flag.Int("workers", 2, "concurrent batch executors")
+	maxBatch := flag.Int("max-batch", 8, "right-hand sides coalesced per run")
+	cacheMB := flag.Int64("cache-mb", 256, "factorization cache budget in MiB")
+	t3d := flag.Bool("t3d", false, "model Cray T3D communication costs instead of free communication")
+	flag.Parse()
+
+	cost := machine.Zero()
+	if *t3d {
+		cost = machine.T3D()
+	}
+	svc := service.New(service.Config{
+		Procs:      *procs,
+		Params:     ilu.Params{M: *m, Tau: *tau, K: *k},
+		Cost:       cost,
+		Workers:    *workers,
+		MaxBatch:   *maxBatch,
+		CacheBytes: *cacheMB << 20,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pilutd: listen: %v", err)
+	}
+	srv := &http.Server{Handler: newMux(svc)}
+	log.Printf("pilutd listening on %s (procs=%d workers=%d max-batch=%d)",
+		ln.Addr(), *procs, *workers, *maxBatch)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("pilutd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("pilutd: signal received, draining in-flight solves")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("pilutd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil {
+		log.Printf("pilutd: service shutdown: %v", err)
+	}
+	log.Printf("pilutd: bye")
+}

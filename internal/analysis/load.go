@@ -51,6 +51,15 @@ func NewLoader(dir string) (*Loader, error) {
 	}, nil
 }
 
+// buildCtx is build.Default with cgo disabled: type-checking from source
+// cannot expand cgo, so packages like net must resolve to their pure-Go
+// build variant (the files a `CGO_ENABLED=0` build would select).
+func buildCtx() *build.Context {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &ctx
+}
+
 // findModule walks up from dir to the first go.mod and returns the module
 // root directory and module path.
 func findModule(dir string) (root, path string, err error) {
@@ -90,7 +99,7 @@ func (ld *Loader) Import(path string) (*types.Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp, err := build.Default.ImportDir(dir, 0)
+	bp, err := buildCtx().ImportDir(dir, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -115,10 +124,16 @@ func (ld *Loader) dirOf(path string) (string, error) {
 		return filepath.Join(ld.ModRoot, filepath.FromSlash(rest)), nil
 	}
 	dir := filepath.Join(build.Default.GOROOT, "src", filepath.FromSlash(path))
-	if _, err := os.Stat(dir); err != nil {
-		return "", fmt.Errorf("analysis: cannot resolve import %q: %w", path, err)
+	if _, err := os.Stat(dir); err == nil {
+		return dir, nil
 	}
-	return dir, nil
+	// Standard-library packages import their external dependencies (e.g.
+	// net → golang.org/x/net/dns/dnsmessage) through GOROOT's vendor tree.
+	vdir := filepath.Join(build.Default.GOROOT, "src", "vendor", filepath.FromSlash(path))
+	if _, err := os.Stat(vdir); err == nil {
+		return vdir, nil
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q under %s/src", path, build.Default.GOROOT)
 }
 
 func (ld *Loader) parse(dir string, names []string, mode parser.Mode) ([]*ast.File, error) {
@@ -154,7 +169,7 @@ func (ld *Loader) Load(dir string, tests bool) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp, err := build.Default.ImportDir(dir, 0)
+	bp, err := buildCtx().ImportDir(dir, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"repro/internal/machine"
+)
+
+// levelValuesBatch is the per-level exchange payload of a multi-RHS
+// triangular solve: the solution values of this processor's level members
+// for every right-hand side of the batch, right-hand-side-major. One
+// exchange per level serves the whole batch, so the q synchronization
+// points of an application (§5 of the paper) are paid once per batch
+// instead of once per right-hand side — the latency amortization the
+// solver service's batching layer exists to exploit.
+type levelValuesBatch struct {
+	NewIDs []int
+	Vals   []float64 // len(NewIDs) × B values, grouped by right-hand side
+}
+
+// publishLevelBatch makes the just-solved values of level l visible to
+// every processor for all B right-hand sides with a single collective.
+func (pc *ProcPrecond) publishLevelBatch(p *machine.Proc, l int, xIface [][]float64) {
+	members := pc.levelMembers[l]
+	tot := pc.plan.TotInterior
+	msg := levelValuesBatch{
+		NewIDs: make([]int, len(members)),
+		Vals:   make([]float64, 0, len(members)*len(xIface)),
+	}
+	for k, li := range members {
+		msg.NewIDs[k] = pc.newOf[li]
+	}
+	for _, xf := range xIface {
+		for _, li := range members {
+			msg.Vals = append(msg.Vals, xf[pc.newOf[li]-tot])
+		}
+	}
+	all := p.AllGather(msg, machine.BytesOfInts(len(msg.NewIDs))+machine.BytesOfFloats(len(msg.Vals)))
+	for _, a := range all {
+		lv := a.(levelValuesBatch)
+		nm := len(lv.NewIDs)
+		for bi := range xIface {
+			vals := lv.Vals[bi*nm : (bi+1)*nm]
+			for k, nid := range lv.NewIDs {
+				xIface[bi][nid-tot] = vals[k]
+			}
+		}
+	}
+}
+
+// SolveBatch applies the preconditioner to B right-hand sides at once:
+// ys[i] = U⁻¹·L⁻¹·bs[i] (ys[i] and bs[i] may alias). The local
+// arithmetic is identical to B calls of Solve, but every level of the
+// forward and backward substitutions publishes the values of the entire
+// batch in one exchange. Collective: every processor must call it
+// together with the same batch size.
+func (pc *ProcPrecond) SolveBatch(p *machine.Proc, ys, bs [][]float64) {
+	if len(ys) != len(bs) {
+		panic("core: SolveBatch batch size mismatch")
+	}
+	B := len(bs)
+	switch B {
+	case 0:
+		return
+	case 1:
+		pc.Solve(p, ys[0], bs[0])
+		return
+	}
+	for i := range bs {
+		if len(ys[i]) != len(pc.owned) || len(bs[i]) != len(pc.owned) {
+			panic("core: SolveBatch local vector length mismatch")
+		}
+	}
+	nInt := pc.plan.NIntLocal[pc.me]
+	xInt := make([][]float64, B)
+	xIface := make([][]float64, B)
+	for bi := 0; bi < B; bi++ {
+		xInt[bi] = make([]float64, nInt)
+		xIface[bi] = make([]float64, pc.plan.NInterface)
+	}
+	pc.solveForwardBatch(p, ys, bs, xInt, xIface)
+	pc.solveBackwardBatch(p, ys, ys, xInt, xIface)
+}
+
+// solveForwardBatch is SolveForward over a batch with shared level
+// exchanges; scratch vectors are supplied by the caller.
+func (pc *ProcPrecond) solveForwardBatch(p *machine.Proc, ys, bs, xInt, xIface [][]float64) {
+	tot := pc.plan.TotInterior
+	intBase := pc.plan.IntBase[pc.me]
+	flops := 0
+
+	for bi := range bs {
+		b := bs[bi]
+		xi := xInt[bi]
+		for _, li := range pc.interiorLocal {
+			s := b[li]
+			cols := pc.lCols[li]
+			vals := pc.lVals[li]
+			for k, c := range cols {
+				s -= vals[k] * xi[c-intBase]
+			}
+			flops += 2 * len(cols)
+			xi[pc.newOf[li]-intBase] = s
+		}
+	}
+	p.Work(float64(flops))
+
+	for l := range pc.levels {
+		flops = 0
+		for bi := range bs {
+			b := bs[bi]
+			xi := xInt[bi]
+			xf := xIface[bi]
+			for _, li := range pc.levelMembers[l] {
+				s := b[li]
+				cols := pc.lCols[li]
+				vals := pc.lVals[li]
+				for k, c := range cols {
+					if c < tot {
+						s -= vals[k] * xi[c-intBase]
+					} else {
+						s -= vals[k] * xf[c-tot]
+					}
+				}
+				flops += 2 * len(cols)
+				xf[pc.newOf[li]-tot] = s
+			}
+		}
+		p.Work(float64(flops))
+		pc.publishLevelBatch(p, l, xIface)
+	}
+
+	for bi := range ys {
+		y := ys[bi]
+		xi := xInt[bi]
+		xf := xIface[bi]
+		for li := range pc.owned {
+			nid := pc.newOf[li]
+			if nid < tot {
+				y[li] = xi[nid-intBase]
+			} else {
+				y[li] = xf[nid-tot]
+			}
+		}
+	}
+}
+
+// solveBackwardBatch is SolveBackward over a batch with shared level
+// exchanges.
+func (pc *ProcPrecond) solveBackwardBatch(p *machine.Proc, ys, bs, xInt, xIface [][]float64) {
+	tot := pc.plan.TotInterior
+	intBase := pc.plan.IntBase[pc.me]
+
+	for l := len(pc.levels) - 1; l >= 0; l-- {
+		flops := 0
+		members := pc.levelMembers[l]
+		for bi := range bs {
+			b := bs[bi]
+			xf := xIface[bi]
+			for mi := len(members) - 1; mi >= 0; mi-- {
+				li := members[mi]
+				s := b[li]
+				cols := pc.uCols[li]
+				vals := pc.uVals[li]
+				for k, c := range cols {
+					s -= vals[k] * xf[c-tot]
+				}
+				flops += 2*len(cols) + 1
+				xf[pc.newOf[li]-tot] = s / pc.uDiag[li]
+			}
+		}
+		p.Work(float64(flops))
+		pc.publishLevelBatch(p, l, xIface)
+	}
+
+	flops := 0
+	for bi := range bs {
+		b := bs[bi]
+		xi := xInt[bi]
+		xf := xIface[bi]
+		for k := len(pc.interiorLocal) - 1; k >= 0; k-- {
+			li := pc.interiorLocal[k]
+			s := b[li]
+			cols := pc.uCols[li]
+			vals := pc.uVals[li]
+			for idx, c := range cols {
+				if c < tot {
+					s -= vals[idx] * xi[c-intBase]
+				} else {
+					s -= vals[idx] * xf[c-tot]
+				}
+			}
+			flops += 2*len(cols) + 1
+			xi[pc.newOf[li]-intBase] = s / pc.uDiag[li]
+		}
+	}
+	p.Work(float64(flops))
+
+	for bi := range ys {
+		y := ys[bi]
+		xi := xInt[bi]
+		xf := xIface[bi]
+		for li := range pc.owned {
+			nid := pc.newOf[li]
+			if nid < tot {
+				y[li] = xi[nid-intBase]
+			} else {
+				y[li] = xf[nid-tot]
+			}
+		}
+	}
+}
+
+// SizeBytes estimates the in-memory footprint of this processor's piece
+// of the preconditioner: 16 bytes per stored L/U entry plus the index and
+// buffer arrays. The solver service's cache accounts its byte budget with
+// the sum over processors.
+func (pc *ProcPrecond) SizeBytes() int64 {
+	var n int64
+	for li := range pc.owned {
+		n += 16 * int64(len(pc.lCols[li])+len(pc.uCols[li]))
+	}
+	n += 8 * int64(len(pc.uDiag)+len(pc.owned)+len(pc.newOf)+len(pc.interiorLocal))
+	n += 8 * int64(len(pc.xInt)+len(pc.xIface))
+	for _, m := range pc.levelMembers {
+		n += 8 * int64(len(m))
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/ilu"
+	"repro/internal/machine"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+)
+
+// buildBatchFixture factors a small grid problem on P simulated
+// processors and returns the plan plus per-processor pieces.
+func buildBatchFixture(t *testing.T, p int) (*dist.Layout, []*ProcPrecond) {
+	t.Helper()
+	a := matgen.Grid2D(20, 20)
+	g := graph.FromMatrix(a)
+	part := partition.KWay(g, p, partition.Options{Seed: 3})
+	lay, err := dist.NewLayout(a.N, p, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(a, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs := make([]*ProcPrecond, p)
+	m := machine.New(p, machine.Zero())
+	m.SetWatchdog(30 * time.Second)
+	m.Run(func(proc *machine.Proc) {
+		pcs[proc.ID] = Factor(proc, plan, Options{Params: ilu.Params{M: 8, Tau: 1e-4, K: 2}, Seed: 3})
+	})
+	return lay, pcs
+}
+
+func TestSolveBatchMatchesRepeatedSolve(t *testing.T) {
+	const P = 4
+	const B = 3
+	lay, pcs := buildBatchFixture(t, P)
+	rng := rand.New(rand.NewSource(7))
+	bsGlobal := make([][]float64, B)
+	for bi := range bsGlobal {
+		bsGlobal[bi] = make([]float64, lay.N)
+		for i := range bsGlobal[bi] {
+			bsGlobal[bi][i] = rng.NormFloat64()
+		}
+	}
+
+	// Reference: B single applications.
+	single := make([][][]float64, B)
+	for bi := 0; bi < B; bi++ {
+		parts := lay.Scatter(bsGlobal[bi])
+		ys := make([][]float64, P)
+		m := machine.New(P, machine.Zero())
+		m.SetWatchdog(30 * time.Second)
+		m.Run(func(proc *machine.Proc) {
+			y := make([]float64, lay.NLocal(proc.ID))
+			pcs[proc.ID].Solve(proc, y, parts[proc.ID])
+			ys[proc.ID] = y
+		})
+		single[bi] = ys
+	}
+
+	// Batched application, plus collective counting.
+	batchYs := make([][][]float64, B)
+	for bi := range batchYs {
+		batchYs[bi] = make([][]float64, P)
+	}
+	m := machine.New(P, machine.Zero())
+	m.SetWatchdog(30 * time.Second)
+	res := m.Run(func(proc *machine.Proc) {
+		bs := make([][]float64, B)
+		ys := make([][]float64, B)
+		for bi := 0; bi < B; bi++ {
+			bs[bi] = lay.Scatter(bsGlobal[bi])[proc.ID]
+			ys[bi] = make([]float64, lay.NLocal(proc.ID))
+		}
+		pcs[proc.ID].SolveBatch(proc, ys, bs)
+		for bi := 0; bi < B; bi++ {
+			batchYs[bi][proc.ID] = ys[bi]
+		}
+	})
+
+	for bi := 0; bi < B; bi++ {
+		want := lay.Gather(single[bi])
+		got := lay.Gather(batchYs[bi])
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("rhs %d: batch solve differs at %d: %v vs %v", bi, i, got[i], want[i])
+			}
+		}
+	}
+
+	// The batch pays one exchange per level per substitution direction,
+	// independent of B: per processor that is 2q+... collectives, versus
+	// B times as many for repeated single solves.
+	q := pcs[0].NumLevels()
+	wantCollectives := int64(2 * q) // publishLevelBatch calls only
+	if got := res.PerProc[0].Collectives; got != wantCollectives {
+		t.Fatalf("batch solve used %d collectives, want %d (q=%d)", got, wantCollectives, q)
+	}
+}
+
+func TestSolveBatchSizeMismatchPanics(t *testing.T) {
+	_, pcs := buildBatchFixture(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched batch sizes did not panic")
+		}
+	}()
+	m := machine.New(1, machine.Zero())
+	m.Run(func(proc *machine.Proc) {
+		pcs[0].SolveBatch(proc, make([][]float64, 2), make([][]float64, 3))
+	})
+}
+
+func TestProcPrecondSizeBytes(t *testing.T) {
+	_, pcs := buildBatchFixture(t, 4)
+	var total int64
+	for _, pc := range pcs {
+		s := pc.SizeBytes()
+		if s <= 0 {
+			t.Fatalf("SizeBytes = %d, want > 0", s)
+		}
+		total += s
+	}
+	// The factors hold at least 16 bytes per stored entry.
+	var nnz int
+	for _, pc := range pcs {
+		nnz += pc.NNZ()
+	}
+	if total < int64(16*nnz)/2 {
+		t.Fatalf("SizeBytes total %d implausibly small for %d stored entries", total, nnz)
+	}
+}

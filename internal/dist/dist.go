@@ -226,6 +226,93 @@ func (m *Matrix) MulVec(p *machine.Proc, y, x []float64) {
 	p.Work(float64(flops))
 }
 
+// MulVecBatch computes the local rows of ys[i] = A·xs[i] for a batch of
+// vectors with a single ghost exchange: each neighbour receives one
+// message carrying the values of every vector in the batch, so the
+// per-message latency is paid once per neighbour instead of once per
+// vector. The arithmetic is identical to repeated MulVec calls.
+// Collective: every processor must call it with the same batch size.
+func (m *Matrix) MulVecBatch(p *machine.Proc, ys, xs [][]float64) {
+	if len(ys) != len(xs) {
+		panic("dist: MulVecBatch batch size mismatch")
+	}
+	B := len(xs)
+	switch B {
+	case 0:
+		return
+	case 1:
+		m.MulVec(p, ys[0], xs[0])
+		return
+	}
+	rows := m.Lay.Rows[m.me]
+	for i := range xs {
+		if len(xs[i]) != len(rows) || len(ys[i]) != len(rows) {
+			panic("dist: MulVecBatch local vector length mismatch")
+		}
+	}
+	P := m.Lay.P
+	for q := 0; q < P; q++ {
+		if q == m.me || len(m.sendTo[q]) == 0 {
+			continue
+		}
+		msg := make([]float64, 0, B*len(m.sendTo[q]))
+		for _, x := range xs {
+			for _, li := range m.sendTo[q] {
+				msg = append(msg, x[li])
+			}
+		}
+		p.Send(q, tagGhost, msg, machine.BytesOfFloats(len(msg)))
+	}
+	ghosts := make([][]float64, B)
+	for bi := range ghosts {
+		ghosts[bi] = make([]float64, len(m.ghostIDs))
+	}
+	pos := 0
+	for q := 0; q < P; q++ {
+		if q == m.me || len(m.recvFrom[q]) == 0 {
+			continue
+		}
+		msg := p.Recv(q, tagGhost).([]float64)
+		cnt := len(msg) / B
+		for bi := 0; bi < B; bi++ {
+			copy(ghosts[bi][pos:pos+cnt], msg[bi*cnt:(bi+1)*cnt])
+		}
+		pos += cnt
+	}
+	flops := 0
+	for bi := range xs {
+		x := xs[bi]
+		y := ys[bi]
+		ghost := ghosts[bi]
+		for k, g := range rows {
+			cols, vals := m.A.Row(g)
+			var s float64
+			for idx, j := range cols {
+				q := m.Lay.PartOf[j]
+				if q == m.me {
+					s += vals[idx] * x[m.Lay.LocalIndex(m.me, j)]
+				} else {
+					s += vals[idx] * ghost[m.ghostSlot[j]]
+				}
+				flops += 2
+			}
+			y[k] = s
+		}
+	}
+	p.Work(float64(flops))
+}
+
+// SizeBytes estimates the in-memory footprint of this processor's ghost
+// exchange plan and buffers (the shared CSR is accounted separately).
+func (m *Matrix) SizeBytes() int64 {
+	n := 8 * int64(len(m.ghostIDs)+len(m.ghost)) // ids + value buffer
+	n += 16 * int64(len(m.ghostSlot))
+	for q := range m.sendTo {
+		n += 8 * int64(len(m.sendTo[q])+len(m.recvFrom[q]))
+	}
+	return n
+}
+
 // Dot computes the global inner product of two distributed vectors.
 func Dot(p *machine.Proc, x, y []float64) float64 {
 	if len(x) != len(y) {

@@ -200,3 +200,72 @@ func TestMulVecCostReflectsCommunication(t *testing.T) {
 		t.Errorf("4-proc SpMV (%v) not faster than 1-proc (%v)", t4, t1)
 	}
 }
+
+func TestMulVecBatchMatchesSerial(t *testing.T) {
+	const P = 4
+	const B = 3
+	a := matgen.Grid2D(15, 15)
+	lay := partitionedLayout(t, a, P)
+	rng := rand.New(rand.NewSource(11))
+	xsGlobal := make([][]float64, B)
+	want := make([][]float64, B)
+	for bi := range xsGlobal {
+		xsGlobal[bi] = make([]float64, a.N)
+		for i := range xsGlobal[bi] {
+			xsGlobal[bi][i] = rng.NormFloat64()
+		}
+		want[bi] = make([]float64, a.N)
+		a.MulVec(want[bi], xsGlobal[bi])
+	}
+
+	ysParts := make([][][]float64, B)
+	for bi := range ysParts {
+		ysParts[bi] = make([][]float64, P)
+	}
+	var msgsBatch int64
+	m := machine.New(P, machine.Zero())
+	res := m.Run(func(p *machine.Proc) {
+		dm := NewMatrix(p, lay, a)
+		xs := make([][]float64, B)
+		ys := make([][]float64, B)
+		for bi := 0; bi < B; bi++ {
+			xs[bi] = lay.Scatter(xsGlobal[bi])[p.ID]
+			ys[bi] = make([]float64, lay.NLocal(p.ID))
+		}
+		before := p.Stats().MsgsSent
+		dm.MulVecBatch(p, ys, xs)
+		if p.ID == 0 {
+			msgsBatch = p.Stats().MsgsSent - before
+		}
+		for bi := 0; bi < B; bi++ {
+			ysParts[bi][p.ID] = ys[bi]
+		}
+	})
+	_ = res
+	for bi := 0; bi < B; bi++ {
+		got := lay.Gather(ysParts[bi])
+		for i := range got {
+			if math.Abs(got[i]-want[bi][i]) > 1e-12 {
+				t.Fatalf("rhs %d: batch MulVec differs at %d: %v vs %v", bi, i, got[i], want[bi][i])
+			}
+		}
+	}
+
+	// The batch ships one message per neighbour regardless of B; a loop
+	// of single MulVec calls would send B times as many.
+	var msgsSingle int64
+	m2 := machine.New(P, machine.Zero())
+	m2.Run(func(p *machine.Proc) {
+		dm := NewMatrix(p, lay, a)
+		x := lay.Scatter(xsGlobal[0])[p.ID]
+		y := make([]float64, lay.NLocal(p.ID))
+		before := p.Stats().MsgsSent
+		dm.MulVec(p, y, x)
+		if p.ID == 0 {
+			msgsSingle = p.Stats().MsgsSent - before
+		}
+	})
+	if msgsBatch != msgsSingle {
+		t.Fatalf("batch sent %d messages, single product sends %d — batching must not multiply message count", msgsBatch, msgsSingle)
+	}
+}

@@ -1,0 +1,340 @@
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+)
+
+// DistBatchOperator is a distributed operator that can apply itself to a
+// batch of vectors with one ghost exchange; dist.Matrix satisfies it.
+type DistBatchOperator interface {
+	DistOperator
+	MulVecBatch(p *machine.Proc, ys, xs [][]float64)
+}
+
+// DistBatchPreconditioner applies M⁻¹ to a batch of vectors sharing one
+// level-synchronization pipeline; core.ProcPrecond satisfies it.
+type DistBatchPreconditioner interface {
+	DistPreconditioner
+	SolveBatch(p *machine.Proc, xs, bs [][]float64)
+}
+
+// DistGMRESBatch solves A·xs[i] = bs[i] for a batch of right-hand sides
+// with left-preconditioned restarted GMRES in lock-step: every Arnoldi
+// step performs one batched matrix–vector product (single ghost
+// exchange), one batched preconditioner application (single
+// level-synchronization pipeline) and batched reductions (one collective
+// for the whole batch instead of one per right-hand side). Each system
+// keeps its own Krylov basis, Hessenberg matrix and convergence state;
+// systems that converge drop out of the batched operations while the
+// rest continue. The per-system arithmetic — and therefore the computed
+// solutions and iteration counts — is identical to solving each
+// right-hand side alone with DistGMRES; only the communication schedule
+// is shared.
+//
+// It is an SPMD collective: every processor calls it with its local
+// slices, with the same batch size and options. If op or prec do not
+// implement the batch interfaces, the corresponding applications fall
+// back to per-vector calls (still correct, no latency sharing).
+func DistGMRESBatch(p *machine.Proc, op DistOperator, prec DistPreconditioner, xs, bs [][]float64, opt Options) ([]Result, error) {
+	B := len(bs)
+	if len(xs) != B {
+		return nil, fmt.Errorf("krylov: DistGMRESBatch batch size mismatch")
+	}
+	if B == 0 {
+		return nil, nil
+	}
+	nLocal := len(xs[0])
+	for i := range xs {
+		if len(xs[i]) != nLocal || len(bs[i]) != nLocal {
+			return nil, fmt.Errorf("krylov: DistGMRESBatch local length mismatch")
+		}
+	}
+	if prec == nil {
+		prec = DistIdentity{}
+	}
+	nGlobal := p.AllReduceInt(nLocal, machine.OpSum)
+	opt = opt.normalize(nGlobal)
+	m := opt.Restart
+
+	bop, _ := op.(DistBatchOperator)
+	bprec, _ := prec.(DistBatchPreconditioner)
+	matvecBatch := func(dst, src [][]float64) {
+		if bop != nil {
+			bop.MulVecBatch(p, dst, src)
+			return
+		}
+		for i := range src {
+			op.MulVec(p, dst[i], src[i])
+		}
+	}
+	precBatch := func(dst, src [][]float64) {
+		if bprec != nil {
+			bprec.SolveBatch(p, dst, src)
+			return
+		}
+		for i := range src {
+			prec.Solve(p, dst[i], src[i])
+		}
+	}
+	// reduceBatch sums one partial value per selected system across
+	// processors with a single collective; summation order matches
+	// dist.Dot/dist.Norm2 so results are bitwise identical to the
+	// single-RHS path.
+	reduceBatch := func(partial []float64) []float64 {
+		all := p.AllGatherFloats(machine.CopyFloats(partial))
+		out := make([]float64, len(partial))
+		for q := range all {
+			for i, v := range all[q] {
+				out[i] += v
+			}
+		}
+		return out
+	}
+	pick := func(vs [][]float64, idx []int) [][]float64 {
+		out := make([][]float64, len(idx))
+		for k, i := range idx {
+			out[k] = vs[i]
+		}
+		return out
+	}
+
+	// Per-system state.
+	v := make([][][]float64, B) // Krylov bases
+	h := make([][][]float64, B)
+	cs := make([][]float64, B)
+	sn := make([][]float64, B)
+	g := make([][]float64, B)
+	tmp := make([][]float64, B)
+	for i := 0; i < B; i++ {
+		v[i] = make([][]float64, m+1)
+		for j := range v[i] {
+			v[i][j] = make([]float64, nLocal)
+		}
+		h[i] = make([][]float64, m+1)
+		for j := range h[i] {
+			h[i][j] = make([]float64, m)
+		}
+		cs[i] = make([]float64, m)
+		sn[i] = make([]float64, m)
+		g[i] = make([]float64, m+1)
+		tmp[i] = make([]float64, nLocal)
+	}
+	results := make([]Result, B)
+	fin := make([]bool, B)    // no further work for this system
+	kCycle := make([]int, B)  // Arnoldi steps completed in the current cycle
+	bn := make([]float64, B)  // ‖M⁻¹b‖ per system
+	vecAt := func(vs [][][]float64, slot int, idx []int) [][]float64 {
+		out := make([][]float64, len(idx))
+		for k, i := range idx {
+			out[k] = vs[i][slot]
+		}
+		return out
+	}
+	norms := func(vecs [][]float64) []float64 {
+		partial := make([]float64, len(vecs))
+		for k, vec := range vecs {
+			var s float64
+			for _, e := range vec {
+				s += e * e
+			}
+			partial[k] = s
+		}
+		p.Work(float64(2 * nLocal * len(vecs)))
+		tot := reduceBatch(partial)
+		for k := range tot {
+			if tot[k] < 0 {
+				tot[k] = 0
+			}
+			tot[k] = math.Sqrt(tot[k])
+		}
+		return tot
+	}
+	dots := func(as, cs [][]float64) []float64 {
+		partial := make([]float64, len(as))
+		for k := range as {
+			var s float64
+			av, cv := as[k], cs[k]
+			for i := range av {
+				s += av[i] * cv[i]
+			}
+			partial[k] = s
+		}
+		p.Work(float64(2 * nLocal * len(as)))
+		return reduceBatch(partial)
+	}
+
+	// ‖M⁻¹b‖ per system for the stopping rule; zero right-hand sides are
+	// solved by x = 0 immediately, as in the single-RHS solver.
+	precBatch(tmp, bs)
+	for i, nrm := range norms(tmp) {
+		bn[i] = nrm
+		if nrm == 0 {
+			for j := range xs[i] {
+				xs[i][j] = 0
+			}
+			results[i].Converged = true
+			fin[i] = true
+		}
+	}
+
+	for {
+		if err := distCtxErr(p, opt.Ctx); err != nil {
+			return results, err
+		}
+		// Systems entering a new restart cycle.
+		var cyc []int
+		for i := 0; i < B; i++ {
+			if fin[i] {
+				continue
+			}
+			if results[i].NMatVec >= opt.MaxMatVec {
+				fin[i] = true
+				continue
+			}
+			cyc = append(cyc, i)
+		}
+		if len(cyc) == 0 {
+			break
+		}
+
+		// r_i = M⁻¹(b_i − A·x_i), batched.
+		matvecBatch(pick(tmp, cyc), pick(xs, cyc))
+		for _, i := range cyc {
+			results[i].NMatVec++
+			b := bs[i]
+			t := tmp[i]
+			for j := range t {
+				t[j] = b[j] - t[j]
+			}
+		}
+		p.Work(float64(nLocal * len(cyc)))
+		precBatch(vecAt(v, 0, cyc), pick(tmp, cyc))
+		betas := norms(vecAt(v, 0, cyc))
+		var live []int
+		for k, i := range cyc {
+			results[i].Residual = betas[k] / bn[i]
+			if results[i].Residual <= opt.Tol {
+				results[i].Converged = true
+				fin[i] = true
+				continue
+			}
+			inv := 1 / betas[k]
+			for j := range v[i][0] {
+				v[i][0][j] *= inv
+			}
+			for j := range g[i] {
+				g[i][j] = 0
+			}
+			g[i][0] = betas[k]
+			kCycle[i] = 0
+			live = append(live, i)
+		}
+		p.Work(float64(nLocal * len(live)))
+		cyc = append([]int(nil), live...)
+
+		for k := 0; k < m && len(live) > 0; k++ {
+			if err := distCtxErr(p, opt.Ctx); err != nil {
+				return results, err
+			}
+			// Systems at their matvec budget leave the cycle with the
+			// Arnoldi steps they have completed.
+			var inBudget []int
+			for _, i := range live {
+				if results[i].NMatVec < opt.MaxMatVec {
+					inBudget = append(inBudget, i)
+				}
+			}
+			live = inBudget
+			if len(live) == 0 {
+				break
+			}
+
+			// Batched Arnoldi step with modified Gram–Schmidt.
+			matvecBatch(pick(tmp, live), vecAt(v, k, live))
+			for _, i := range live {
+				results[i].NMatVec++
+			}
+			precBatch(vecAt(v, k+1, live), pick(tmp, live))
+			for j := 0; j <= k; j++ {
+				hj := dots(vecAt(v, k+1, live), vecAt(v, j, live))
+				for idx, i := range live {
+					h[i][j][k] = hj[idx]
+					w := v[i][k+1]
+					vj := v[i][j]
+					for l := range w {
+						w[l] -= hj[idx] * vj[l]
+					}
+				}
+				p.Work(float64(2 * nLocal * len(live)))
+			}
+			hk1 := norms(vecAt(v, k+1, live))
+			var stay []int
+			scaled := 0
+			for idx, i := range live {
+				arnoldiNorm := hk1[idx]
+				h[i][k+1][k] = arnoldiNorm
+				if arnoldiNorm > 0 {
+					inv := 1 / arnoldiNorm
+					w := v[i][k+1]
+					for l := range w {
+						w[l] *= inv
+					}
+					scaled++
+				}
+				for j := 0; j < k; j++ {
+					t := cs[i][j]*h[i][j][k] + sn[i][j]*h[i][j+1][k]
+					h[i][j+1][k] = -sn[i][j]*h[i][j][k] + cs[i][j]*h[i][j+1][k]
+					h[i][j][k] = t
+				}
+				cs[i][k], sn[i][k] = givens(h[i][k][k], h[i][k+1][k])
+				h[i][k][k] = cs[i][k]*h[i][k][k] + sn[i][k]*h[i][k+1][k]
+				h[i][k+1][k] = 0
+				g[i][k+1] = -sn[i][k] * g[i][k]
+				g[i][k] = cs[i][k] * g[i][k]
+				results[i].Residual = math.Abs(g[i][k+1]) / bn[i]
+				kCycle[i] = k + 1
+				if results[i].Residual <= opt.Tol || arnoldiNorm == 0 {
+					continue // exits the cycle; x update happens below
+				}
+				stay = append(stay, i)
+			}
+			p.Work(float64(nLocal * scaled))
+			live = stay
+		}
+
+		// Cycle end: every system that ran Arnoldi steps updates its
+		// iterate from its own k×k least-squares system.
+		for _, i := range cyc {
+			k := kCycle[i]
+			y := make([]float64, k)
+			for r := k - 1; r >= 0; r-- {
+				s := g[i][r]
+				for c := r + 1; c < k; c++ {
+					s -= h[i][r][c] * y[c]
+				}
+				if h[i][r][r] == 0 {
+					return results, fmt.Errorf("krylov: DistGMRESBatch Hessenberg breakdown at %d (rhs %d)", r, i)
+				}
+				y[r] = s / h[i][r][r]
+			}
+			x := xs[i]
+			for j := 0; j < k; j++ {
+				yj := y[j]
+				vj := v[i][j]
+				for l := range x {
+					x[l] += yj * vj[l]
+				}
+			}
+			p.Work(float64(2 * nLocal * k))
+			results[i].Restarts++
+			if results[i].Residual <= opt.Tol {
+				results[i].Converged = true
+				fin[i] = true
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,239 @@
+package krylov
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/ilu"
+	"repro/internal/machine"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// batchFixture factors a grid problem on P processors and returns
+// everything a batched solve needs.
+func batchFixture(t *testing.T, p int) (*sparse.CSR, *dist.Layout, []*core.ProcPrecond) {
+	t.Helper()
+	a := matgen.Grid2D(24, 24)
+	g := graph.FromMatrix(a)
+	part := partition.KWay(g, p, partition.Options{Seed: 5})
+	lay, err := dist.NewLayout(a.N, p, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(a, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs := make([]*core.ProcPrecond, p)
+	m := machine.New(p, machine.Zero())
+	m.SetWatchdog(30 * time.Second)
+	m.Run(func(proc *machine.Proc) {
+		pcs[proc.ID] = core.Factor(proc, plan, core.Options{Params: ilu.Params{M: 8, Tau: 1e-4, K: 2}, Seed: 5})
+	})
+	return a, lay, pcs
+}
+
+func randomRHS(n, b int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, b)
+	for bi := range out {
+		out[bi] = make([]float64, n)
+		for i := range out[bi] {
+			out[bi][i] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+func TestDistGMRESBatchMatchesSingleSolves(t *testing.T) {
+	const P = 4
+	const B = 3
+	a, lay, pcs := batchFixture(t, P)
+	bsGlobal := randomRHS(a.N, B, 17)
+	opt := Options{Restart: 15, Tol: 1e-9, MaxMatVec: 2000}
+
+	// Reference: each right-hand side solved alone.
+	wantX := make([][]float64, B)
+	wantRes := make([]Result, B)
+	var collectivesSingle int64
+	for bi := 0; bi < B; bi++ {
+		parts := lay.Scatter(bsGlobal[bi])
+		xParts := make([][]float64, P)
+		m := machine.New(P, machine.Zero())
+		m.SetWatchdog(60 * time.Second)
+		res := m.Run(func(p *machine.Proc) {
+			dm := dist.NewMatrix(p, lay, a)
+			x := make([]float64, lay.NLocal(p.ID))
+			r, err := DistGMRES(p, dm, pcs[p.ID], x, parts[p.ID], opt)
+			if err != nil {
+				panic(err)
+			}
+			xParts[p.ID] = x
+			if p.ID == 0 {
+				wantRes[bi] = r
+			}
+		})
+		wantX[bi] = lay.Gather(xParts)
+		collectivesSingle += res.PerProc[0].Collectives
+	}
+
+	// Batched solve of all B at once.
+	gotParts := make([][][]float64, B)
+	for bi := range gotParts {
+		gotParts[bi] = make([][]float64, P)
+	}
+	var gotRes []Result
+	m := machine.New(P, machine.Zero())
+	m.SetWatchdog(60 * time.Second)
+	resStats := m.Run(func(p *machine.Proc) {
+		dm := dist.NewMatrix(p, lay, a)
+		xs := make([][]float64, B)
+		bs := make([][]float64, B)
+		for bi := 0; bi < B; bi++ {
+			xs[bi] = make([]float64, lay.NLocal(p.ID))
+			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID]
+		}
+		rs, err := DistGMRESBatch(p, dm, pcs[p.ID], xs, bs, opt)
+		if err != nil {
+			panic(err)
+		}
+		for bi := 0; bi < B; bi++ {
+			gotParts[bi][p.ID] = xs[bi]
+		}
+		if p.ID == 0 {
+			gotRes = rs
+		}
+	})
+
+	for bi := 0; bi < B; bi++ {
+		if !gotRes[bi].Converged {
+			t.Fatalf("rhs %d did not converge in batch: %+v", bi, gotRes[bi])
+		}
+		if gotRes[bi].NMatVec != wantRes[bi].NMatVec {
+			t.Errorf("rhs %d: batch used %d matvecs, single used %d", bi, gotRes[bi].NMatVec, wantRes[bi].NMatVec)
+		}
+		got := lay.Gather(gotParts[bi])
+		for i := range got {
+			if got[i] != wantX[bi][i] {
+				t.Fatalf("rhs %d: batch solution differs at %d: %v vs %v (batch arithmetic must match single-RHS exactly)",
+					bi, i, got[i], wantX[bi][i])
+			}
+		}
+	}
+
+	// The whole point: lock-step batching shares collectives. Per
+	// processor, the batch run must synchronize far less than the three
+	// single runs combined.
+	if batch := resStats.PerProc[0].Collectives; batch >= collectivesSingle {
+		t.Fatalf("batch run used %d collectives, %d singles used %d — no sharing happened",
+			batch, B, collectivesSingle)
+	}
+}
+
+func TestDistGMRESBatchMixedConvergence(t *testing.T) {
+	// One trivial right-hand side (zero: converges instantly) alongside
+	// hard ones: the batch must keep iterating the others.
+	const P = 2
+	a, lay, pcs := batchFixture(t, P)
+	bsGlobal := randomRHS(a.N, 3, 23)
+	for i := range bsGlobal[1] {
+		bsGlobal[1][i] = 0
+	}
+	var gotRes []Result
+	m := machine.New(P, machine.Zero())
+	m.SetWatchdog(60 * time.Second)
+	m.Run(func(p *machine.Proc) {
+		dm := dist.NewMatrix(p, lay, a)
+		xs := make([][]float64, 3)
+		bs := make([][]float64, 3)
+		for bi := 0; bi < 3; bi++ {
+			xs[bi] = make([]float64, lay.NLocal(p.ID))
+			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID]
+		}
+		rs, err := DistGMRESBatch(p, dm, pcs[p.ID], xs, bs, Options{Restart: 15, Tol: 1e-8})
+		if err != nil {
+			panic(err)
+		}
+		if p.ID == 0 {
+			gotRes = rs
+		}
+	})
+	for bi, r := range gotRes {
+		if !r.Converged {
+			t.Errorf("rhs %d did not converge: %+v", bi, r)
+		}
+	}
+	if gotRes[1].NMatVec != 0 {
+		t.Errorf("zero rhs performed %d matvecs", gotRes[1].NMatVec)
+	}
+}
+
+func TestDistGMRESBatchCanceled(t *testing.T) {
+	const P = 2
+	a, lay, pcs := batchFixture(t, P)
+	bsGlobal := randomRHS(a.N, 2, 29)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs := make([]error, P)
+	m := machine.New(P, machine.Zero())
+	m.SetWatchdog(30 * time.Second)
+	m.Run(func(p *machine.Proc) {
+		dm := dist.NewMatrix(p, lay, a)
+		xs := make([][]float64, 2)
+		bs := make([][]float64, 2)
+		for bi := 0; bi < 2; bi++ {
+			xs[bi] = make([]float64, lay.NLocal(p.ID))
+			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID]
+		}
+		_, errs[p.ID] = DistGMRESBatch(p, dm, pcs[p.ID], xs, bs, Options{Restart: 10, Ctx: ctx})
+	})
+	for q, err := range errs {
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("proc %d: err = %v, want ErrCanceled", q, err)
+		}
+	}
+}
+
+func TestDistGMRESBatchFallbackWithoutBatchInterfaces(t *testing.T) {
+	// A plain (non-batch) preconditioner still works through the
+	// per-vector fallback path.
+	const P = 2
+	a, lay, _ := batchFixture(t, P)
+	bsGlobal := randomRHS(a.N, 2, 31)
+	var gotRes []Result
+	m := machine.New(P, machine.Zero())
+	m.SetWatchdog(60 * time.Second)
+	m.Run(func(p *machine.Proc) {
+		dm := dist.NewMatrix(p, lay, a)
+		jac, err := NewDistJacobi(lay, a, p.ID)
+		if err != nil {
+			panic(err)
+		}
+		xs := make([][]float64, 2)
+		bs := make([][]float64, 2)
+		for bi := 0; bi < 2; bi++ {
+			xs[bi] = make([]float64, lay.NLocal(p.ID))
+			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID]
+		}
+		rs, err := DistGMRESBatch(p, dm, jac, xs, bs, Options{Restart: 30, Tol: 1e-6, MaxMatVec: 4000})
+		if err != nil {
+			panic(err)
+		}
+		if p.ID == 0 {
+			gotRes = rs
+		}
+	})
+	for bi, r := range gotRes {
+		if !r.Converged {
+			t.Errorf("rhs %d did not converge with Jacobi fallback: %+v", bi, r)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package krylov
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,6 +20,32 @@ type DistOperator interface {
 // satisfies it.
 type DistPreconditioner interface {
 	Solve(p *machine.Proc, x, b []float64)
+}
+
+// distCtxErr takes the collective cancellation decision of the
+// distributed solvers: every processor contributes its local view of the
+// (shared) context and the OR is reduced, so either all processors abort
+// the solve or none do — a processor-local exit from an SPMD loop would
+// strand the others in the next collective. The extra AllReduce is only
+// paid when a context is actually supplied; Ctx nil-ness is uniform
+// across processors, so the collective schedule stays consistent.
+func distCtxErr(p *machine.Proc, ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	c := 0
+	if ctx.Err() != nil {
+		c = 1
+	}
+	if p.AllReduceInt(c, machine.OpMax) > 0 {
+		if cause := ctx.Err(); cause != nil {
+			return fmt.Errorf("%w: %v", ErrCanceled, cause)
+		}
+		// Another processor observed the cancellation first; this one
+		// still reports the canceled error so all return consistently.
+		return ErrCanceled
+	}
+	return nil
 }
 
 // DistIdentity is the unpreconditioned baseline.
@@ -111,6 +138,9 @@ func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b [
 	}
 
 	for res.NMatVec < opt.MaxMatVec {
+		if err := distCtxErr(p, opt.Ctx); err != nil {
+			return res, err
+		}
 		op.MulVec(p, tmp, x)
 		res.NMatVec++
 		for i := range tmp {
@@ -132,6 +162,9 @@ func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b [
 
 		var k int
 		for k = 0; k < m && res.NMatVec < opt.MaxMatVec; k++ {
+			if err := distCtxErr(p, opt.Ctx); err != nil {
+				return res, err
+			}
 			op.MulVec(p, tmp, v[k])
 			res.NMatVec++
 			prec.Solve(p, v[k+1], tmp)

@@ -50,6 +50,9 @@ func FGMRES(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Re
 	}
 
 	for res.NMatVec < opt.MaxMatVec {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return res, err
+		}
 		a.MulVec(tmp, x)
 		res.NMatVec++
 		for i := range tmp {
@@ -70,6 +73,9 @@ func FGMRES(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Re
 
 		var k int
 		for k = 0; k < m && res.NMatVec < opt.MaxMatVec; k++ {
+			if err := ctxErr(opt.Ctx); err != nil {
+				return res, err
+			}
 			prec.Solve(z[k], v[k])
 			a.MulVec(v[k+1], z[k])
 			res.NMatVec++

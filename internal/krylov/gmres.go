@@ -6,11 +6,30 @@
 package krylov
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/sparse"
 )
+
+// ErrCanceled is returned (possibly wrapped, test with errors.Is) when a
+// solve stops because its context was canceled or its deadline expired.
+// The partially converged Result is still returned alongside it.
+var ErrCanceled = errors.New("krylov: solve canceled")
+
+// ctxErr reports the cancellation state of an optional context as a
+// wrapped ErrCanceled, or nil.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if cause := ctx.Err(); cause != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, cause)
+	}
+	return nil
+}
 
 // Preconditioner applies M⁻¹ to a vector. ilu.Factors satisfies it.
 type Preconditioner interface {
@@ -33,6 +52,13 @@ type Options struct {
 	// ‖M⁻¹(b−Ax)‖ ≤ Tol·‖M⁻¹b‖ (left preconditioning monitors the
 	// preconditioned residual, as the paper's solver does). Default 1e-8.
 	Tol float64
+	// Ctx, when non-nil, is checked at every iteration: a canceled
+	// context (or an expired deadline) makes the solve return ErrCanceled
+	// together with the partial Result. In the distributed solvers the
+	// cancellation decision is taken collectively, so every virtual
+	// processor leaves the SPMD solve together. All processors of a run
+	// must pass the same context (nil-ness included).
+	Ctx context.Context
 }
 
 func (o Options) normalize(n int) Options {
@@ -97,6 +123,9 @@ func GMRES(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Res
 	}
 
 	for res.NMatVec < opt.MaxMatVec {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return res, err
+		}
 		// r = M⁻¹(b − A·x)
 		a.MulVec(tmp, x)
 		res.NMatVec++
@@ -118,6 +147,9 @@ func GMRES(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Res
 
 		var k int
 		for k = 0; k < m && res.NMatVec < opt.MaxMatVec; k++ {
+			if err := ctxErr(opt.Ctx); err != nil {
+				return res, err
+			}
 			// Arnoldi step with modified Gram–Schmidt.
 			a.MulVec(tmp, v[k])
 			res.NMatVec++
@@ -231,6 +263,9 @@ func CG(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Result
 	copy(p, z)
 	rz := sparse.Dot(r, z)
 	for res.NMatVec < opt.MaxMatVec {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return res, err
+		}
 		res.Residual = sparse.Norm2(r) / bnorm
 		if res.Residual <= opt.Tol {
 			res.Converged = true

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// matrixStore holds submitted matrices by fingerprint. Matrices are
+// cheap relative to factorizations and are never evicted: an evicted
+// factorization can therefore always be rebuilt from its matrix without
+// resubmission.
+type matrixStore struct {
+	byKey map[string]*sparse.CSR
+}
+
+func newMatrixStore() *matrixStore {
+	return &matrixStore{byKey: make(map[string]*sparse.CSR)}
+}
+
+// put stores a (returning its content key and whether it was already
+// known). Caller holds the server lock.
+func (s *matrixStore) put(a *sparse.CSR) (string, bool) {
+	key := sparse.Fingerprint(a)
+	if _, ok := s.byKey[key]; ok {
+		return key, true
+	}
+	s.byKey[key] = a
+	return key, false
+}
+
+func (s *matrixStore) get(key string) (*sparse.CSR, bool) {
+	a, ok := s.byKey[key]
+	return a, ok
+}
+
+func (s *matrixStore) len() int { return len(s.byKey) }
+
+// entry is one cached factorization: the elimination plan plus every
+// virtual processor's preconditioner piece and ghost-exchange plan, all
+// built in a single machine run. Entries are immutable once published;
+// the per-processor solve scratch is allocated per batch, so concurrent
+// batches of *different* matrices may share nothing, and the dispatcher
+// guarantees at most one batch per matrix at a time.
+type entry struct {
+	key  string
+	a    *sparse.CSR
+	lay  *dist.Layout
+	pcs  []*core.ProcPrecond
+	mats []*dist.Matrix
+
+	bytes         int64
+	levels        int
+	factorSeconds float64 // modelled machine seconds of the factorization
+
+	elem *list.Element
+}
+
+// factorCache is a content-addressed LRU over factorizations with a byte
+// budget. All methods require the server lock (the cache has no lock of
+// its own); the expensive build happens outside the lock in the worker.
+type factorCache struct {
+	budget  int64
+	bytes   int64
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+
+	hits           int64
+	misses         int64
+	evictions      int64
+	factorizations int64
+}
+
+func newFactorCache(budget int64) *factorCache {
+	return &factorCache{
+		budget:  budget,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+}
+
+// lookup returns the entry for key, promoting it to most-recently-used,
+// and records a hit or miss.
+func (c *factorCache) lookup(key string) (*entry, bool) {
+	ent, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(ent.elem)
+	return ent, true
+}
+
+// insert publishes a freshly built entry and evicts least-recently-used
+// entries until the budget is met again. The new entry itself is never
+// evicted (a single oversized factorization is allowed to live alone).
+// Evicted entries stay valid for any batch still holding a pointer; they
+// just stop being findable, so the next solve of that matrix refactors.
+func (c *factorCache) insert(ent *entry) {
+	if old, ok := c.entries[ent.key]; ok {
+		c.removeLocked(old)
+	}
+	ent.elem = c.lru.PushFront(ent)
+	c.entries[ent.key] = ent
+	c.bytes += ent.bytes
+	c.factorizations++
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		victim := c.lru.Back().Value.(*entry)
+		c.removeLocked(victim)
+		c.evictions++
+	}
+}
+
+func (c *factorCache) removeLocked(ent *entry) {
+	c.lru.Remove(ent.elem)
+	delete(c.entries, ent.key)
+	c.bytes -= ent.bytes
+}
+
+func (c *factorCache) snapshot() CacheStats {
+	return CacheStats{
+		Entries:        c.lru.Len(),
+		Bytes:          c.bytes,
+		BudgetBytes:    c.budget,
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Evictions:      c.evictions,
+		Factorizations: c.factorizations,
+	}
+}
+
+// buildEntry partitions, plans and factors a on cfg.Procs virtual
+// processors and constructs the distributed matrix views the solves will
+// use. It runs on a worker goroutine with no locks held. A failed
+// factorization (for example a structurally zero pivot) surfaces as an
+// error, not a panic.
+func buildEntry(key string, a *sparse.CSR, cfg Config) (ent *entry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ent = nil
+			err = fmt.Errorf("service: factorization of %s failed: %v", key, r)
+		}
+	}()
+
+	g := graph.FromMatrix(a)
+	part := partition.KWay(g, cfg.Procs, partition.Options{Seed: cfg.Seed})
+	lay, lerr := dist.NewLayout(a.N, cfg.Procs, part)
+	if lerr != nil {
+		return nil, fmt.Errorf("service: layout for %s: %w", key, lerr)
+	}
+	plan, perr := core.NewPlan(a, lay)
+	if perr != nil {
+		return nil, fmt.Errorf("service: elimination plan for %s: %w", key, perr)
+	}
+
+	ent = &entry{
+		key:  key,
+		a:    a,
+		lay:  lay,
+		pcs:  make([]*core.ProcPrecond, cfg.Procs),
+		mats: make([]*dist.Matrix, cfg.Procs),
+	}
+	m := machine.New(cfg.Procs, cfg.Cost)
+	m.SetWatchdog(2 * time.Minute)
+	res := m.Run(func(proc *machine.Proc) {
+		ent.pcs[proc.ID] = core.Factor(proc, plan, core.Options{
+			Params:    cfg.Params,
+			MISRounds: cfg.MISRounds,
+			Seed:      cfg.Seed,
+		})
+		ent.mats[proc.ID] = dist.NewMatrix(proc, lay, a)
+	})
+	ent.factorSeconds = res.Elapsed
+	ent.levels = ent.pcs[0].NumLevels()
+
+	ent.bytes = a.SizeBytes()
+	for q := 0; q < cfg.Procs; q++ {
+		ent.bytes += ent.pcs[q].SizeBytes()
+		ent.bytes += ent.mats[q].SizeBytes()
+	}
+	return ent, nil
+}

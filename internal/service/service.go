@@ -1,0 +1,506 @@
+// Package service turns the paper's reproduction into a long-lived
+// solver service: submitted matrices are content-addressed by their
+// sparse fingerprint, factorizations are computed once per distinct
+// matrix and kept in a byte-budgeted LRU cache, and solve requests are
+// executed by a worker pool that coalesces concurrent right-hand sides
+// for the same matrix into one multi-RHS lock-step GMRES run sharing a
+// single preconditioner-application pipeline. Requests carry a
+// context.Context whose deadline or cancellation aborts the simulated
+// machine run collectively.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ilu"
+	"repro/internal/krylov"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+var (
+	// ErrUnknownMatrix is returned by Solve for a key no Submit produced.
+	ErrUnknownMatrix = errors.New("service: unknown matrix key")
+	// ErrClosed is returned for requests arriving after Shutdown began.
+	ErrClosed = errors.New("service: server is shutting down")
+)
+
+// Config configures a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Procs is the number of virtual processors each factorization and
+	// solve runs on. Default 4.
+	Procs int
+	// Params are the ILUT/ILUT* parameters. Default ILUT*(10, 1e-4, 2).
+	Params ilu.Params
+	// MISRounds and Seed are passed through to core.Factor.
+	MISRounds int
+	Seed      int64
+	// Cost is the virtual machine cost model. The zero value models free
+	// communication; use machine.T3D() for the paper's machine.
+	Cost machine.CostModel
+	// Workers is the number of concurrent batch executors. Default 2.
+	Workers int
+	// MaxBatch caps how many right-hand sides one machine run solves
+	// together. Default 8.
+	MaxBatch int
+	// CacheBytes is the factorization cache budget. Default 256 MiB.
+	CacheBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.Params.M == 0 && c.Params.Tau == 0 && c.Params.K == 0 {
+		c.Params = ilu.Params{M: 10, Tau: 1e-4, K: 2}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	return c
+}
+
+// SolveOptions select the Krylov parameters of one request. Requests for
+// the same matrix with identical options are batchable. Zero values take
+// the krylov package defaults.
+type SolveOptions struct {
+	Restart   int
+	Tol       float64
+	MaxMatVec int
+}
+
+// SolveResult is the answer to one solve request.
+type SolveResult struct {
+	Key        string    `json:"key"`
+	X          []float64 `json:"x"`
+	Converged  bool      `json:"converged"`
+	Iterations int       `json:"iterations"` // matrix–vector products
+	Restarts   int       `json:"restarts"`
+	Residual   float64   `json:"residual"` // preconditioned relative residual
+	CacheHit   bool      `json:"cache_hit"`
+	BatchSize  int       `json:"batch_size"` // right-hand sides in the run that solved this
+	// ModelledSeconds is the virtual machine time of the run (shared by
+	// the whole batch), excluding factorization.
+	ModelledSeconds float64 `json:"modelled_seconds"`
+}
+
+type outcome struct {
+	res SolveResult
+	err error
+}
+
+type request struct {
+	key  string
+	b    []float64
+	opt  SolveOptions
+	ctx  context.Context
+	enq  time.Time
+	done chan outcome
+}
+
+// Server is the solver service. Create one with New, stop it with
+// Shutdown.
+type Server struct {
+	cfg   Config
+	stats *statsCollector
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	matrices  *matrixStore
+	cache     *factorCache
+	pending   map[string][]*request // per key, FIFO
+	scheduled map[string]bool       // key is queued or being run
+	keyq      []string
+	running   int
+	draining  bool // reject new requests
+	aborting  bool // fail queued requests instead of solving them
+	stopping  bool // workers exit once the queue is empty
+
+	reqWG    sync.WaitGroup // accepted, not-yet-answered requests
+	workerWG sync.WaitGroup
+}
+
+// New starts a Server with cfg.Workers executor goroutines.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		stats:     newStatsCollector(),
+		matrices:  newMatrixStore(),
+		cache:     newFactorCache(cfg.CacheBytes),
+		pending:   make(map[string][]*request),
+		scheduled: make(map[string]bool),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit registers a matrix and returns its content key. Submitting the
+// same matrix (by content, not by pointer) again returns the same key
+// with known = true and costs nothing. The matrix must be square with at
+// least Procs rows.
+func (s *Server) Submit(a *sparse.CSR) (key string, known bool, err error) {
+	if a == nil {
+		return "", false, fmt.Errorf("service: nil matrix")
+	}
+	if a.N != a.M {
+		return "", false, fmt.Errorf("service: matrix must be square, got %d×%d", a.N, a.M)
+	}
+	if a.N < s.cfg.Procs {
+		return "", false, fmt.Errorf("service: matrix has %d rows, need at least one per processor (%d)", a.N, s.cfg.Procs)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return "", false, ErrClosed
+	}
+	key, known = s.matrices.put(a)
+	return key, known, nil
+}
+
+// Solve solves A·x = b for the matrix registered under key and returns
+// the solution. Concurrent Solve calls for the same key with the same
+// options are coalesced into one multi-RHS run. A canceled or expired
+// ctx makes Solve return an error wrapping krylov.ErrCanceled; a nil ctx
+// never cancels.
+func (s *Server) Solve(ctx context.Context, key string, b []float64, opt SolveOptions) (SolveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return SolveResult{}, ErrClosed
+	}
+	a, ok := s.matrices.get(key)
+	if !ok {
+		s.mu.Unlock()
+		return SolveResult{}, fmt.Errorf("%w: %q", ErrUnknownMatrix, key)
+	}
+	if len(b) != a.N {
+		s.mu.Unlock()
+		return SolveResult{}, fmt.Errorf("service: right-hand side has %d entries for an n=%d matrix", len(b), a.N)
+	}
+	req := &request{
+		key:  key,
+		b:    append([]float64(nil), b...),
+		opt:  opt,
+		ctx:  ctx,
+		enq:  time.Now(),
+		done: make(chan outcome, 1),
+	}
+	s.stats.request()
+	s.reqWG.Add(1)
+	s.pending[key] = append(s.pending[key], req)
+	if !s.scheduled[key] {
+		s.scheduled[key] = true
+		s.keyq = append(s.keyq, key)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+
+	select {
+	case out := <-req.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The worker still owns the request and will drain req.done (it
+		// is buffered); the caller gets the cancellation immediately.
+		return SolveResult{}, fmt.Errorf("%w: %v", krylov.ErrCanceled, ctx.Err())
+	}
+}
+
+// StatsSnapshot returns a point-in-time view of the service counters.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	depth := 0
+	for _, q := range s.pending {
+		depth += len(q)
+	}
+	return Stats{
+		Matrices:   s.matrices.len(),
+		QueueDepth: depth,
+		Running:    s.running,
+		Cache:      s.cache.snapshot(),
+		Solves:     s.stats.snapshot(),
+	}
+}
+
+// Shutdown stops the service gracefully: new Submit/Solve calls are
+// rejected immediately, every already-accepted request is answered, then
+// the workers exit. If ctx expires first, requests still waiting in the
+// queue are failed with ErrClosed instead of being solved (batches
+// already running always finish), and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		s.aborting = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		<-drained
+	}
+
+	s.mu.Lock()
+	s.stopping = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.workerWG.Wait()
+	return err
+}
+
+// worker executes batches. At most one batch per key runs at a time
+// (entries hold per-processor state that a run uses exclusively), so a
+// key is either in keyq or being run, never both.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		s.mu.Lock()
+		for len(s.keyq) == 0 && !s.stopping {
+			s.cond.Wait()
+		}
+		if len(s.keyq) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		key := s.keyq[0]
+		s.keyq = s.keyq[1:]
+		batch := s.takeBatchLocked(key)
+		aborting := s.aborting
+		s.running++
+		s.mu.Unlock()
+
+		if aborting {
+			s.failBatch(batch, ErrClosed)
+		} else {
+			s.runBatch(key, batch)
+		}
+
+		s.mu.Lock()
+		s.running--
+		if len(s.pending[key]) > 0 {
+			s.keyq = append(s.keyq, key)
+			s.cond.Signal()
+		} else {
+			delete(s.pending, key)
+			delete(s.scheduled, key)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// takeBatchLocked removes up to MaxBatch requests for key that share the
+// head request's options, preserving FIFO order of the rest.
+func (s *Server) takeBatchLocked(key string) []*request {
+	q := s.pending[key]
+	if len(q) == 0 {
+		return nil
+	}
+	head := q[0].opt
+	var batch, rest []*request
+	for _, r := range q {
+		if len(batch) < s.cfg.MaxBatch && r.opt == head {
+			batch = append(batch, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	s.pending[key] = rest
+	return batch
+}
+
+func (s *Server) respond(r *request, out outcome) {
+	r.done <- out
+	s.reqWG.Done()
+}
+
+func (s *Server) failBatch(batch []*request, err error) {
+	for _, r := range batch {
+		if errors.Is(err, krylov.ErrCanceled) {
+			s.stats.canceledSolve()
+		} else {
+			s.stats.failedSolve()
+		}
+		s.respond(r, outcome{err: err})
+	}
+}
+
+// entryFor returns the cached factorization for key, building and
+// inserting it on a miss. The build runs without the server lock;
+// per-key exclusive dispatch guarantees no duplicate concurrent build.
+func (s *Server) entryFor(key string) (*entry, bool, error) {
+	s.mu.Lock()
+	ent, ok := s.cache.lookup(key)
+	if ok {
+		s.mu.Unlock()
+		return ent, true, nil
+	}
+	a, ok := s.matrices.get(key)
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q", ErrUnknownMatrix, key)
+	}
+	ent, err := buildEntry(key, a, s.cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	s.cache.insert(ent)
+	s.mu.Unlock()
+	return ent, false, nil
+}
+
+// mergedContext returns a context that cancels only when every member
+// request's context is done: as long as one right-hand side of the batch
+// is still wanted, the run continues and the others simply ignore their
+// (already answered) results.
+func mergedContext(reqs []*request) (context.Context, func()) {
+	if len(reqs) == 1 {
+		return reqs[0].ctx, func() {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var remaining atomic.Int64
+	remaining.Store(int64(len(reqs)))
+	stops := make([]func() bool, 0, len(reqs))
+	for _, r := range reqs {
+		stops = append(stops, context.AfterFunc(r.ctx, func() {
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+		}))
+	}
+	return ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+}
+
+// runBatch factors (or fetches) the matrix and solves the batch in one
+// simulated machine run.
+func (s *Server) runBatch(key string, batch []*request) {
+	if len(batch) == 0 {
+		return
+	}
+	ent, hit, err := s.entryFor(key)
+	if err != nil {
+		s.failBatch(batch, err)
+		return
+	}
+
+	// Requests whose context died while queued are answered without
+	// occupying a right-hand-side slot.
+	var live []*request
+	for _, r := range batch {
+		if cause := r.ctx.Err(); cause != nil {
+			s.stats.canceledSolve()
+			s.respond(r, outcome{err: fmt.Errorf("%w: %v", krylov.ErrCanceled, cause)})
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	bctx, stop := mergedContext(live)
+	defer stop()
+	B := len(live)
+	o := live[0].opt
+	opt := krylov.Options{Restart: o.Restart, Tol: o.Tol, MaxMatVec: o.MaxMatVec, Ctx: bctx}
+
+	bParts := make([][][]float64, B)
+	xsParts := make([][][]float64, B)
+	for bi, r := range live {
+		bParts[bi] = ent.lay.Scatter(r.b)
+		xsParts[bi] = make([][]float64, s.cfg.Procs)
+	}
+	perRes := make([]krylov.Result, B)
+	procErrs := make([]error, s.cfg.Procs)
+
+	mres, runErr := func() (mr machine.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("service: solve of %s failed: %v", key, r)
+			}
+		}()
+		m := machine.New(s.cfg.Procs, s.cfg.Cost)
+		m.SetWatchdog(2 * time.Minute)
+		mr = m.Run(func(proc *machine.Proc) {
+			xs := make([][]float64, B)
+			bs := make([][]float64, B)
+			for bi := 0; bi < B; bi++ {
+				xs[bi] = make([]float64, ent.lay.NLocal(proc.ID))
+				bs[bi] = bParts[bi][proc.ID]
+			}
+			rs, serr := krylov.DistGMRESBatch(proc, ent.mats[proc.ID], ent.pcs[proc.ID], xs, bs, opt)
+			procErrs[proc.ID] = serr
+			for bi := 0; bi < B; bi++ {
+				xsParts[bi][proc.ID] = xs[bi]
+			}
+			if proc.ID == 0 && len(rs) == B {
+				copy(perRes, rs)
+			}
+		})
+		return mr, nil
+	}()
+	if runErr == nil {
+		// The solve error is SPMD-collective: every processor returns the
+		// same one.
+		runErr = procErrs[0]
+	}
+	if runErr != nil {
+		s.failBatch(live, runErr)
+		return
+	}
+
+	s.stats.batch(B, mres.Elapsed)
+	for bi, r := range live {
+		x := ent.lay.Gather(xsParts[bi])
+		res := SolveResult{
+			Key:             key,
+			X:               x,
+			Converged:       perRes[bi].Converged,
+			Iterations:      perRes[bi].NMatVec,
+			Restarts:        perRes[bi].Restarts,
+			Residual:        perRes[bi].Residual,
+			CacheHit:        hit,
+			BatchSize:       B,
+			ModelledSeconds: mres.Elapsed,
+		}
+		s.stats.completedSolve(float64(time.Since(r.enq))/float64(time.Millisecond), res.Iterations)
+		s.respond(r, outcome{res: res})
+	}
+}

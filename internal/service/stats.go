@@ -1,0 +1,172 @@
+package service
+
+import "sync"
+
+// Histogram is a fixed-bucket histogram snapshot. Bounds are upper edges
+// (non-cumulative counts); observations above the last bound land in
+// Overflow.
+type Histogram struct {
+	Bounds   []float64 `json:"bounds"`
+	Counts   []int64   `json:"counts"`
+	Overflow int64     `json:"overflow"`
+	Count    int64     `json:"count"`
+	Sum      float64   `json:"sum"`
+}
+
+// histogram is the mutable counterpart; callers hold the collector lock.
+type histogram struct {
+	bounds   []float64
+	counts   []int64
+	overflow int64
+	count    int64
+	sum      float64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.overflow++
+}
+
+func (h *histogram) snapshot() Histogram {
+	return Histogram{
+		Bounds:   append([]float64(nil), h.bounds...),
+		Counts:   append([]int64(nil), h.counts...),
+		Overflow: h.overflow,
+		Count:    h.count,
+		Sum:      h.sum,
+	}
+}
+
+// CacheStats describes the factorization cache.
+type CacheStats struct {
+	Entries        int   `json:"entries"`
+	Bytes          int64 `json:"bytes"`
+	BudgetBytes    int64 `json:"budget_bytes"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	Factorizations int64 `json:"factorizations"`
+}
+
+// SolveStats describes the solve pipeline.
+type SolveStats struct {
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	Canceled  int64 `json:"canceled"`
+	Errors    int64 `json:"errors"`
+
+	Batches    int64 `json:"batches"`
+	BatchedRHS int64 `json:"batched_rhs"`
+	MaxBatch   int   `json:"max_batch"`
+
+	// LatencyMs is wall-clock milliseconds from request acceptance to
+	// response; Iterations is matrix–vector products per completed solve.
+	LatencyMs  Histogram `json:"latency_ms"`
+	Iterations Histogram `json:"iterations"`
+
+	// ModelledSeconds accumulates the virtual machine clock of every
+	// solve run (the paper's cost model, not wall time).
+	ModelledSeconds float64 `json:"modelled_seconds"`
+}
+
+// Stats is a point-in-time snapshot of the whole service.
+type Stats struct {
+	Matrices   int        `json:"matrices"`
+	QueueDepth int        `json:"queue_depth"`
+	Running    int        `json:"running_batches"`
+	Cache      CacheStats `json:"cache"`
+	Solves     SolveStats `json:"solves"`
+}
+
+var (
+	latencyBoundsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+	iterationBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+)
+
+// statsCollector aggregates solve-side counters; cache counters live in
+// the cache itself and are merged at snapshot time.
+type statsCollector struct {
+	mu         sync.Mutex
+	requests   int64
+	completed  int64
+	canceled   int64
+	errors     int64
+	batches    int64
+	batchedRHS int64
+	maxBatch   int
+	latency    *histogram
+	iterations *histogram
+	modelled   float64
+}
+
+func newStatsCollector() *statsCollector {
+	return &statsCollector{
+		latency:    newHistogram(latencyBoundsMs),
+		iterations: newHistogram(iterationBounds),
+	}
+}
+
+func (s *statsCollector) request() {
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) batch(size int, modelledSeconds float64) {
+	s.mu.Lock()
+	s.batches++
+	s.batchedRHS += int64(size)
+	if size > s.maxBatch {
+		s.maxBatch = size
+	}
+	s.modelled += modelledSeconds
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) completedSolve(latencyMs float64, iterations int) {
+	s.mu.Lock()
+	s.completed++
+	s.latency.observe(latencyMs)
+	s.iterations.observe(float64(iterations))
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) canceledSolve() {
+	s.mu.Lock()
+	s.canceled++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) failedSolve() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) snapshot() SolveStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SolveStats{
+		Requests:        s.requests,
+		Completed:       s.completed,
+		Canceled:        s.canceled,
+		Errors:          s.errors,
+		Batches:         s.batches,
+		BatchedRHS:      s.batchedRHS,
+		MaxBatch:        s.maxBatch,
+		LatencyMs:       s.latency.snapshot(),
+		Iterations:      s.iterations.snapshot(),
+		ModelledSeconds: s.modelled,
+	}
+}

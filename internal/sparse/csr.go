@@ -34,6 +34,13 @@ func (a *CSR) NNZ() int { return len(a.Cols) }
 // Dims reports the matrix dimensions (rows, columns).
 func (a *CSR) Dims() (int, int) { return a.N, a.M }
 
+// SizeBytes reports the in-memory footprint of the stored arrays (8 bytes
+// per row pointer, column index and value). Cache byte budgets are
+// accounted with it.
+func (a *CSR) SizeBytes() int64 {
+	return 8 * int64(len(a.RowPtr)+len(a.Cols)+len(a.Vals))
+}
+
 // Row returns the column-index and value slices of row i. The slices alias
 // the matrix storage; callers must not grow them.
 func (a *CSR) Row(i int) ([]int, []float64) {

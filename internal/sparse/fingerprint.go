@@ -1,0 +1,61 @@
+package sparse
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// fingerprintVersion is folded into every fingerprint so that a change to
+// the encoding can never collide with hashes computed by an older scheme.
+const fingerprintVersion = "pilut-fp-v1"
+
+// Fingerprint returns a stable content hash of the matrix: two matrices
+// have the same fingerprint exactly when they have identical dimensions,
+// row pointers, column indices and values (bit-for-bit on the float64
+// payload). The hash is the key of the solver service's factorization
+// cache, so it must be insensitive to everything but content — in
+// particular it does not depend on spare slice capacity or on the address
+// of the matrix. Permuting a matrix or perturbing a single value yields a
+// different fingerprint.
+func Fingerprint(a *CSR) string {
+	h := sha256.New()
+	var scratch [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+
+	h.Write([]byte(fingerprintVersion))
+	writeU64(uint64(a.N))
+	writeU64(uint64(a.M))
+	writeU64(uint64(a.NNZ()))
+
+	// Hash in sizeable chunks: a per-entry Write call would dominate the
+	// cost on the multi-hundred-thousand-entry matrices the service keys.
+	buf := make([]byte, 0, 1<<14)
+	flush := func() {
+		h.Write(buf)
+		buf = buf[:0]
+	}
+	put := func(v uint64) {
+		if len(buf)+8 > cap(buf) {
+			flush()
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	for _, p := range a.RowPtr {
+		put(uint64(p))
+	}
+	for _, c := range a.Cols {
+		put(uint64(c))
+	}
+	for _, v := range a.Vals {
+		put(math.Float64bits(v))
+	}
+	flush()
+
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,91 @@
+package sparse
+
+import "testing"
+
+// fpTestMatrix builds a small structurally nonsymmetric matrix whose rows
+// have distinct patterns, so permutations genuinely move content around.
+func fpTestMatrix() *CSR {
+	b := NewBuilder(5, 5)
+	entries := []struct {
+		i, j int
+		v    float64
+	}{
+		{0, 0, 4}, {0, 1, -1}, {0, 4, 0.5},
+		{1, 1, 4}, {1, 2, -1},
+		{2, 2, 4}, {2, 0, -2},
+		{3, 3, 4}, {3, 4, -1},
+		{4, 4, 4}, {4, 3, -1}, {4, 0, 0.25},
+	}
+	for _, e := range entries {
+		b.Add(e.i, e.j, e.v)
+	}
+	return b.Build()
+}
+
+func TestFingerprintIdenticalMatrices(t *testing.T) {
+	a := fpTestMatrix()
+	clone := a.Clone()
+	fa, fc := Fingerprint(a), Fingerprint(clone)
+	if fa != fc {
+		t.Fatalf("clone fingerprint differs: %s vs %s", fa, fc)
+	}
+	// A structurally identical matrix assembled through a different code
+	// path (builder vs clone) must also agree.
+	b := NewBuilder(a.N, a.M)
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			b.Add(i, j, vals[k])
+		}
+	}
+	if fb := Fingerprint(b.Build()); fb != fa {
+		t.Fatalf("rebuilt fingerprint differs: %s vs %s", fb, fa)
+	}
+	if len(fa) != 32 {
+		t.Fatalf("fingerprint %q has length %d, want 32 hex chars", fa, len(fa))
+	}
+}
+
+func TestFingerprintPermutedMatrixDiffers(t *testing.T) {
+	a := fpTestMatrix()
+	perm := []int{2, 0, 4, 1, 3}
+	p := a.Permute(perm)
+	if Fingerprint(a) == Fingerprint(p) {
+		t.Fatalf("permuted matrix has the same fingerprint")
+	}
+	// Round-tripping the permutation restores the fingerprint.
+	back := p.Permute(InversePermutation(perm))
+	if Fingerprint(a) != Fingerprint(back) {
+		t.Fatalf("inverse permutation did not restore the fingerprint")
+	}
+}
+
+func TestFingerprintValuePerturbationDiffers(t *testing.T) {
+	a := fpTestMatrix()
+	fa := Fingerprint(a)
+	b := a.Clone()
+	b.Vals[3] += 1e-13 // tiny perturbation still changes the bits
+	if Fingerprint(b) == fa {
+		t.Fatalf("value-perturbed matrix has the same fingerprint")
+	}
+	// Structure-only change: same values, one extra explicit zero.
+	c := NewBuilder(a.N, a.M)
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			c.Add(i, j, vals[k])
+		}
+	}
+	c.Add(1, 4, 0)
+	if Fingerprint(c.Build()) == fa {
+		t.Fatalf("pattern-extended matrix has the same fingerprint")
+	}
+}
+
+func TestFingerprintDimensionsMatter(t *testing.T) {
+	// An empty 3×4 and 4×3 matrix share all (empty) entry arrays except
+	// the row-pointer length; dims are hashed explicitly as well.
+	if Fingerprint(NewCSR(3, 4)) == Fingerprint(NewCSR(4, 3)) {
+		t.Fatalf("transposed empty dimensions collide")
+	}
+}
