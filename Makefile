@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race check serve-smoke bench-service
+.PHONY: all build vet lint test race check serve-smoke bench-service fuzz-smoke cover
 
 all: check
 
@@ -32,5 +33,16 @@ serve-smoke:
 bench-service:
 	PILUT_BENCH_OUT=$(CURDIR)/BENCH_service.json \
 		$(GO) test ./internal/service -run TestEmitServiceBench -count=1 -v
+
+# Short fuzzing pass over every fuzz target; matches the CI fuzz lane.
+# Override FUZZTIME for longer local runs, e.g. `make fuzz-smoke FUZZTIME=5m`.
+fuzz-smoke:
+	$(GO) test ./internal/sparse -run '^$$' -fuzz '^FuzzReadMatrixMarket$$' -fuzztime $(FUZZTIME)
+
+# Aggregate coverage profile across all packages; view with
+# `go tool cover -html=coverage.out`.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 check: build vet lint test

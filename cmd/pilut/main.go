@@ -14,10 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/ilu"
 	"repro/internal/krylov"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/matgen"
 	"repro/internal/partition"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
 	maxMV := flag.Int("maxmv", 0, "matrix-vector budget (0 = 10n)")
 	seed := flag.Int64("seed", 1, "random seed (partitioning, MIS)")
+	traceOut := flag.String("trace", "", "write a Chrome trace JSON file (factorization + solve) to this path")
 	flag.Parse()
 
 	a, name, err := loadMatrix(*matrixPath, *gen, *size, *seed)
@@ -93,7 +97,13 @@ func main() {
 
 	params := ilu.Params{M: *m, Tau: *tau, K: *k}
 	precs := make([]krylov.DistPreconditioner, *p)
+	pcs := make([]*core.ProcPrecond, *p)
 	mach := machine.New(*p, cost)
+	var factRec, solveRec *trace.Recorder
+	if *traceOut != "" {
+		factRec = trace.NewRecorder(*p)
+		mach.SetRecorder(factRec)
+	}
 	var levels int
 	nnzCh := make([]int, *p)
 	factRes := mach.Run(func(proc *machine.Proc) {
@@ -101,6 +111,7 @@ func main() {
 		case "pilut", "pilut-schur":
 			pc := core.Factor(proc, plan, core.Options{Params: params, Seed: *seed, Schur: *precond == "pilut-schur"})
 			precs[proc.ID] = pc
+			pcs[proc.ID] = pc
 			nnzCh[proc.ID] = pc.NNZ()
 			if proc.ID == 0 {
 				levels = pc.NumLevels()
@@ -142,6 +153,9 @@ func main() {
 	}
 	fmt.Printf("preconditioner: %s %s  modelled %.4fs  q=%d levels  fill=%.2fx\n",
 		*precond, label, factRes.Elapsed, levels, float64(nnz)/float64(a.NNZ()))
+	if *traceOut != "" && pcs[0] != nil {
+		printFactorSummary(os.Stdout, pcs)
+	}
 
 	// Right-hand side b = A·e.
 	e := sparse.Ones(a.N)
@@ -151,6 +165,10 @@ func main() {
 	xParts := make([][]float64, *p)
 	results := make([]krylov.Result, *p)
 	mach2 := machine.New(*p, cost)
+	if *traceOut != "" {
+		solveRec = trace.NewRecorder(*p)
+		mach2.SetRecorder(solveRec)
+	}
 	solveRes := mach2.Run(func(proc *machine.Proc) {
 		dm := dist.NewMatrix(proc, lay, a)
 		x := make([]float64, lay.NLocal(proc.ID))
@@ -176,6 +194,56 @@ func main() {
 	fmt.Printf("GMRES(%d): converged=%v NMV=%d modelled %.4fs  true rel residual=%.2e  ‖x−e‖=%.2e\n",
 		*restart, results[0].Converged, results[0].NMatVec, solveRes.Elapsed,
 		sparse.Norm2(r)/sparse.Norm2(b), errNorm)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := trace.WriteChrome(f,
+			trace.Part{Name: "factorization", Rec: factRec},
+			trace.Part{Name: "solve", Rec: solveRec})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+}
+
+// printFactorSummary prints the phase timings and the per-level reduction
+// table of a parallel ILUT factorization — the Table-3-style view of the
+// paper: how fast the reduced system shrinks level by level and what each
+// level cost.
+func printFactorSummary(w io.Writer, pcs []*core.ProcPrecond) {
+	maxPh := func(f func(*core.ProcPrecond) float64) float64 {
+		v := 0.0
+		for _, pc := range pcs {
+			if x := f(pc); x > v {
+				v = x
+			}
+		}
+		return v
+	}
+	fmt.Fprintf(w, "phases (max over procs): interior %.4fs  interface-elim %.4fs  levels %.4fs\n",
+		maxPh(func(pc *core.ProcPrecond) float64 { return pc.Stats.Phase1InteriorSeconds }),
+		maxPh(func(pc *core.ProcPrecond) float64 { return pc.Stats.Phase1InterfaceSeconds }),
+		maxPh(func(pc *core.ProcPrecond) float64 { return pc.Stats.Phase2Seconds }))
+
+	levels := core.SummarizeLevels(pcs)
+	if len(levels) == 0 {
+		return
+	}
+	t := experiments.Table{Header: []string{"level", "start", "size", "rows-in", "red-nnz", "dropped"}}
+	for l, ls := range levels {
+		t.Add(fmt.Sprint(l), fmt.Sprint(ls.Start), fmt.Sprint(ls.Size),
+			fmt.Sprint(ls.Rows), fmt.Sprint(ls.ReducedNNZ), fmt.Sprint(ls.Dropped))
+	}
+	t.Write(w)
 }
 
 func name2(p ilu.Params) string {

@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -170,6 +171,37 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("solve 1: true relative residual %g", rel)
 	}
 
+	// Scrape Prometheus metrics between the two solves: the second solve
+	// must move the cache-hit counter and the latency histogram.
+	promValue := func(text []byte, name string) float64 {
+		t.Helper()
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+		m := re.FindSubmatch(text)
+		if m == nil {
+			t.Fatalf("metric %s not found in:\n%s", name, text)
+		}
+		v, err := strconv.ParseFloat(string(m[1]), 64)
+		if err != nil {
+			t.Fatalf("metric %s has unparsable value %q", name, m[1])
+		}
+		return v
+	}
+	resp, metrics1 := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	hits1 := promValue(metrics1, "pilut_cache_hits_total")
+	lat1 := promValue(metrics1, "pilut_solve_latency_ms_count")
+	if misses := promValue(metrics1, "pilut_cache_misses_total"); misses != 1 {
+		t.Fatalf("misses after first solve = %v, want 1", misses)
+	}
+	if lat1 != 1 {
+		t.Fatalf("latency count after first solve = %v, want 1", lat1)
+	}
+
 	// Second solve of the same matrix: no refactorization.
 	resp, body = post("/v1/solve", "application/json", solveBody)
 	if resp.StatusCode != http.StatusOK {
@@ -185,6 +217,19 @@ func TestEndToEnd(t *testing.T) {
 		if first.X[i] != second.X[i] {
 			t.Fatalf("cache-hit solve differs from cold solve at %d", i)
 		}
+	}
+
+	// The cache-hit counter and the latency histogram must have moved by
+	// exactly one between the two scrapes.
+	_, metrics2 := get("/metrics")
+	if hits2 := promValue(metrics2, "pilut_cache_hits_total"); hits2 != hits1+1 {
+		t.Fatalf("hits went %v → %v across a cached solve, want +1", hits1, hits2)
+	}
+	if lat2 := promValue(metrics2, "pilut_solve_latency_ms_count"); lat2 != lat1+1 {
+		t.Fatalf("latency count went %v → %v across a solve, want +1", lat1, lat2)
+	}
+	if inflight := promValue(metrics2, "pilut_solve_inflight"); inflight != 0 {
+		t.Fatalf("inflight = %v with no solve outstanding", inflight)
 	}
 
 	resp, body = get("/v1/stats")

@@ -7,6 +7,7 @@
 //	POST /v1/matrices   MatrixMarket body      → {"key", "n", "nnz", "known"}
 //	POST /v1/solve      {"key", "b", ...}      → solution + solver stats
 //	GET  /v1/stats                             → service counters
+//	GET  /metrics                              → Prometheus text metrics
 //	GET  /healthz                              → "ok"
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
@@ -120,6 +121,13 @@ func newMux(svc *service.Server) *http.ServeMux {
 		writeJSON(w, http.StatusOK, svc.StatsSnapshot())
 	})
 
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := svc.WriteMetrics(w); err != nil {
+			log.Printf("pilutd: writing metrics: %v", err)
+		}
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -137,7 +145,14 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "right-hand sides coalesced per run")
 	cacheMB := flag.Int64("cache-mb", 256, "factorization cache budget in MiB")
 	t3d := flag.Bool("t3d", false, "model Cray T3D communication costs instead of free communication")
+	traceDir := flag.String("trace-dir", "", "write a Chrome trace JSON file per machine run into this directory")
 	flag.Parse()
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			log.Fatalf("pilutd: trace dir: %v", err)
+		}
+	}
 
 	cost := machine.Zero()
 	if *t3d {
@@ -150,6 +165,7 @@ func main() {
 		Workers:    *workers,
 		MaxBatch:   *maxBatch,
 		CacheBytes: *cacheMB << 20,
+		TraceDir:   *traceDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

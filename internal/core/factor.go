@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/ilu"
 	"repro/internal/machine"
 	"repro/internal/mis"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // Message tags used by this package.
@@ -39,6 +41,22 @@ type LevelInfo struct {
 	Size  int // number of unknowns in the level (global)
 }
 
+// LevelStats records one phase-2 level as seen from one processor: the
+// global level shape plus local work counters. The slice of LevelStats has
+// the same length on every processor (the level loop is collective), so
+// aggregating across processors with SummarizeLevels yields the global
+// per-level picture the paper's Tables 2–4 are built from. Recording is a
+// handful of integer stores per level and happens whether or not a trace
+// recorder is attached.
+type LevelStats struct {
+	Start           int // first new id of the level (global)
+	Size            int // global unknowns eliminated at the level
+	PivotsLocal     int // pivots this processor factored
+	RowsLocal       int // local unfactored rows entering the level
+	ReducedNNZLocal int // local reduced-matrix entries entering the level
+	DroppedLocal    int // local entries dropped during the level (all rules)
+}
+
 // Stats reports what the factorization did on one processor, plus the
 // shared level structure.
 type Stats struct {
@@ -48,6 +66,15 @@ type Stats struct {
 	NInterior     int // local interior unknowns
 	ReducedNNZ0   int // local reduced-matrix entries entering phase 2
 	CopiedEntries int // reduced-matrix entries copied across levels
+
+	// Levels holds one record per phase-2 independent-set level.
+	Levels []LevelStats
+	// Modelled seconds per phase on this processor's virtual clock:
+	// interior factorization (1a), interior elimination from interface
+	// rows (1b), and the level-by-level interface factorization (2).
+	Phase1InteriorSeconds  float64
+	Phase1InterfaceSeconds float64
+	Phase2Seconds          float64
 }
 
 // ProcPrecond is one processor's piece of the distributed preconditioner:
@@ -122,6 +149,23 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 	intBase := plan.IntBase[me]
 	nInt := plan.NIntLocal[me]
 
+	// Charge the virtual clock for local work accumulated since the last
+	// synchronization point; copied reduced-matrix entries count too (the
+	// paper identifies this copying as a main ILUT overhead). Charging at
+	// phase boundaries instead of one deferred lump does not change any
+	// arrival time — no communication happens between charges — but it
+	// makes the phase spans below reflect modelled durations.
+	var flopsCharged float64
+	charge := func() {
+		pending := pc.Stats.ILU.Flops + float64(pc.Stats.CopiedEntries) - flopsCharged
+		if pending > 0 {
+			p.Work(pending)
+			flopsCharged += pending
+		}
+	}
+	tr := p.Tracer()
+	tStart := p.Time()
+
 	// ---- Phase 1a: factor the interior rows (local ILUT) ---------------
 	// localU[nid-intBase] is the U row of interior pivot nid, kernel form.
 	localU := make([]*ilu.URow, nInt)
@@ -169,6 +213,13 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 	}
 	// Phase 1 is embarrassingly parallel; account the local work and move
 	// on — no synchronization is needed until the interface phase.
+	charge()
+	tInterior := p.Time()
+	pc.Stats.Phase1InteriorSeconds = tInterior - tStart
+	if tr.Enabled() {
+		tr.Span("factor", "phase1.interior", tStart, tInterior,
+			trace.I("rows", nInt), trace.F("flops", st.Flops))
+	}
 
 	// ---- Phase 1b: eliminate interior unknowns from interface rows -----
 	reduced := make([]redRow, nLocal)
@@ -195,18 +246,13 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 		pc.Stats.ReducedNNZ0 += len(rC)
 	}
 
-	// Charge the virtual clock for local work accumulated since the last
-	// synchronization point; copied reduced-matrix entries count too (the
-	// paper identifies this copying as a main ILUT overhead).
-	var flopsCharged float64
-	charge := func() {
-		pending := pc.Stats.ILU.Flops + float64(pc.Stats.CopiedEntries) - flopsCharged
-		if pending > 0 {
-			p.Work(pending)
-			flopsCharged += pending
-		}
-	}
 	charge()
+	tIface := p.Time()
+	pc.Stats.Phase1InterfaceSeconds = tIface - tInterior
+	if tr.Enabled() {
+		tr.Span("factor", "phase1.interface-elim", tInterior, tIface,
+			trace.I("rows", len(remaining)), trace.I("reduced_nnz", pc.Stats.ReducedNNZ0))
+	}
 
 	// ---- Phase 2: level-by-level interface factorization ---------------
 	nl := plan.TotInterior
@@ -215,6 +261,8 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 
 	for {
 		charge()
+		levelT0 := p.Time()
+		droppedIn := st.Dropped
 
 		if opt.Schur {
 			var factored bool
@@ -226,11 +274,14 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 
 		// Adjacency of the current reduced matrix (original ids, with all
 		// fill included — the paper's dynamic dependency structure).
+		rowsIn := len(remaining)
+		nnzIn := 0
 		ownedIDs := make([]int, len(remaining))
 		adj := make([][]int, len(remaining))
 		for k, li := range remaining {
 			g := pc.owned[li]
 			ownedIDs[k] = g
+			nnzIn += len(reduced[li].cols)
 			var nbrs []int
 			for _, c := range reduced[li].cols {
 				if o := c - n; o != g {
@@ -359,8 +410,26 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 		}
 		remaining = next
 		nl = nl1
+
+		charge()
+		pc.Stats.Levels = append(pc.Stats.Levels, LevelStats{
+			Start:           nl1 - levelSize,
+			Size:            levelSize,
+			PivotsLocal:     mineCount,
+			RowsLocal:       rowsIn,
+			ReducedNNZLocal: nnzIn,
+			DroppedLocal:    st.Dropped - droppedIn,
+		})
+		if tr.Enabled() {
+			tr.Span("factor", fmt.Sprintf("phase2.level%d", len(pc.Stats.Levels)-1),
+				levelT0, p.Time(),
+				trace.I("size", levelSize), trace.I("pivots_local", mineCount),
+				trace.I("rows_local", rowsIn), trace.I("reduced_nnz_local", nnzIn))
+		}
 	}
 	charge()
+	tPhase2 := p.Time()
+	pc.Stats.Phase2Seconds = tPhase2 - tIface
 	pc.Stats.NumLevels = len(pc.levels)
 
 	// ---- Final translation: combined indices → elimination order -------
@@ -395,7 +464,48 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 	pc.xInt = make([]float64, nInt)
 	pc.xIface = make([]float64, plan.NInterface)
 	p.Barrier()
+	if tr.Enabled() {
+		tr.Span("factor", "finalize", tPhase2, p.Time(),
+			trace.I("levels", pc.Stats.NumLevels))
+	}
 	return pc
+}
+
+// SummarizeLevels aggregates the per-processor level records of one
+// factorization into the global per-level table of the paper: for each
+// independent-set level, the global level size plus reduced-matrix rows,
+// entries and dropped counts summed across processors. All pieces must come
+// from the same collective Factor call (their Levels slices then have equal
+// length by construction).
+type LevelSummary struct {
+	Start      int
+	Size       int
+	Pivots     int
+	Rows       int
+	ReducedNNZ int
+	Dropped    int
+}
+
+func SummarizeLevels(pcs []*ProcPrecond) []LevelSummary {
+	if len(pcs) == 0 {
+		return nil
+	}
+	nlev := len(pcs[0].Stats.Levels)
+	out := make([]LevelSummary, nlev)
+	for _, pc := range pcs {
+		if len(pc.Stats.Levels) != nlev {
+			panic("core: SummarizeLevels: pieces from different factorizations")
+		}
+		for l, ls := range pc.Stats.Levels {
+			out[l].Start = ls.Start
+			out[l].Size = ls.Size
+			out[l].Pivots += ls.PivotsLocal
+			out[l].Rows += ls.RowsLocal
+			out[l].ReducedNNZ += ls.ReducedNNZLocal
+			out[l].Dropped += ls.DroppedLocal
+		}
+	}
+	return out
 }
 
 // sortPair sorts cols ascending, permuting vals alongside.

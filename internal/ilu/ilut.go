@@ -40,11 +40,26 @@ func (p Params) maxFill(n int) int {
 }
 
 // Stats reports what a factorization did; the parallel driver aggregates
-// these per virtual processor.
+// these per virtual processor. Dropped is the total over every dropping
+// rule; the DroppedRuleN counters attribute drops to the paper's three
+// rules where the kernel can tell them apart (their sum can be below
+// Dropped for kernels that predate the split, e.g. ILUTP's column
+// pivoting path).
 type Stats struct {
 	Flops      float64 // multiply-add and divide operations
 	Dropped    int     // entries removed by any dropping rule
 	FixedPivot int     // zero/tiny pivots replaced
+
+	// DroppedRule1 counts multipliers dropped by the relative threshold
+	// during elimination (the paper's 1st dropping rule).
+	DroppedRule1 int
+	// DroppedRule2 counts entries dropped when a factored row is stored:
+	// the relative threshold plus the keep-m-largest cap on the L and U
+	// parts (the 2nd rule).
+	DroppedRule2 int
+	// DroppedRule3 counts entries dropped from reduced-matrix rows: the
+	// relative threshold plus, for ILUT*, the k·m cap (the 3rd rule).
+	DroppedRule3 int
 }
 
 // pivotFloor returns the replacement magnitude for an untenably small
@@ -110,6 +125,7 @@ func ILUT(a *sparse.CSR, p Params) (*Factors, Stats, error) {
 				// 1st dropping rule.
 				w.Drop(k)
 				st.Dropped++
+				st.DroppedRule1++
 				continue
 			}
 			w.Set(k, wk)
@@ -128,9 +144,11 @@ func ILUT(a *sparse.CSR, p Params) (*Factors, Stats, error) {
 
 		// 2nd dropping rule: relative threshold then keep the m largest in
 		// each of the L and U parts (diagonal always kept).
-		st.Dropped += w.DropBelow(0, n, tau, i)
-		st.Dropped += w.KeepLargest(0, i, m, -1)
-		st.Dropped += w.KeepLargest(i, n, m, i)
+		d2 := w.DropBelow(0, n, tau, i)
+		d2 += w.KeepLargest(0, i, m, -1)
+		d2 += w.KeepLargest(i, n, m, i)
+		st.Dropped += d2
+		st.DroppedRule2 += d2
 
 		lCols[i], lVals[i] = w.Gather(0, i, nil, nil)
 		var uc []int

@@ -57,6 +57,7 @@ func FactorPivotRow(i int, cols []int, vals []float64, tau float64, m int, st *S
 		}
 		if math.Abs(vals[k]) < tau {
 			st.Dropped++
+			st.DroppedRule2++
 			continue
 		}
 		keep = append(keep, ent{j, vals[k]})
@@ -81,6 +82,7 @@ func FactorPivotRow(i int, cols []int, vals []float64, tau float64, m int, st *S
 			return keep[a].col < keep[b].col
 		})
 		st.Dropped += len(keep) - m
+		st.DroppedRule2 += len(keep) - m
 		keep = keep[:m]
 	}
 	sort.Slice(keep, func(a, b int) bool { return keep[a].col < keep[b].col })
@@ -147,6 +149,7 @@ func EliminateRow(
 			// 1st dropping rule.
 			w.Drop(k)
 			st.Dropped++
+			st.DroppedRule1++
 			continue
 		}
 		w.Set(k, wk)
@@ -165,14 +168,17 @@ func EliminateRow(
 	// 3rd dropping rule: threshold-and-cap the factored part; threshold
 	// (and, for ILUT*, cap at kcap·m) the reduced part. The diagonal of
 	// the reduced row is always preserved.
-	st.Dropped += w.DropBelow(0, nl1, tau, -1)
+	d2 := w.DropBelow(0, nl1, tau, -1)
 	if m > 0 {
-		st.Dropped += w.KeepLargest(0, nl1, m, -1)
+		d2 += w.KeepLargest(0, nl1, m, -1)
 	}
-	st.Dropped += w.DropBelow(nl1, n, tau, i)
+	d3 := w.DropBelow(nl1, n, tau, i)
 	if kcap > 0 && m > 0 {
-		st.Dropped += w.KeepLargest(nl1, n, kcap*m, i)
+		d3 += w.KeepLargest(nl1, n, kcap*m, i)
 	}
+	st.Dropped += d2 + d3
+	st.DroppedRule2 += d2
+	st.DroppedRule3 += d3
 	if !w.Has(i) {
 		// The reduced diagonal must exist for the row to be factorable
 		// later; recreate it at the pivot floor if elimination cancelled
@@ -226,6 +232,7 @@ func EliminateRowSeq(
 		if math.Abs(wk) < tau {
 			w.Drop(k)
 			st.Dropped++
+			st.DroppedRule1++
 			continue
 		}
 		w.Set(k, wk)
@@ -238,14 +245,17 @@ func EliminateRowSeq(
 		}
 	}
 
-	st.Dropped += w.DropBelow(0, nl1, tau, -1)
+	d2 := w.DropBelow(0, nl1, tau, -1)
 	if m > 0 {
-		st.Dropped += w.KeepLargest(0, nl1, m, -1)
+		d2 += w.KeepLargest(0, nl1, m, -1)
 	}
-	st.Dropped += w.DropBelow(nl1, n, tau, i)
+	d3 := w.DropBelow(nl1, n, tau, i)
 	if kcap > 0 && m > 0 {
-		st.Dropped += w.KeepLargest(nl1, n, kcap*m, i)
+		d3 += w.KeepLargest(nl1, n, kcap*m, i)
 	}
+	st.Dropped += d2 + d3
+	st.DroppedRule2 += d2
+	st.DroppedRule3 += d3
 	if !w.Has(i) {
 		w.Set(i, pivotFloor(tau))
 		st.FixedPivot++

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // DistBatchOperator is a distributed operator that can apply itself to a
@@ -61,22 +62,31 @@ func DistGMRESBatch(p *machine.Proc, op DistOperator, prec DistPreconditioner, x
 
 	bop, _ := op.(DistBatchOperator)
 	bprec, _ := prec.(DistBatchPreconditioner)
+	tr := p.Tracer()
 	matvecBatch := func(dst, src [][]float64) {
+		t0 := p.Time()
 		if bop != nil {
 			bop.MulVecBatch(p, dst, src)
-			return
+		} else {
+			for i := range src {
+				op.MulVec(p, dst[i], src[i])
+			}
 		}
-		for i := range src {
-			op.MulVec(p, dst[i], src[i])
+		if tr.Enabled() {
+			tr.Span("krylov", "matvec.batch", t0, p.Time(), trace.I("rhs", len(src)))
 		}
 	}
 	precBatch := func(dst, src [][]float64) {
+		t0 := p.Time()
 		if bprec != nil {
 			bprec.SolveBatch(p, dst, src)
-			return
+		} else {
+			for i := range src {
+				prec.Solve(p, dst[i], src[i])
+			}
 		}
-		for i := range src {
-			prec.Solve(p, dst[i], src[i])
+		if tr.Enabled() {
+			tr.Span("krylov", "precond.batch", t0, p.Time(), trace.I("rhs", len(src)))
 		}
 	}
 	// reduceBatch sums one partial value per selected system across
@@ -303,6 +313,17 @@ func DistGMRESBatch(p *machine.Proc, op DistOperator, prec DistPreconditioner, x
 			}
 			p.Work(float64(nLocal * scaled))
 			live = stay
+			if tr.Enabled() {
+				maxRes := 0.0
+				for _, i := range cyc {
+					if results[i].Residual > maxRes {
+						maxRes = results[i].Residual
+					}
+				}
+				tr.Instant("krylov", "iteration.batch", p.Time(),
+					trace.I("step", k), trace.I("live", len(live)),
+					trace.F("max_residual", maxRes))
+			}
 		}
 
 		// Cycle end: every system that ran Arnoldi steps updates its

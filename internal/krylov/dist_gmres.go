@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/machine"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // DistOperator is a distributed matrix acting on local vectors;
@@ -127,7 +128,26 @@ func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b [
 		p.Work(float64(nLocal))
 	}
 
-	prec.Solve(p, tmp, b)
+	// Tracing wraps the two expensive operators in spans on the virtual
+	// timeline and marks each Arnoldi iteration with its residual. With no
+	// recorder attached the wrappers reduce to the plain calls.
+	tr := p.Tracer()
+	mulVec := func(dst, src []float64) {
+		t0 := p.Time()
+		op.MulVec(p, dst, src)
+		if tr.Enabled() {
+			tr.Span("krylov", "matvec", t0, p.Time(), trace.I("matvec", res.NMatVec+1))
+		}
+	}
+	applyPrec := func(dst, src []float64) {
+		t0 := p.Time()
+		prec.Solve(p, dst, src)
+		if tr.Enabled() {
+			tr.Span("krylov", "precond", t0, p.Time())
+		}
+	}
+
+	applyPrec(tmp, b)
 	bnorm := dist.Norm2(p, tmp)
 	if bnorm == 0 {
 		for i := range x {
@@ -141,15 +161,19 @@ func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b [
 		if err := distCtxErr(p, opt.Ctx); err != nil {
 			return res, err
 		}
-		op.MulVec(p, tmp, x)
+		mulVec(tmp, x)
 		res.NMatVec++
 		for i := range tmp {
 			tmp[i] = b[i] - tmp[i]
 		}
 		p.Work(float64(nLocal))
-		prec.Solve(p, v[0], tmp)
+		applyPrec(v[0], tmp)
 		beta := dist.Norm2(p, v[0])
 		res.Residual = beta / bnorm
+		if tr.Enabled() {
+			tr.Instant("krylov", "restart", p.Time(),
+				trace.I("matvec", res.NMatVec), trace.F("residual", res.Residual))
+		}
 		if res.Residual <= opt.Tol {
 			res.Converged = true
 			return res, nil
@@ -165,9 +189,9 @@ func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b [
 			if err := distCtxErr(p, opt.Ctx); err != nil {
 				return res, err
 			}
-			op.MulVec(p, tmp, v[k])
+			mulVec(tmp, v[k])
 			res.NMatVec++
-			prec.Solve(p, v[k+1], tmp)
+			applyPrec(v[k+1], tmp)
 			for i := 0; i <= k; i++ {
 				h[i][k] = dist.Dot(p, v[k+1], v[i])
 				axpy(-h[i][k], v[i], v[k+1])
@@ -188,6 +212,10 @@ func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b [
 			g[k+1] = -sn[k] * g[k]
 			g[k] = cs[k] * g[k]
 			res.Residual = math.Abs(g[k+1]) / bnorm
+			if tr.Enabled() {
+				tr.Instant("krylov", "iteration", p.Time(),
+					trace.I("matvec", res.NMatVec), trace.F("residual", res.Residual))
+			}
 			if res.Residual <= opt.Tol {
 				k++
 				break

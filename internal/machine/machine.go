@@ -18,6 +18,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // CostModel holds the machine constants of the LogP-style clock.
@@ -139,6 +141,8 @@ type Machine struct {
 	started  bool          // set by Run; a Machine is single-use
 	procs    []*Proc       // the run's processors, for the watchdog dump
 	watchdog time.Duration // 0 = disabled; see SetWatchdog
+
+	rec *trace.Recorder // nil = tracing off (the default)
 }
 
 type msgQueue struct {
@@ -172,6 +176,7 @@ type Proc struct {
 
 	now   float64
 	stats Stats
+	tr    *trace.ProcTracer // nil when tracing is off
 
 	// blocked describes what the processor is waiting on, for the
 	// watchdog's deadlock dump. Guarded by m.mu; the clock field is the
@@ -202,7 +207,7 @@ func (m *Machine) Run(f func(*Proc)) Result {
 	m.started = true
 	procs := make([]*Proc, m.P)
 	for i := 0; i < m.P; i++ {
-		procs[i] = &Proc{ID: i, m: m}
+		procs[i] = &Proc{ID: i, m: m, tr: m.rec.Proc(i)}
 	}
 	m.procs = procs
 	m.mu.Unlock()
@@ -257,8 +262,31 @@ func (m *Machine) fail(cause any) {
 // a failure do not overwrite the root cause when they unwind.
 type procAbort struct{ cause any }
 
+// SetRecorder attaches a trace recorder to the machine. It must be called
+// before Run; the recorder must have been created for at least P
+// processors. A nil recorder (the default) keeps tracing strictly off:
+// every record site reduces to one nil pointer comparison and the virtual
+// clocks are never touched either way, so the LogP cost model is
+// identical with and without tracing.
+func (m *Machine) SetRecorder(r *trace.Recorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		panic("machine: SetRecorder after Run")
+	}
+	if r != nil && r.NumProcs() < m.P {
+		panic(fmt.Sprintf("machine: recorder covers %d processors, machine has %d", r.NumProcs(), m.P))
+	}
+	m.rec = r
+}
+
 // Time returns the processor's current virtual clock in modelled seconds.
 func (p *Proc) Time() float64 { return p.now }
+
+// Tracer returns the processor's trace sink, nil when tracing is off. The
+// returned value is safe to call either way; hot paths should guard with
+// Enabled() to skip argument construction when tracing is off.
+func (p *Proc) Tracer() *trace.ProcTracer { return p.tr }
 
 // Machine returns the machine this processor belongs to.
 func (p *Proc) Machine() *Machine { return p.m }
@@ -297,6 +325,10 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 	p.stats.BytesSent += int64(bytes)
 	p.now += m.Cost.Overhead
 	arrival := p.now + m.Cost.Latency + float64(bytes)*m.Cost.ByteTime
+	if p.tr != nil {
+		p.tr.Instant("machine", "send", p.now,
+			trace.I("dst", dst), trace.I("tag", tag), trace.I("bytes", bytes))
+	}
 	m.mu.Lock()
 	p.blocked.clock = p.now
 	m.mail[p.ID*m.P+dst].q = append(m.mail[p.ID*m.P+dst].q, message{tag: tag, payload: payload, arrival: arrival})
@@ -311,10 +343,15 @@ func (p *Proc) Recv(src, tag int) any {
 	if src < 0 || src >= m.P {
 		panic(fmt.Sprintf("machine: Recv from invalid processor %d", src))
 	}
+	t0 := p.now
 	msg := p.takeMessage(src, tag)
 	p.now += m.Cost.Overhead
 	if msg.arrival > p.now {
 		p.now = msg.arrival
+	}
+	if p.tr != nil {
+		p.tr.Span("machine", "recv", t0, p.now,
+			trace.I("src", src), trace.I("tag", tag))
 	}
 	return msg.payload
 }
@@ -400,11 +437,21 @@ func (p *Proc) logP() float64 {
 	return l
 }
 
+// traceCollective records a collective's span from the entry clock t0 to
+// the processor's post-collective clock.
+func (p *Proc) traceCollective(op string, t0 float64, bytes int) {
+	if p.tr != nil {
+		p.tr.Span("machine", op, t0, p.now, trace.I("bytes", bytes))
+	}
+}
+
 // Barrier synchronizes all processors: everyone leaves with the same clock,
 // max-over-procs plus a logarithmic synchronization cost.
 func (p *Proc) Barrier() {
+	t0 := p.now
 	_, maxT := p.collect("barrier", nil)
 	p.now = maxT + 2*p.logP()*p.m.Cost.Latency
+	p.traceCollective("barrier", t0, 0)
 }
 
 // ReduceOp selects the combining operator of an AllReduce.
@@ -420,8 +467,10 @@ const (
 // AllReduceFloat64 combines one float64 per processor with op; all
 // processors receive the result.
 func (p *Proc) AllReduceFloat64(v float64, op ReduceOp) float64 {
+	t0 := p.now
 	vals, maxT := p.collect("allreduce_f64", v)
 	p.now = maxT + p.collectiveCost(8)
+	p.traceCollective("allreduce_f64", t0, 8)
 	out := vals[0].(float64)
 	for _, a := range vals[1:] {
 		x := a.(float64)
@@ -443,8 +492,10 @@ func (p *Proc) AllReduceFloat64(v float64, op ReduceOp) float64 {
 
 // AllReduceInt combines one int per processor with op.
 func (p *Proc) AllReduceInt(v int, op ReduceOp) int {
+	t0 := p.now
 	vals, maxT := p.collect("allreduce_int", v)
 	p.now = maxT + p.collectiveCost(8)
+	p.traceCollective("allreduce_int", t0, 8)
 	out := vals[0].(int)
 	for _, a := range vals[1:] {
 		x := a.(int)
@@ -468,9 +519,11 @@ func (p *Proc) AllReduceInt(v int, op ReduceOp) int {
 // by processor ID. bytes is the per-processor payload size for the cost
 // model.
 func (p *Proc) AllGather(v any, bytes int) []any {
+	t0 := p.now
 	vals, maxT := p.collect("allgather", v)
 	// Recursive-doubling allgather moves ~P×bytes per processor total.
 	p.now = maxT + p.logP()*p.m.Cost.Latency + float64(p.m.P*bytes)*p.m.Cost.ByteTime
+	p.traceCollective("allgather", t0, bytes)
 	return vals
 }
 

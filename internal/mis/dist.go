@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Message tags used by Distributed; callers sharing a machine must avoid
@@ -175,6 +176,13 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 		}
 	}
 
+	// Tracing is local-only: round counts and candidate/selected tallies are
+	// recorded on this processor's timeline without any added communication,
+	// so the cost model is identical with and without a recorder attached.
+	tr := p.Tracer()
+	tMIS := p.Time()
+	roundsRun := 0
+
 	ex := &Exchange{NeedBy: needBy, ReqFrom: reqFrom}
 	for r := 0; r < rounds; r++ {
 		nActive := 0
@@ -343,6 +351,33 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 				}
 			}
 		}
+
+		roundsRun++
+		if tr.Enabled() {
+			nCand, nSel := 0, 0
+			for i := range owned {
+				if cand[i] {
+					nCand++
+				}
+				if newSel[i] {
+					nSel++
+				}
+			}
+			tr.Instant("mis", "round", p.Time(),
+				trace.I("round", r), trace.I("candidates", nCand),
+				trace.I("selected", nSel), trace.I("active_in", nActive))
+		}
+	}
+	if tr.Enabled() {
+		nSel := 0
+		for i := range sel {
+			if sel[i] {
+				nSel++
+			}
+		}
+		tr.Span("mis", "distributed", tMIS, p.Time(),
+			trace.I("rounds", roundsRun), trace.I("global_active", ex.GlobalActive),
+			trace.I("selected_local", nSel), trace.I("owned", nLocal))
 	}
 	return sel, ex
 }

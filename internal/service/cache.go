@@ -170,6 +170,10 @@ func buildEntry(key string, a *sparse.CSR, cfg Config) (ent *entry, err error) {
 	}
 	m := machine.New(cfg.Procs, cfg.Cost)
 	m.SetWatchdog(2 * time.Minute)
+	rec := newRunRecorder(cfg)
+	if rec != nil {
+		m.SetRecorder(rec)
+	}
 	res := m.Run(func(proc *machine.Proc) {
 		ent.pcs[proc.ID] = core.Factor(proc, plan, core.Options{
 			Params:    cfg.Params,
@@ -178,6 +182,7 @@ func buildEntry(key string, a *sparse.CSR, cfg Config) (ent *entry, err error) {
 		})
 		ent.mats[proc.ID] = dist.NewMatrix(proc, lay, a)
 	})
+	writeRunTrace(cfg.TraceDir, "factor", key, rec)
 	ent.factorSeconds = res.Elapsed
 	ent.levels = ent.pcs[0].NumLevels()
 

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteMetrics renders a point-in-time snapshot of the service counters in
+// the Prometheus text exposition format (version 0.0.4), suitable for
+// serving under GET /metrics. Everything is derived from StatsSnapshot —
+// no extra state is kept for scraping, so a scrape costs one lock
+// acquisition regardless of frequency.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	st := s.StatsSnapshot()
+	mw := &metricsWriter{w: w}
+
+	mw.gauge("pilut_matrices", "Distinct matrices submitted.", float64(st.Matrices))
+	mw.gauge("pilut_queue_depth", "Solve requests waiting to be batched.", float64(st.QueueDepth))
+	mw.gauge("pilut_running_batches", "Batches currently executing.", float64(st.Running))
+
+	c := st.Cache
+	mw.counter("pilut_cache_hits_total", "Factorization cache hits.", float64(c.Hits))
+	mw.counter("pilut_cache_misses_total", "Factorization cache misses.", float64(c.Misses))
+	mw.counter("pilut_cache_evictions_total", "Factorizations evicted from the cache.", float64(c.Evictions))
+	mw.counter("pilut_cache_factorizations_total", "Factorizations built (misses that completed).", float64(c.Factorizations))
+	mw.gauge("pilut_cache_entries", "Factorizations currently cached.", float64(c.Entries))
+	mw.gauge("pilut_cache_bytes", "Estimated bytes held by cached factorizations.", float64(c.Bytes))
+	mw.gauge("pilut_cache_budget_bytes", "Cache byte budget.", float64(c.BudgetBytes))
+
+	v := st.Solves
+	mw.counter("pilut_solve_requests_total", "Solve requests accepted.", float64(v.Requests))
+	mw.counter("pilut_solve_completed_total", "Solve requests answered successfully.", float64(v.Completed))
+	mw.counter("pilut_solve_canceled_total", "Solve requests canceled by their context.", float64(v.Canceled))
+	mw.counter("pilut_solve_errors_total", "Solve requests failed with an error.", float64(v.Errors))
+	// In-flight is derived from the paired counters (every accepted request
+	// ends in exactly one of completed/canceled/errors), not tracked
+	// separately — the identity is asserted by the concurrency tests.
+	inflight := v.Requests - v.Completed - v.Canceled - v.Errors
+	mw.gauge("pilut_solve_inflight", "Accepted solve requests not yet answered.", float64(inflight))
+
+	mw.counter("pilut_solve_batches_total", "Machine runs executed (one per batch).", float64(v.Batches))
+	mw.counter("pilut_solve_batched_rhs_total", "Right-hand sides solved across all batches.", float64(v.BatchedRHS))
+	mw.gauge("pilut_solve_max_batch", "Largest batch coalesced so far.", float64(v.MaxBatch))
+	mw.counter("pilut_solve_modelled_seconds_total", "Virtual machine seconds accumulated by solve runs.", v.ModelledSeconds)
+
+	mw.histogram("pilut_solve_latency_ms", "Wall-clock latency from request acceptance to response, milliseconds.", v.LatencyMs)
+	mw.histogram("pilut_solve_iterations", "Matrix-vector products per completed solve.", v.Iterations)
+	return mw.err
+}
+
+// metricsWriter emits one metric family at a time, latching the first
+// write error.
+type metricsWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (m *metricsWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+func (m *metricsWriter) family(name, typ, help string, value float64) {
+	m.printf("# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, typ, name, formatFloat(value))
+}
+
+func (m *metricsWriter) counter(name, help string, v float64) { m.family(name, "counter", help, v) }
+func (m *metricsWriter) gauge(name, help string, v float64)   { m.family(name, "gauge", help, v) }
+
+// histogram renders a Histogram snapshot with the cumulative le-buckets
+// Prometheus expects (the snapshot stores per-bucket counts).
+func (m *metricsWriter) histogram(name, help string, h Histogram) {
+	m.printf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		m.printf("%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+	}
+	m.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	m.printf("%s_sum %s\n", name, formatFloat(h.Sum))
+	m.printf("%s_count %d\n", name, h.Count)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

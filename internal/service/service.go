@@ -51,6 +51,11 @@ type Config struct {
 	MaxBatch int
 	// CacheBytes is the factorization cache budget. Default 256 MiB.
 	CacheBytes int64
+	// TraceDir, when non-empty, writes one Chrome trace-event JSON file
+	// per machine run into the directory: factor-<key>-<stamp>.json for
+	// factorizations and solve-<key>-<stamp>.json for solve batches. Empty
+	// (the default) attaches no recorder, so runs pay no tracing cost.
+	TraceDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -458,6 +463,11 @@ func (s *Server) runBatch(key string, batch []*request) {
 		}()
 		m := machine.New(s.cfg.Procs, s.cfg.Cost)
 		m.SetWatchdog(2 * time.Minute)
+		rec := newRunRecorder(s.cfg)
+		if rec != nil {
+			m.SetRecorder(rec)
+			defer writeRunTrace(s.cfg.TraceDir, "solve", key, rec)
+		}
 		mr = m.Run(func(proc *machine.Proc) {
 			xs := make([][]float64, B)
 			bs := make([][]float64, B)

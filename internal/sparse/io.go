@@ -30,9 +30,17 @@ func WriteMatrixMarket(w io.Writer, a *CSR) error {
 	return bw.Flush()
 }
 
+// maxMMDim bounds the dimensions a MatrixMarket header may declare.
+// Building the matrix allocates O(n) bookkeeping before any entry is
+// verified, so a three-integer header must not be able to commit gigabytes;
+// 1<<24 rows is far beyond the paper's problems while keeping the
+// worst-case pre-allocation in the low hundreds of megabytes.
+const maxMMDim = 1 << 24
+
 // ReadMatrixMarket parses a MatrixMarket coordinate file (real; general or
 // symmetric — symmetric input is expanded to full storage). Pattern and
-// complex files are rejected.
+// complex files are rejected, as are headers declaring negative entry
+// counts, non-square symmetric shapes, or dimensions beyond maxMMDim.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -70,6 +78,15 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	}
 	if n <= 0 || m <= 0 {
 		return nil, fmt.Errorf("sparse: MatrixMarket: invalid dimensions %d×%d", n, m)
+	}
+	if n > maxMMDim || m > maxMMDim {
+		return nil, fmt.Errorf("sparse: MatrixMarket: dimensions %d×%d exceed the %d limit", n, m, maxMMDim)
+	}
+	if nnz < 0 {
+		return nil, fmt.Errorf("sparse: MatrixMarket: negative entry count %d", nnz)
+	}
+	if symmetric && n != m {
+		return nil, fmt.Errorf("sparse: MatrixMarket: symmetric matrix must be square, got %d×%d", n, m)
 	}
 
 	b := NewBuilder(n, m)
