@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race check serve-smoke bench-service fuzz-smoke cover
+.PHONY: all build vet lint test test-real race race-real check serve-smoke bench-service bench-backend fuzz-smoke cover
 
 all: check
 
@@ -19,9 +19,21 @@ lint:
 test:
 	$(GO) test ./...
 
+# The same suite on the wall-clock shared-memory backend: every test that
+# builds its world through pcommtest runs on realcomm instead of the
+# modelled machine. Results must be bitwise identical.
+test-real:
+	PILUT_BACKEND=real $(GO) test ./...
+
 # Race-enabled run with reduced problem sizes; matches the CI race lane.
 race:
 	PILUT_TEST_FAST=1 $(GO) test -race ./...
+
+# Race lane on the real backend: realcomm's mailboxes, barrier and
+# collectives carry genuine cross-goroutine data flow, so this is the run
+# that actually exercises their memory ordering.
+race-real:
+	PILUT_TEST_FAST=1 PILUT_BACKEND=real $(GO) test -race ./...
 
 # End-to-end smoke of the solver daemon: builds pilutd, starts it, submits
 # the quickstart matrix over HTTP, solves it twice (asserting the second
@@ -33,6 +45,12 @@ serve-smoke:
 bench-service:
 	PILUT_BENCH_OUT=$(CURDIR)/BENCH_service.json \
 		$(GO) test ./internal/service -run TestEmitServiceBench -count=1 -v
+
+# Wall-clock factorization time, modelled machine vs the real
+# shared-memory backend at p=16; writes BENCH_backend.json.
+bench-backend:
+	PILUT_BENCH_OUT=$(CURDIR)/BENCH_backend.json \
+		$(GO) test . -run TestEmitBackendBench -count=1 -v
 
 # Short fuzzing pass over every fuzz target; matches the CI fuzz lane.
 # Override FUZZTIME for longer local runs, e.g. `make fuzz-smoke FUZZTIME=5m`.

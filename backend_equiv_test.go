@@ -1,0 +1,226 @@
+// Backend bit-compatibility tests: the modelled machine and the
+// wall-clock shared-memory backend must produce bitwise-identical
+// numerical results. Collectives on both backends fold contributions in
+// processor-rank order (Dong & Cooperman, arXiv:0803.0048), so every
+// float along the pipeline — factor values, residual histories, solution
+// vectors — is a pure function of the input data, not of the scheduler.
+// Timing (virtual vs wall clock) is the only observable allowed to
+// differ; everything here compares through math.Float64bits, not
+// tolerances.
+package repro_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/ilu"
+	"repro/internal/krylov"
+	"repro/internal/machine"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/modelled"
+	"repro/internal/pcomm/realcomm"
+	"repro/internal/service"
+	"repro/internal/sparse"
+)
+
+// pipelineOut is everything observable from one factor+solve run that
+// must not depend on the communication backend.
+type pipelineOut struct {
+	factors *ilu.Factors
+	perm    []int
+	stats   []core.Stats  // per proc, clock fields zeroed
+	comm    []pcomm.Stats // per proc, clock fields zeroed
+	gmres   []krylov.Result
+	x       []float64 // gathered GMRES solution
+}
+
+// runPipeline factors a on w's processors, gathers the factors, then
+// solves A·x = A·1 with preconditioned GMRES, recording every
+// backend-independent observable.
+func runPipeline(t *testing.T, w pcomm.World, a *sparse.CSR, lay *dist.Layout, plan *core.Plan, P int) pipelineOut {
+	t.Helper()
+	n := a.N
+	e := make([]float64, n)
+	for i := range e {
+		e[i] = 1
+	}
+	b := make([]float64, n)
+	a.MulVec(b, e)
+	bParts := lay.Scatter(b)
+
+	out := pipelineOut{
+		stats: make([]core.Stats, P),
+		comm:  make([]pcomm.Stats, P),
+		gmres: make([]krylov.Result, P),
+	}
+	pcs := make([]*core.ProcPrecond, P)
+	xParts := make([][]float64, P)
+	opt := core.Options{Params: ilu.Params{M: 8, Tau: 1e-4, K: 2}, Seed: 7}
+	w.Run(func(p pcomm.Comm) {
+		id := p.ID()
+		pc := core.Factor(p, plan, opt)
+		pcs[id] = pc
+		out.stats[id] = pc.Stats
+
+		dm := dist.NewMatrix(p, lay, a)
+		x := make([]float64, lay.NLocal(id))
+		r, err := krylov.DistGMRES(p, dm, pc, x, bParts[id],
+			krylov.Options{Restart: 30, Tol: 1e-8, MaxMatVec: 2000})
+		if err != nil {
+			panic(err)
+		}
+		out.gmres[id] = r
+		xParts[id] = x
+
+		s := p.Stats()
+		s.Time, s.Busy = 0, 0
+		out.comm[id] = s
+	})
+	f, perm, err := core.GatherFactors(pcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.factors, out.perm = f, perm
+	out.x = lay.Gather(xParts)
+	for q := range out.stats {
+		// The phase clocks read p.Time(): modelled seconds on one backend,
+		// wall seconds on the other. Everything else must match bitwise.
+		out.stats[q].Phase1InteriorSeconds = 0
+		out.stats[q].Phase1InterfaceSeconds = 0
+		out.stats[q].Phase2Seconds = 0
+	}
+	return out
+}
+
+func floatsBitwiseEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func csrBitwiseEqual(a, b *sparse.CSR) bool {
+	return a.N == b.N && a.M == b.M &&
+		reflect.DeepEqual(a.RowPtr, b.RowPtr) &&
+		reflect.DeepEqual(a.Cols, b.Cols) &&
+		floatsBitwiseEqual(a.Vals, b.Vals)
+}
+
+// TestBackendBitwiseEquivalence runs the full factor+GMRES pipeline on
+// the modelled machine and on the real shared-memory backend and demands
+// bitwise-identical factors, per-level statistics, communication
+// counters, residual histories and solutions.
+func TestBackendBitwiseEquivalence(t *testing.T) {
+	problems := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"grid2d", matgen.Grid2D(16, 16)},
+		{"convdiff", matgen.ConvDiff2D(12, 12, 15, -7)},
+	}
+	for _, prob := range problems {
+		for _, P := range []int{2, 4} {
+			a := prob.a
+			g := graph.FromMatrix(a)
+			part := partition.KWay(g, P, partition.Options{Seed: 5})
+			lay, err := dist.NewLayout(a.N, P, part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := core.NewPlan(a, lay)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			mod := runPipeline(t, modelled.New(P, machine.T3D()), a, lay, plan, P)
+			real := runPipeline(t, realcomm.New(P), a, lay, plan, P)
+
+			name := prob.name
+			if !csrBitwiseEqual(mod.factors.L, real.factors.L) {
+				t.Errorf("%s P=%d: L factor differs between backends", name, P)
+			}
+			if !csrBitwiseEqual(mod.factors.U, real.factors.U) {
+				t.Errorf("%s P=%d: U factor differs between backends", name, P)
+			}
+			if !reflect.DeepEqual(mod.perm, real.perm) {
+				t.Errorf("%s P=%d: elimination permutation differs", name, P)
+			}
+			for q := 0; q < P; q++ {
+				if !reflect.DeepEqual(mod.stats[q], real.stats[q]) {
+					t.Errorf("%s P=%d proc %d: factor stats differ:\nmodelled %+v\nreal     %+v",
+						name, P, q, mod.stats[q], real.stats[q])
+				}
+				if !reflect.DeepEqual(mod.comm[q], real.comm[q]) {
+					t.Errorf("%s P=%d proc %d: comm counters differ:\nmodelled %+v\nreal     %+v",
+						name, P, q, mod.comm[q], real.comm[q])
+				}
+				mg, rg := mod.gmres[q], real.gmres[q]
+				if mg.Converged != rg.Converged || mg.NMatVec != rg.NMatVec || mg.Restarts != rg.Restarts {
+					t.Errorf("%s P=%d proc %d: GMRES outcome differs: modelled %+v real %+v",
+						name, P, q, mg, rg)
+				}
+				if !floatsBitwiseEqual(mg.History, rg.History) {
+					t.Errorf("%s P=%d proc %d: GMRES residual history differs between backends",
+						name, P, q)
+				}
+				if len(mg.History) == 0 {
+					t.Errorf("%s P=%d proc %d: GMRES recorded no residual history", name, P, q)
+				}
+			}
+			if !floatsBitwiseEqual(mod.x, real.x) {
+				t.Errorf("%s P=%d: GMRES solution differs between backends", name, P)
+			}
+			if !mod.gmres[0].Converged {
+				t.Errorf("%s P=%d: solve did not converge; equivalence test is vacuous", name, P)
+			}
+		}
+	}
+}
+
+// TestServiceBackendEquivalence checks the user-facing contract at the
+// service layer: two servers differing only in Backend return
+// bitwise-identical solutions for the same request.
+func TestServiceBackendEquivalence(t *testing.T) {
+	a := matgen.Torso(10, 10, 10, 3)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64(i%11) - 5
+	}
+	solve := func(kind string) service.SolveResult {
+		srv := service.New(service.Config{Procs: 4, Backend: kind, Cost: machine.T3D()})
+		defer srv.Shutdown(context.Background())
+		key, _, err := srv.Submit(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srv.Solve(context.Background(), key, b, service.SolveOptions{Tol: 1e-8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mod := solve("modelled")
+	real := solve("real")
+	if !mod.Converged || !real.Converged {
+		t.Fatalf("service solve did not converge (modelled=%v real=%v)", mod.Converged, real.Converged)
+	}
+	if mod.Iterations != real.Iterations || mod.Restarts != real.Restarts {
+		t.Errorf("service iteration counts differ: modelled %d/%d real %d/%d",
+			mod.Iterations, mod.Restarts, real.Iterations, real.Restarts)
+	}
+	if !floatsBitwiseEqual(mod.X, real.X) {
+		t.Errorf("service solutions differ between backends")
+	}
+}

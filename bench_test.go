@@ -242,8 +242,8 @@ func BenchmarkDistSpMV(b *testing.B) {
 		m := machine.New(P, machine.T3D())
 		m.Run(func(p *machine.Proc) {
 			dm := dist.NewMatrix(p, lay, a)
-			y := make([]float64, lay.NLocal(p.ID))
-			dm.MulVec(p, y, xp[p.ID])
+			y := make([]float64, lay.NLocal(p.ID()))
+			dm.MulVec(p, y, xp[p.ID()])
 		})
 	}
 }
@@ -388,7 +388,7 @@ func BenchmarkAblationSchur(b *testing.B) {
 						Params: ilu.Params{M: 10, Tau: 1e-6, K: 2},
 						Schur:  schur,
 					})
-					if p.ID == 0 {
+					if p.ID() == 0 {
 						pc0 = pc
 					}
 				})
@@ -475,7 +475,7 @@ func BenchmarkParallelILU0(b *testing.B) {
 		var pc0 *core.ProcPrecond
 		res := m.Run(func(p *machine.Proc) {
 			pc := core.FactorILU0(p, plan, 0, 1)
-			if p.ID == 0 {
+			if p.ID() == 0 {
 				pc0 = pc
 			}
 		})

@@ -26,6 +26,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/backend"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -39,7 +41,8 @@ func main() {
 	tau := flag.Float64("tau", 1e-4, "ILUT drop threshold")
 	k := flag.Int("k", 2, "ILUT* reduced-row cap multiplier (0 = plain ILUT)")
 	precond := flag.String("precond", "pilut", "preconditioner: pilut, pilut-schur, ilu0, blockjacobi, jacobi, none")
-	network := flag.String("network", "t3d", "cost model: t3d or workstation")
+	network := flag.String("network", "t3d", "cost model: t3d or workstation (modelled backend only)")
+	backendKind := flag.String("backend", "modelled", "communication backend: modelled (virtual time) or real (wall-clock shared memory)")
 	restart := flag.Int("restart", 50, "GMRES restart length")
 	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
 	maxMV := flag.Int("maxmv", 0, "matrix-vector budget (0 = 10n)")
@@ -98,7 +101,15 @@ func main() {
 	params := ilu.Params{M: *m, Tau: *tau, K: *k}
 	precs := make([]krylov.DistPreconditioner, *p)
 	pcs := make([]*core.ProcPrecond, *p)
-	mach := machine.New(*p, cost)
+	mach, err := backend.New(*backendKind, *p, cost)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	timeLabel := "modelled"
+	if *backendKind == backend.Real {
+		timeLabel = "wall"
+	}
 	var factRec, solveRec *trace.Recorder
 	if *traceOut != "" {
 		factRec = trace.NewRecorder(*p)
@@ -106,21 +117,21 @@ func main() {
 	}
 	var levels int
 	nnzCh := make([]int, *p)
-	factRes := mach.Run(func(proc *machine.Proc) {
+	factRes := mach.Run(func(proc pcomm.Comm) {
 		switch *precond {
 		case "pilut", "pilut-schur":
 			pc := core.Factor(proc, plan, core.Options{Params: params, Seed: *seed, Schur: *precond == "pilut-schur"})
-			precs[proc.ID] = pc
-			pcs[proc.ID] = pc
-			nnzCh[proc.ID] = pc.NNZ()
-			if proc.ID == 0 {
+			precs[proc.ID()] = pc
+			pcs[proc.ID()] = pc
+			nnzCh[proc.ID()] = pc.NNZ()
+			if proc.ID() == 0 {
 				levels = pc.NumLevels()
 			}
 		case "ilu0":
 			pc := core.FactorILU0(proc, plan, 0, *seed)
-			precs[proc.ID] = pc
-			nnzCh[proc.ID] = pc.NNZ()
-			if proc.ID == 0 {
+			precs[proc.ID()] = pc
+			nnzCh[proc.ID()] = pc.NNZ()
+			if proc.ID() == 0 {
 				levels = pc.NumLevels()
 			}
 		case "blockjacobi":
@@ -128,17 +139,17 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			precs[proc.ID] = bj
-			nnzCh[proc.ID] = bj.NNZ()
+			precs[proc.ID()] = bj
+			nnzCh[proc.ID()] = bj.NNZ()
 		case "jacobi":
-			j, err := krylov.NewDistJacobi(lay, a, proc.ID)
+			j, err := krylov.NewDistJacobi(lay, a, proc.ID())
 			if err != nil {
 				panic(err)
 			}
-			precs[proc.ID] = j
-			nnzCh[proc.ID] = lay.NLocal(proc.ID)
+			precs[proc.ID()] = j
+			nnzCh[proc.ID()] = lay.NLocal(proc.ID())
 		case "none":
-			precs[proc.ID] = krylov.DistIdentity{}
+			precs[proc.ID()] = krylov.DistIdentity{}
 		default:
 			panic(fmt.Sprintf("unknown preconditioner %q", *precond))
 		}
@@ -151,8 +162,8 @@ func main() {
 	if *precond == "ilu0" || *precond == "jacobi" || *precond == "none" {
 		label = ""
 	}
-	fmt.Printf("preconditioner: %s %s  modelled %.4fs  q=%d levels  fill=%.2fx\n",
-		*precond, label, factRes.Elapsed, levels, float64(nnz)/float64(a.NNZ()))
+	fmt.Printf("preconditioner: %s %s  %s %.4fs  q=%d levels  fill=%.2fx\n",
+		*precond, label, timeLabel, factRes.Elapsed, levels, float64(nnz)/float64(a.NNZ()))
 	if *traceOut != "" && pcs[0] != nil {
 		printFactorSummary(os.Stdout, pcs)
 	}
@@ -164,21 +175,25 @@ func main() {
 	bParts := lay.Scatter(b)
 	xParts := make([][]float64, *p)
 	results := make([]krylov.Result, *p)
-	mach2 := machine.New(*p, cost)
+	mach2, err := backend.New(*backendKind, *p, cost)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *traceOut != "" {
 		solveRec = trace.NewRecorder(*p)
 		mach2.SetRecorder(solveRec)
 	}
-	solveRes := mach2.Run(func(proc *machine.Proc) {
+	solveRes := mach2.Run(func(proc pcomm.Comm) {
 		dm := dist.NewMatrix(proc, lay, a)
-		x := make([]float64, lay.NLocal(proc.ID))
-		r, err := krylov.DistGMRES(proc, dm, precs[proc.ID], x, bParts[proc.ID],
+		x := make([]float64, lay.NLocal(proc.ID()))
+		r, err := krylov.DistGMRES(proc, dm, precs[proc.ID()], x, bParts[proc.ID()],
 			krylov.Options{Restart: *restart, Tol: *tol, MaxMatVec: *maxMV})
 		if err != nil {
 			panic(err)
 		}
-		xParts[proc.ID] = x
-		results[proc.ID] = r
+		xParts[proc.ID()] = x
+		results[proc.ID()] = r
 	})
 	x := lay.Gather(xParts)
 	r := make([]float64, a.N)
@@ -191,8 +206,8 @@ func main() {
 		d := x[i] - 1
 		errNorm += d * d
 	}
-	fmt.Printf("GMRES(%d): converged=%v NMV=%d modelled %.4fs  true rel residual=%.2e  ‖x−e‖=%.2e\n",
-		*restart, results[0].Converged, results[0].NMatVec, solveRes.Elapsed,
+	fmt.Printf("GMRES(%d): converged=%v NMV=%d %s %.4fs  true rel residual=%.2e  ‖x−e‖=%.2e\n",
+		*restart, results[0].Converged, results[0].NMatVec, timeLabel, solveRes.Elapsed,
 		sparse.Norm2(r)/sparse.Norm2(b), errNorm)
 
 	if *traceOut != "" {

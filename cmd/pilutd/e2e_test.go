@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"math"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
@@ -33,7 +34,13 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("building pilutd: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-procs", "4")
+	// PILUT_BACKEND selects the daemon's communication backend so the CI
+	// backend matrix drives the whole HTTP path on both implementations.
+	backendKind := os.Getenv("PILUT_BACKEND")
+	if backendKind == "" {
+		backendKind = "modelled"
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-procs", "4", "-backend", backendKind)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -30,6 +30,7 @@ import (
 	"repro/internal/ilu"
 	"repro/internal/krylov"
 	"repro/internal/machine"
+	"repro/internal/pcomm/backend"
 	"repro/internal/service"
 	"repro/internal/sparse"
 )
@@ -145,6 +146,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "right-hand sides coalesced per run")
 	cacheMB := flag.Int64("cache-mb", 256, "factorization cache budget in MiB")
 	t3d := flag.Bool("t3d", false, "model Cray T3D communication costs instead of free communication")
+	backendKind := flag.String("backend", "modelled", "communication backend: modelled (virtual time) or real (wall-clock shared memory)")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace JSON file per machine run into this directory")
 	flag.Parse()
 
@@ -158,10 +160,14 @@ func main() {
 	if *t3d {
 		cost = machine.T3D()
 	}
+	if _, err := backend.New(*backendKind, *procs, cost); err != nil {
+		log.Fatalf("pilutd: %v", err)
+	}
 	svc := service.New(service.Config{
 		Procs:      *procs,
 		Params:     ilu.Params{M: *m, Tau: *tau, K: *k},
 		Cost:       cost,
+		Backend:    *backendKind,
 		Workers:    *workers,
 		MaxBatch:   *maxBatch,
 		CacheBytes: *cacheMB << 20,

@@ -21,6 +21,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/modelled"
 	"repro/internal/sparse"
 )
 
@@ -60,43 +62,43 @@ func main() {
 		{"ILUT*(10,1e-6,2)", ilu.Params{M: 10, Tau: 1e-6, K: 2}},
 	} {
 		pcs := make([]*core.ProcPrecond, P)
-		m := machine.New(P, machine.T3D())
-		fr := m.Run(func(p *machine.Proc) {
-			pcs[p.ID] = core.Factor(p, plan, core.Options{Params: cfg.params})
+		m := modelled.New(P, machine.T3D())
+		fr := m.Run(func(p pcomm.Comm) {
+			pcs[p.ID()] = core.Factor(p, plan, core.Options{Params: cfg.params})
 		})
 
 		// Time one preconditioner application vs one matvec.
 		bParts := lay.Scatter(b)
-		m2 := machine.New(P, machine.T3D())
-		sr := m2.Run(func(p *machine.Proc) {
-			x := make([]float64, lay.NLocal(p.ID))
+		m2 := modelled.New(P, machine.T3D())
+		sr := m2.Run(func(p pcomm.Comm) {
+			x := make([]float64, lay.NLocal(p.ID()))
 			for it := 0; it < 10; it++ {
-				pcs[p.ID].Solve(p, x, bParts[p.ID])
+				pcs[p.ID()].Solve(p, x, bParts[p.ID()])
 			}
 		})
-		m3 := machine.New(P, machine.T3D())
-		mr := m3.Run(func(p *machine.Proc) {
+		m3 := modelled.New(P, machine.T3D())
+		mr := m3.Run(func(p pcomm.Comm) {
 			dm := dist.NewMatrix(p, lay, a)
-			y := make([]float64, lay.NLocal(p.ID))
+			y := make([]float64, lay.NLocal(p.ID()))
 			for it := 0; it < 10; it++ {
-				dm.MulVec(p, y, bParts[p.ID])
+				dm.MulVec(p, y, bParts[p.ID()])
 			}
 		})
 
 		// Full GMRES solve.
 		results := make([]krylov.Result, P)
 		xParts := make([][]float64, P)
-		m4 := machine.New(P, machine.T3D())
-		gr := m4.Run(func(p *machine.Proc) {
+		m4 := modelled.New(P, machine.T3D())
+		gr := m4.Run(func(p pcomm.Comm) {
 			dm := dist.NewMatrix(p, lay, a)
-			x := make([]float64, lay.NLocal(p.ID))
-			r, err := krylov.DistGMRES(p, dm, pcs[p.ID], x, bParts[p.ID],
+			x := make([]float64, lay.NLocal(p.ID()))
+			r, err := krylov.DistGMRES(p, dm, pcs[p.ID()], x, bParts[p.ID()],
 				krylov.Options{Restart: 50, Tol: 1e-8, MaxMatVec: 2000})
 			if err != nil {
 				panic(err)
 			}
-			results[p.ID] = r
-			xParts[p.ID] = x
+			results[p.ID()] = r
+			xParts[p.ID()] = x
 		})
 		x := lay.Gather(xParts)
 		r := make([]float64, n)

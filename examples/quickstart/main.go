@@ -16,6 +16,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/modelled"
 	"repro/internal/sparse"
 )
 
@@ -59,22 +61,22 @@ func main() {
 	xParts := make([][]float64, P)
 	results := make([]krylov.Result, P)
 
-	m := machine.New(P, machine.T3D())
-	runStats := m.Run(func(p *machine.Proc) {
+	m := modelled.New(P, machine.T3D())
+	runStats := m.Run(func(p pcomm.Comm) {
 		// Every processor runs this SPMD body, communicating through the
 		// simulated message-passing machine.
-		pcs[p.ID] = core.Factor(p, plan, core.Options{
+		pcs[p.ID()] = core.Factor(p, plan, core.Options{
 			Params: ilu.Params{M: 10, Tau: 1e-4, K: 2}, // ILUT*(10,1e-4,2)
 		})
 		dm := dist.NewMatrix(p, lay, a)
-		xl := make([]float64, lay.NLocal(p.ID))
-		r, err := krylov.DistGMRES(p, dm, pcs[p.ID], xl, bParts[p.ID],
+		xl := make([]float64, lay.NLocal(p.ID()))
+		r, err := krylov.DistGMRES(p, dm, pcs[p.ID()], xl, bParts[p.ID()],
 			krylov.Options{Restart: 30, Tol: 1e-8})
 		if err != nil {
 			panic(err)
 		}
-		xParts[p.ID] = xl
-		results[p.ID] = r
+		xParts[p.ID()] = xl
+		results[p.ID()] = r
 	})
 	fmt.Printf("parallel ILUT*(10,1e-4,2): q=%d levels, GMRES converged=%v in %d matvecs\n",
 		pcs[0].NumLevels(), results[0].Converged, results[0].NMatVec)

@@ -16,6 +16,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/modelled"
 )
 
 func main() {
@@ -40,9 +42,9 @@ func main() {
 
 		runOne := func(params ilu.Params) (float64, int) {
 			pcs := make([]*core.ProcPrecond, P)
-			m := machine.New(P, machine.T3D())
-			res := m.Run(func(p *machine.Proc) {
-				pcs[p.ID] = core.Factor(p, plan, core.Options{Params: params})
+			m := modelled.New(P, machine.T3D())
+			res := m.Run(func(p pcomm.Comm) {
+				pcs[p.ID()] = core.Factor(p, plan, core.Options{Params: params})
 			})
 			return res.Elapsed, pcs[0].NumLevels()
 		}

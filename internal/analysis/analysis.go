@@ -31,6 +31,19 @@ import (
 // invariants the analyzers enforce.
 const MachinePath = "repro/internal/machine"
 
+// PcommPath is the import path of the communicator-interface package.
+// Algorithm code talks to pcomm.Comm rather than *machine.Proc, so the
+// analyzers treat both as the machine layer.
+const PcommPath = "repro/internal/pcomm"
+
+// exemptPkg reports whether path is part of the messaging layer itself
+// (the machine, the pcomm interface, or a backend), where the invariants
+// are established rather than consumed.
+func exemptPkg(path string) bool {
+	return path == MachinePath || path == PcommPath ||
+		strings.HasPrefix(path, PcommPath+"/")
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos     token.Pos
@@ -136,8 +149,51 @@ func isNamed(t types.Type, path, name string) bool {
 	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
 }
 
+// isComm reports whether t is a communicator handle: *machine.Proc, the
+// pcomm.Comm interface, or a backend's concrete processor type
+// (*realcomm.Proc). Anything whose type satisfies pcomm.Comm counts, so
+// user-defined interfaces embedding Comm are covered too.
+func isComm(t types.Type) bool {
+	if isProcPtr(t) || isNamed(t, MachinePath, "Proc") {
+		return true
+	}
+	if isNamed(t, PcommPath, "Comm") {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		if isNamed(ptr.Elem(), PcommPath+"/realcomm", "Proc") {
+			return true
+		}
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		// An interface that includes the Comm method set (ID, P, Send,
+		// Recv, Barrier) is a communicator view.
+		need := map[string]bool{"ID": false, "P": false, "Send": false, "Recv": false, "Barrier": false}
+		for i := 0; i < iface.NumMethods(); i++ {
+			if _, ok := need[iface.Method(i).Name()]; ok {
+				need[iface.Method(i).Name()] = true
+			}
+		}
+		all := true
+		for _, got := range need {
+			all = all && got
+		}
+		return all
+	}
+	return false
+}
+
+// commLabel names t's communicator flavor for diagnostics.
+func commLabel(t types.Type) string {
+	if isProcPtr(t) || isNamed(t, MachinePath, "Proc") {
+		return "*machine.Proc"
+	}
+	return "pcomm.Comm"
+}
+
 // procMethod returns the method name if call is a method call on a
-// *machine.Proc receiver (p.Send, p.Barrier, ...).
+// communicator receiver (p.Send, p.Barrier, ... on *machine.Proc or
+// pcomm.Comm).
 func procMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -147,10 +203,33 @@ func procMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	if isProcPtr(tv.Type) || isNamed(tv.Type, MachinePath, "Proc") {
+	if isComm(tv.Type) {
 		return sel.Sel.Name, true
 	}
 	return "", false
+}
+
+// pcommFunc returns the function name if call invokes a package-level
+// function of the pcomm package (pcomm.AllGatherInts, pcomm.SendSlice,
+// ...), unwrapping explicit generic instantiation.
+func pcommFunc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fun := call.Fun
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = f.X
+	case *ast.IndexListExpr:
+		fun = f.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != PcommPath {
+		return "", false
+	}
+	return fn.Name(), true
 }
 
 // containsRefs reports whether values of t can alias other memory: a

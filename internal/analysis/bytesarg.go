@@ -73,8 +73,16 @@ func bytesAcceptable(info *types.Info, idx *defIndex, e ast.Expr, visiting map[*
 		}
 		return false
 	case *ast.CallExpr:
+		fun := e.Fun
+		// Unwrap explicit generic instantiation: pcomm.BytesOf[URow](n).
+		switch f := fun.(type) {
+		case *ast.IndexExpr:
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		}
 		var name string
-		switch fun := e.Fun.(type) {
+		switch fun := fun.(type) {
 		case *ast.Ident:
 			name = fun.Name
 		case *ast.SelectorExpr:

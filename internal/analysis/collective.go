@@ -45,6 +45,9 @@ func runCollective(pass *Pass) error {
 				return true
 			}
 			name, ok := procMethod(info, call)
+			if !ok {
+				name, ok = pcommFunc(info, call)
+			}
 			if !ok || !isCollectiveName(name) {
 				return true
 			}
@@ -109,14 +112,21 @@ func localGuard(info *types.Info, pm parentMap, call ast.Node, fd *ast.FuncDecl,
 func isTaintSource(info *types.Info, e ast.Expr) bool {
 	switch e := e.(type) {
 	case *ast.SelectorExpr:
+		// A bound p.ID method value mentioned in a condition (the call
+		// itself is the CallExpr case).
 		if e.Sel.Name != "ID" {
 			return false
 		}
 		tv, ok := info.Types[e.X]
-		return ok && (isProcPtr(tv.Type) || isNamed(tv.Type, MachinePath, "Proc"))
+		return ok && isComm(tv.Type)
 	case *ast.CallExpr:
-		name, ok := procMethod(info, e)
-		return ok && (name == "Recv" || name == "Time" || name == "Stats")
+		if name, ok := procMethod(info, e); ok {
+			return name == "ID" || name == "Recv" || name == "Time" || name == "Stats"
+		}
+		if name, ok := pcommFunc(info, e); ok {
+			return name == "RecvSlice"
+		}
+		return false
 	}
 	return false
 }

@@ -5,37 +5,42 @@ import (
 	"go/types"
 )
 
-// ProcEscape flags *machine.Proc values escaping the goroutine Run
-// handed them to: captured by or passed to a go statement, stored in a
-// package-level variable, or sent through a channel. A Proc carries an
-// unsynchronized virtual clock and per-processor counters; sharing one
-// across goroutines races, and using one after Run returns corrupts the
-// next run's accounting. The machine package itself is exempt — Run is
-// where the confinement is established.
+// ProcEscape flags communicator handles (*machine.Proc, pcomm.Comm)
+// escaping the goroutine Run handed them to: captured by or passed to a
+// go statement, stored in a package-level variable, or sent through a
+// channel. A handle carries an unsynchronized virtual clock (or
+// receiver-owned mailbox stashes on the real backend) and per-processor
+// counters; sharing one across goroutines races, and using one after Run
+// returns corrupts the next run's accounting. The messaging layer itself
+// is exempt — Run is where the confinement is established.
 var ProcEscape = &Analyzer{
 	Name: "procescape",
-	Doc:  "flag *machine.Proc values escaping their goroutine",
+	Doc:  "flag communicator handles escaping their goroutine",
 	Run:  runProcEscape,
 }
 
 func runProcEscape(pass *Pass) error {
-	if pass.Pkg.Path() == MachinePath {
+	if exemptPkg(pass.Pkg.Path()) {
 		return nil
 	}
 	info := pass.TypesInfo
 	isProcExpr := func(e ast.Expr) bool {
 		tv, ok := info.Types[e]
-		return ok && isProcPtr(tv.Type)
+		return ok && isComm(tv.Type)
+	}
+	labelOf := func(e ast.Expr) string {
+		tv, _ := info.Types[e]
+		return commLabel(tv.Type)
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				checkGoStmt(pass, n, isProcExpr)
+				checkGoStmt(pass, n, isProcExpr, labelOf)
 			case *ast.SendStmt:
 				if isProcExpr(n.Value) {
 					pass.Reportf(n.Value.Pos(),
-						"*machine.Proc sent on a channel; Proc is confined to the goroutine Run handed it to")
+						"%s sent on a channel; the communicator is confined to the goroutine Run handed it to", labelOf(n.Value))
 				}
 			case *ast.AssignStmt:
 				for i, lhs := range n.Lhs {
@@ -45,7 +50,7 @@ func runProcEscape(pass *Pass) error {
 					}
 					if isProcExpr(rhs) && isPackageLevelTarget(info, lhs) {
 						pass.Reportf(rhs.Pos(),
-							"*machine.Proc stored in a package-level variable; Proc must not outlive its Run goroutine")
+							"%s stored in a package-level variable; the communicator must not outlive its Run goroutine", labelOf(rhs))
 					}
 				}
 			case *ast.ValueSpec:
@@ -54,7 +59,7 @@ func runProcEscape(pass *Pass) error {
 				for i, name := range n.Names {
 					if i < len(n.Values) && isProcExpr(n.Values[i]) && isPackageLevelTarget(info, name) {
 						pass.Reportf(n.Values[i].Pos(),
-							"*machine.Proc stored in a package-level variable; Proc must not outlive its Run goroutine")
+							"%s stored in a package-level variable; the communicator must not outlive its Run goroutine", labelOf(n.Values[i]))
 					}
 				}
 			}
@@ -64,13 +69,13 @@ func runProcEscape(pass *Pass) error {
 	return nil
 }
 
-// checkGoStmt reports Procs entering a goroutine either as arguments or
-// as free variables of a function-literal body.
-func checkGoStmt(pass *Pass, g *ast.GoStmt, isProcExpr func(ast.Expr) bool) {
+// checkGoStmt reports communicator handles entering a goroutine either
+// as arguments or as free variables of a function-literal body.
+func checkGoStmt(pass *Pass, g *ast.GoStmt, isProcExpr func(ast.Expr) bool, labelOf func(ast.Expr) string) {
 	for _, arg := range g.Call.Args {
 		if isProcExpr(arg) {
 			pass.Reportf(arg.Pos(),
-				"*machine.Proc passed to a goroutine; Proc is confined to the goroutine Run handed it to")
+				"%s passed to a goroutine; the communicator is confined to the goroutine Run handed it to", labelOf(arg))
 		}
 	}
 	switch fun := g.Call.Fun.(type) {
@@ -78,10 +83,10 @@ func checkGoStmt(pass *Pass, g *ast.GoStmt, isProcExpr func(ast.Expr) bool) {
 		// go p.Method(...): the receiver escapes.
 		if isProcExpr(fun.X) {
 			pass.Reportf(fun.X.Pos(),
-				"*machine.Proc method launched as a goroutine; Proc is confined to the goroutine Run handed it to")
+				"%s method launched as a goroutine; the communicator is confined to the goroutine Run handed it to", labelOf(fun.X))
 		}
 	case *ast.FuncLit:
-		// Free *Proc variables captured by the closure body.
+		// Free communicator variables captured by the closure body.
 		reported := make(map[*types.Var]bool)
 		ast.Inspect(fun.Body, func(n ast.Node) bool {
 			id, ok := n.(*ast.Ident)
@@ -89,13 +94,13 @@ func checkGoStmt(pass *Pass, g *ast.GoStmt, isProcExpr func(ast.Expr) bool) {
 				return true
 			}
 			v := lookupVar(pass.TypesInfo, id)
-			if v == nil || reported[v] || !isProcPtr(v.Type()) {
+			if v == nil || reported[v] || !isComm(v.Type()) {
 				return true
 			}
 			if v.Pos() < fun.Pos() || v.Pos() > fun.End() {
 				reported[v] = true
 				pass.Reportf(id.Pos(),
-					"*machine.Proc %s captured by a go-statement closure; Proc is confined to the goroutine Run handed it to", id.Name)
+					"%s %s captured by a go-statement closure; the communicator is confined to the goroutine Run handed it to", commLabel(v.Type()), id.Name)
 			}
 			return true
 		})

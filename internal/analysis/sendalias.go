@@ -28,17 +28,24 @@ var SendAlias = &Analyzer{
 // payloadArg maps collective/point-to-point methods to the index of
 // their payload argument.
 var payloadArg = map[string]int{
-	"Send":            2,
-	"AllGather":       0,
-	"AllGatherInts":   0,
-	"AllGatherFloats": 0,
+	"Send":      2,
+	"AllGather": 0,
+}
+
+// pcommPayloadArg maps pcomm package-level functions to the index of
+// their payload argument (index 0 is the communicator).
+var pcommPayloadArg = map[string]int{
+	"SendSlice":       3,
+	"AllGatherSlice":  1,
+	"AllGatherInts":   1,
+	"AllGatherFloats": 1,
 }
 
 func runSendAlias(pass *Pass) error {
-	if pass.Pkg.Path() == MachinePath {
-		// The machine package is the messaging layer itself: its wrappers
-		// forward caller-owned buffers by design, and the convention is
-		// enforced at their call sites.
+	if exemptPkg(pass.Pkg.Path()) {
+		// The machine and pcomm packages are the messaging layer itself:
+		// their wrappers forward caller-owned buffers by design, and the
+		// convention is enforced at their call sites.
 		return nil
 	}
 	idx := buildDefIndex(pass)
@@ -49,11 +56,13 @@ func runSendAlias(pass *Pass) error {
 				return true
 			}
 			name, ok := procMethod(pass.TypesInfo, call)
-			if !ok {
-				return true
+			argIdx, wanted := -1, false
+			if ok {
+				argIdx, wanted = payloadArg[name]
+			} else if name, ok = pcommFunc(pass.TypesInfo, call); ok {
+				argIdx, wanted = pcommPayloadArg[name]
 			}
-			argIdx, ok := payloadArg[name]
-			if !ok || len(call.Args) <= argIdx {
+			if !wanted || len(call.Args) <= argIdx {
 				return true
 			}
 			payload := call.Args[argIdx]
@@ -63,7 +72,7 @@ func runSendAlias(pass *Pass) error {
 			}
 			if !fresh(pass.TypesInfo, idx, payload, make(map[*types.Var]bool)) {
 				pass.Reportf(payload.Pos(),
-					"payload of %s may alias memory the sender retains; send a freshly built buffer or copy it first (machine.CopyInts/CopyFloats/CopyBools)", name)
+					"payload of %s may alias memory the sender retains; send a freshly built buffer or copy it first (pcomm.CopyInts/CopyFloats/CopyBools)", name)
 			}
 			return true
 		})
@@ -93,6 +102,9 @@ func fresh(info *types.Info, idx *defIndex, e ast.Expr, visiting map[*types.Var]
 		// A received payload belongs to this processor but was built by
 		// the sender; forwarding it verbatim re-shares that memory.
 		if m, ok := procMethod(info, e); ok && m == "Recv" {
+			return false
+		}
+		if m, ok := pcommFunc(info, e); ok && m == "RecvSlice" {
 			return false
 		}
 		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {

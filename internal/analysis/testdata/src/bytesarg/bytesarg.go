@@ -3,11 +3,16 @@
 // pure control messages) so the LogP cost model stays honest.
 package bytesarg
 
-import "repro/internal/machine"
+import (
+	"repro/internal/machine"
+	"repro/internal/pcomm"
+)
 
 // BytesOfPairs is a domain-specific sizing helper; any BytesOf* name is
 // accepted, package-qualified or not.
 func BytesOfPairs(n int) int { return 16 * n }
+
+type pair struct{ a, b float64 }
 
 // Violations: raw literals and hand-rolled arithmetic.
 func bad(p *machine.Proc, xs []int) {
@@ -21,18 +26,32 @@ func bad(p *machine.Proc, xs []int) {
 	p.Send(1, 2, xs, b) // want `modelled byte count of Send should come from a BytesOf\* helper`
 }
 
+// badComm: the same violations through the backend-agnostic interface.
+func badComm(c pcomm.Comm, xs []int) {
+	c.Send(1, 0, xs, 8*len(xs)) // want `modelled byte count of Send should come from a BytesOf\* helper`
+
+	c.AllGather(len(xs), 8) // want `modelled byte count of AllGather should come from a BytesOf\* helper`
+}
+
 // Clean: helpers, zero, sums of helpers, accumulators, forwarded params.
 func good(p *machine.Proc, xs []int, flags []bool) {
-	p.Send(1, 0, xs, machine.BytesOfInts(len(xs)))
+	p.Send(1, 0, xs, pcomm.BytesOfInts(len(xs)))
 	p.Send(1, 1, nil, 0)
-	p.Send(1, 2, xs, machine.BytesOfInts(len(xs))+machine.BytesOfBools(len(flags)))
+	p.Send(1, 2, xs, pcomm.BytesOfInts(len(xs))+pcomm.BytesOfBools(len(flags)))
 	p.Send(1, 3, xs, BytesOfPairs(len(xs)))
-	p.AllGather(len(xs), machine.BytesOfInts(1))
+	p.AllGather(len(xs), pcomm.BytesOfInts(1))
 
 	b := 0
-	b += machine.BytesOfInts(len(xs))
-	b += machine.BytesOfBools(len(flags))
+	b += pcomm.BytesOfInts(len(xs))
+	b += pcomm.BytesOfBools(len(flags))
 	p.Send(1, 4, xs, b)
+}
+
+// goodComm: the generic BytesOf helper with an explicit instantiation is
+// a BytesOf* call like any other.
+func goodComm(c pcomm.Comm, ps []pair) {
+	c.Send(1, 0, ps, pcomm.BytesOf[pair](len(ps)))
+	c.AllGather(len(ps), pcomm.BytesOf[int](1))
 }
 
 // sendWith forwards its byte count: the obligation moves to its callers.

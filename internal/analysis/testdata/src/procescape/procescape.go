@@ -1,13 +1,23 @@
-// Package procescape exercises the procescape analyzer: a *machine.Proc
-// is confined to the goroutine Run handed it to.
+// Package procescape exercises the procescape analyzer: a communicator
+// handle (*machine.Proc or pcomm.Comm) is confined to the goroutine Run
+// handed it to.
 package procescape
 
-import "repro/internal/machine"
+import (
+	"repro/internal/machine"
+	"repro/internal/pcomm"
+)
 
 var global *machine.Proc
 
+var globalComm pcomm.Comm
+
 func worker(p *machine.Proc) {
 	p.Barrier()
+}
+
+func commWorker(c pcomm.Comm) {
+	c.Barrier()
 }
 
 // Violations: the Proc leaks to another goroutine or outlives the run.
@@ -25,11 +35,30 @@ func bad(p *machine.Proc, ch chan *machine.Proc) {
 	global = p // want `\*machine.Proc stored in a package-level variable`
 }
 
+// badComm: the same escapes through the backend-agnostic interface.
+func badComm(c pcomm.Comm, ch chan pcomm.Comm) {
+	go commWorker(c) // want `pcomm.Comm passed to a goroutine`
+
+	go c.Barrier() // want `pcomm.Comm method launched as a goroutine`
+
+	go func() {
+		c.Send(1, 0, nil, 0) // want `pcomm.Comm c captured by a go-statement closure`
+	}()
+
+	ch <- c // want `pcomm.Comm sent on a channel`
+
+	globalComm = c // want `pcomm.Comm stored in a package-level variable`
+}
+
 // Clean: scalar results may cross goroutines; local aliases are fine.
-func good(p *machine.Proc, done chan int) {
+func good(p *machine.Proc, c pcomm.Comm, done chan int) {
 	go func(id int) {
 		done <- id
-	}(p.ID)
+	}(p.ID())
+
+	go func(id int) {
+		done <- id
+	}(c.ID())
 
 	q := p // a local alias stays confined
 	q.Barrier()

@@ -2,7 +2,10 @@
 // Send/AllGather must not alias memory the sender retains.
 package sendalias
 
-import "repro/internal/machine"
+import (
+	"repro/internal/machine"
+	"repro/internal/pcomm"
+)
 
 type holder struct {
 	data []float64
@@ -10,42 +13,62 @@ type holder struct {
 
 // Violations: the payload provably aliases sender-visible memory.
 func bad(p *machine.Proc, xs []int, h holder, rows [][]float64) {
-	p.Send(1, 0, xs, machine.BytesOfInts(len(xs)))    // want `payload of Send may alias memory the sender retains`
-	p.Send(1, 1, h.data, machine.BytesOfFloats(len(h.data))) // want `payload of Send may alias memory the sender retains`
+	p.Send(1, 0, xs, pcomm.BytesOfInts(len(xs)))           // want `payload of Send may alias memory the sender retains`
+	p.Send(1, 1, h.data, pcomm.BytesOfFloats(len(h.data))) // want `payload of Send may alias memory the sender retains`
 	for _, row := range rows {
-		p.Send(1, 2, row, machine.BytesOfFloats(len(row))) // want `payload of Send may alias memory the sender retains`
+		p.Send(1, 2, row, pcomm.BytesOfFloats(len(row))) // want `payload of Send may alias memory the sender retains`
 	}
 	v := p.Recv(0, 3)
-	p.Send(2, 3, v, 0) // want `payload of Send may alias memory the sender retains`
-	p.AllGather(xs, machine.BytesOfInts(len(xs))) // want `payload of AllGather may alias memory the sender retains`
-	p.AllGatherInts(xs)                           // want `payload of AllGatherInts may alias memory the sender retains`
+	p.Send(2, 3, v, 0)                          // want `payload of Send may alias memory the sender retains`
+	p.AllGather(xs, pcomm.BytesOfInts(len(xs))) // want `payload of AllGather may alias memory the sender retains`
+	pcomm.AllGatherInts(p, xs)                  // want `payload of AllGatherInts may alias memory the sender retains`
 
 	alias := xs
-	p.Send(1, 4, alias, machine.BytesOfInts(len(alias))) // want `payload of Send may alias memory the sender retains`
+	p.Send(1, 4, alias, pcomm.BytesOfInts(len(alias))) // want `payload of Send may alias memory the sender retains`
+}
+
+// badComm repeats the violations through the backend-agnostic
+// pcomm.Comm interface and the generic slice fast path.
+func badComm(c pcomm.Comm, xs []int, ys []float64) {
+	c.Send(1, 0, xs, pcomm.BytesOfInts(len(xs))) // want `payload of Send may alias memory the sender retains`
+	pcomm.SendSlice(c, 1, 1, ys)                 // want `payload of SendSlice may alias memory the sender retains`
+	pcomm.AllGatherFloats(c, ys)                 // want `payload of AllGatherFloats may alias memory the sender retains`
+
+	got := pcomm.RecvSlice[float64](c, 0, 2)
+	pcomm.SendSlice(c, 2, 2, got) // want `payload of SendSlice may alias memory the sender retains`
 }
 
 // Clean: freshly built payloads and scalar payloads.
 func good(p *machine.Proc, xs []int, n int) {
-	p.Send(1, 0, []int{1, 2, 3}, machine.BytesOfInts(3))
+	p.Send(1, 0, []int{1, 2, 3}, pcomm.BytesOfInts(3))
 
 	msg := make([]float64, n)
 	for i := range msg {
 		msg[i] = float64(i)
 	}
-	p.Send(1, 1, msg, machine.BytesOfFloats(len(msg)))
+	p.Send(1, 1, msg, pcomm.BytesOfFloats(len(msg)))
 
 	var out []int
 	out = append(out, xs...)
-	p.Send(1, 2, out, machine.BytesOfInts(len(out)))
+	p.Send(1, 2, out, pcomm.BytesOfInts(len(out)))
 
-	p.Send(1, 3, machine.CopyInts(xs), machine.BytesOfInts(len(xs)))
-	p.Send(1, 4, n, machine.BytesOfInts(1)) // scalar payload: no references
+	p.Send(1, 3, pcomm.CopyInts(xs), pcomm.BytesOfInts(len(xs)))
+	p.Send(1, 4, n, pcomm.BytesOfInts(1)) // scalar payload: no references
 	p.Send(1, 5, nil, 0)
-	p.AllGatherInts(machine.CopyInts(xs))
+	pcomm.AllGatherInts(p, pcomm.CopyInts(xs))
+}
+
+// goodComm: fresh buffers through the interface and the generic path.
+func goodComm(c pcomm.Comm, xs []int) {
+	pcomm.SendSlice(c, 1, 0, pcomm.CopyInts(xs))
+	msg := make([]int, len(xs))
+	copy(msg, xs)
+	pcomm.SendSlice(c, 1, 1, msg)
+	pcomm.AllGatherInts(c, []int{c.ID()})
 }
 
 // Suppressed: the sender provably never mutates xs again.
 func waived(p *machine.Proc, xs []int) {
 	//pilutlint:ok sendalias xs is never mutated after this send
-	p.Send(1, 0, xs, machine.BytesOfInts(len(xs)))
+	p.Send(1, 0, xs, pcomm.BytesOfInts(len(xs)))
 }

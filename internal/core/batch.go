@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/machine"
+	"repro/internal/pcomm"
 )
 
 // levelValuesBatch is the per-level exchange payload of a multi-RHS
@@ -18,7 +18,7 @@ type levelValuesBatch struct {
 
 // publishLevelBatch makes the just-solved values of level l visible to
 // every processor for all B right-hand sides with a single collective.
-func (pc *ProcPrecond) publishLevelBatch(p *machine.Proc, l int, xIface [][]float64) {
+func (pc *ProcPrecond) publishLevelBatch(p pcomm.Comm, l int, xIface [][]float64) {
 	members := pc.levelMembers[l]
 	tot := pc.plan.TotInterior
 	msg := levelValuesBatch{
@@ -33,7 +33,7 @@ func (pc *ProcPrecond) publishLevelBatch(p *machine.Proc, l int, xIface [][]floa
 			msg.Vals = append(msg.Vals, xf[pc.newOf[li]-tot])
 		}
 	}
-	all := p.AllGather(msg, machine.BytesOfInts(len(msg.NewIDs))+machine.BytesOfFloats(len(msg.Vals)))
+	all := p.AllGather(msg, pcomm.BytesOfInts(len(msg.NewIDs))+pcomm.BytesOfFloats(len(msg.Vals)))
 	for _, a := range all {
 		lv := a.(levelValuesBatch)
 		nm := len(lv.NewIDs)
@@ -52,7 +52,7 @@ func (pc *ProcPrecond) publishLevelBatch(p *machine.Proc, l int, xIface [][]floa
 // forward and backward substitutions publishes the values of the entire
 // batch in one exchange. Collective: every processor must call it
 // together with the same batch size.
-func (pc *ProcPrecond) SolveBatch(p *machine.Proc, ys, bs [][]float64) {
+func (pc *ProcPrecond) SolveBatch(p pcomm.Comm, ys, bs [][]float64) {
 	if len(ys) != len(bs) {
 		panic("core: SolveBatch batch size mismatch")
 	}
@@ -82,7 +82,7 @@ func (pc *ProcPrecond) SolveBatch(p *machine.Proc, ys, bs [][]float64) {
 
 // solveForwardBatch is SolveForward over a batch with shared level
 // exchanges; scratch vectors are supplied by the caller.
-func (pc *ProcPrecond) solveForwardBatch(p *machine.Proc, ys, bs, xInt, xIface [][]float64) {
+func (pc *ProcPrecond) solveForwardBatch(p pcomm.Comm, ys, bs, xInt, xIface [][]float64) {
 	tot := pc.plan.TotInterior
 	intBase := pc.plan.IntBase[pc.me]
 	flops := 0
@@ -145,7 +145,7 @@ func (pc *ProcPrecond) solveForwardBatch(p *machine.Proc, ys, bs, xInt, xIface [
 
 // solveBackwardBatch is SolveBackward over a batch with shared level
 // exchanges.
-func (pc *ProcPrecond) solveBackwardBatch(p *machine.Proc, ys, bs, xInt, xIface [][]float64) {
+func (pc *ProcPrecond) solveBackwardBatch(p pcomm.Comm, ys, bs, xInt, xIface [][]float64) {
 	tot := pc.plan.TotInterior
 	intBase := pc.plan.IntBase[pc.me]
 

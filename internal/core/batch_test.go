@@ -11,6 +11,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 )
 
 // buildBatchFixture factors a small grid problem on P simulated
@@ -29,10 +31,10 @@ func buildBatchFixture(t *testing.T, p int) (*dist.Layout, []*ProcPrecond) {
 		t.Fatal(err)
 	}
 	pcs := make([]*ProcPrecond, p)
-	m := machine.New(p, machine.Zero())
+	m := pcommtest.New(t, p, machine.Zero())
 	m.SetWatchdog(30 * time.Second)
-	m.Run(func(proc *machine.Proc) {
-		pcs[proc.ID] = Factor(proc, plan, Options{Params: ilu.Params{M: 8, Tau: 1e-4, K: 2}, Seed: 3})
+	m.Run(func(proc pcomm.Comm) {
+		pcs[proc.ID()] = Factor(proc, plan, Options{Params: ilu.Params{M: 8, Tau: 1e-4, K: 2}, Seed: 3})
 	})
 	return lay, pcs
 }
@@ -55,12 +57,12 @@ func TestSolveBatchMatchesRepeatedSolve(t *testing.T) {
 	for bi := 0; bi < B; bi++ {
 		parts := lay.Scatter(bsGlobal[bi])
 		ys := make([][]float64, P)
-		m := machine.New(P, machine.Zero())
+		m := pcommtest.New(t, P, machine.Zero())
 		m.SetWatchdog(30 * time.Second)
-		m.Run(func(proc *machine.Proc) {
-			y := make([]float64, lay.NLocal(proc.ID))
-			pcs[proc.ID].Solve(proc, y, parts[proc.ID])
-			ys[proc.ID] = y
+		m.Run(func(proc pcomm.Comm) {
+			y := make([]float64, lay.NLocal(proc.ID()))
+			pcs[proc.ID()].Solve(proc, y, parts[proc.ID()])
+			ys[proc.ID()] = y
 		})
 		single[bi] = ys
 	}
@@ -70,18 +72,18 @@ func TestSolveBatchMatchesRepeatedSolve(t *testing.T) {
 	for bi := range batchYs {
 		batchYs[bi] = make([][]float64, P)
 	}
-	m := machine.New(P, machine.Zero())
+	m := pcommtest.New(t, P, machine.Zero())
 	m.SetWatchdog(30 * time.Second)
-	res := m.Run(func(proc *machine.Proc) {
+	res := m.Run(func(proc pcomm.Comm) {
 		bs := make([][]float64, B)
 		ys := make([][]float64, B)
 		for bi := 0; bi < B; bi++ {
-			bs[bi] = lay.Scatter(bsGlobal[bi])[proc.ID]
-			ys[bi] = make([]float64, lay.NLocal(proc.ID))
+			bs[bi] = lay.Scatter(bsGlobal[bi])[proc.ID()]
+			ys[bi] = make([]float64, lay.NLocal(proc.ID()))
 		}
-		pcs[proc.ID].SolveBatch(proc, ys, bs)
+		pcs[proc.ID()].SolveBatch(proc, ys, bs)
 		for bi := 0; bi < B; bi++ {
-			batchYs[bi][proc.ID] = ys[bi]
+			batchYs[bi][proc.ID()] = ys[bi]
 		}
 	})
 
@@ -112,8 +114,8 @@ func TestSolveBatchSizeMismatchPanics(t *testing.T) {
 			t.Fatalf("mismatched batch sizes did not panic")
 		}
 	}()
-	m := machine.New(1, machine.Zero())
-	m.Run(func(proc *machine.Proc) {
+	m := pcommtest.New(t, 1, machine.Zero())
+	m.Run(func(proc pcomm.Comm) {
 		pcs[0].SolveBatch(proc, make([][]float64, 2), make([][]float64, 3))
 	})
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"repro/internal/ilu"
-	"repro/internal/machine"
+	"repro/internal/pcomm"
 	"repro/internal/sparse"
 )
 
@@ -19,15 +19,15 @@ type BlockJacobi struct {
 
 // FactorBlockJacobi builds the local-block ILUT preconditioner. It is
 // SPMD like Factor, but performs no communication.
-func FactorBlockJacobi(p *machine.Proc, plan *Plan, params ilu.Params) (*BlockJacobi, error) {
+func FactorBlockJacobi(p pcomm.Comm, plan *Plan, params ilu.Params) (*BlockJacobi, error) {
 	lay := plan.Lay
-	rows := lay.Rows[p.ID]
+	rows := lay.Rows[p.ID()]
 	b := sparse.NewBuilder(len(rows), len(rows))
 	for li, g := range rows {
 		cols, vals := plan.A.Row(g)
 		diagSeen := false
 		for k, j := range cols {
-			lj := lay.LocalIndex(p.ID, j)
+			lj := lay.LocalIndex(p.ID(), j)
 			if lj < 0 {
 				continue // off-block coupling discarded
 			}
@@ -49,7 +49,7 @@ func FactorBlockJacobi(p *machine.Proc, plan *Plan, params ilu.Params) (*BlockJa
 }
 
 // Solve applies the block preconditioner: purely local triangular solves.
-func (bj *BlockJacobi) Solve(p *machine.Proc, x, b []float64) {
+func (bj *BlockJacobi) Solve(p pcomm.Comm, x, b []float64) {
 	bj.factors.Solve(x, b)
 	p.Work(float64(2 * bj.factors.NNZ()))
 }

@@ -9,6 +9,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 	"repro/internal/sparse"
 )
 
@@ -24,8 +26,8 @@ func TestBlockJacobiSingleProcEqualsILUT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := machine.New(1, machine.Zero())
-	m.Run(func(p *machine.Proc) {
+	m := pcommtest.New(t, 1, machine.Zero())
+	m.Run(func(p pcomm.Comm) {
 		bj, err := FactorBlockJacobi(p, plan, ilu.Params{M: 5, Tau: 1e-3})
 		if err != nil {
 			panic(err)
@@ -48,14 +50,14 @@ func TestBlockJacobiNoCommunication(t *testing.T) {
 	}
 	b := sparse.Ones(a.N)
 	bParts := lay.Scatter(b)
-	m := machine.New(P, machine.T3D())
-	res := m.Run(func(p *machine.Proc) {
+	m := pcommtest.New(t, P, machine.T3D())
+	res := m.Run(func(p pcomm.Comm) {
 		bj, err := FactorBlockJacobi(p, plan, ilu.Params{M: 8, Tau: 1e-4})
 		if err != nil {
 			panic(err)
 		}
-		x := make([]float64, lay.NLocal(p.ID))
-		bj.Solve(p, x, bParts[p.ID])
+		x := make([]float64, lay.NLocal(p.ID()))
+		bj.Solve(p, x, bParts[p.ID()])
 	})
 	for q := 0; q < P; q++ {
 		if res.PerProc[q].MsgsSent != 0 || res.PerProc[q].Collectives != 0 {
@@ -82,19 +84,19 @@ func TestBlockJacobiWeakerThanPILUT(t *testing.T) {
 	// One Richardson step each; PILUT's residual must be smaller.
 	xBJ := make([][]float64, P)
 	xPI := make([][]float64, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
 		bj, err := FactorBlockJacobi(p, plan, params)
 		if err != nil {
 			panic(err)
 		}
 		pc := Factor(p, plan, Options{Params: params})
-		x1 := make([]float64, lay.NLocal(p.ID))
-		bj.Solve(p, x1, bParts[p.ID])
-		x2 := make([]float64, lay.NLocal(p.ID))
-		pc.Solve(p, x2, bParts[p.ID])
-		xBJ[p.ID] = x1
-		xPI[p.ID] = x2
+		x1 := make([]float64, lay.NLocal(p.ID()))
+		bj.Solve(p, x1, bParts[p.ID()])
+		x2 := make([]float64, lay.NLocal(p.ID()))
+		pc.Solve(p, x2, bParts[p.ID()])
+		xBJ[p.ID()] = x1
+		xPI[p.ID()] = x2
 	})
 	resNorm := func(parts [][]float64) float64 {
 		x := lay.Gather(parts)
@@ -127,8 +129,8 @@ func TestBlockJacobiMissingDiagonalRepaired(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := machine.New(2, machine.Zero())
-	m.Run(func(p *machine.Proc) {
+	m := pcommtest.New(t, 2, machine.Zero())
+	m.Run(func(p pcomm.Comm) {
 		if _, err := FactorBlockJacobi(p, plan, ilu.Params{M: 2, Tau: 1e-8}); err != nil {
 			panic(err)
 		}

@@ -10,12 +10,18 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/modelled"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
 
 // runTracedFactor factors a on P processors with a recorder attached and
-// returns the pieces plus the recorded event stream.
+// returns the pieces plus the recorded event stream. It pins the modelled
+// backend: the tests below assert virtual-clock properties (identical
+// makespans, identical traced timestamps) that a wall-clock backend cannot
+// provide. Cross-backend equivalence of factors and stats is covered by
+// the pcomm backend-equivalence tests instead.
 func runTracedFactor(t *testing.T, a *sparse.CSR, P int, opt Options) ([]*ProcPrecond, []trace.Event, machine.Result) {
 	t.Helper()
 	g := graph.FromMatrix(a)
@@ -29,11 +35,11 @@ func runTracedFactor(t *testing.T, a *sparse.CSR, P int, opt Options) ([]*ProcPr
 		t.Fatal(err)
 	}
 	pcs := make([]*ProcPrecond, P)
-	m := machine.New(P, machine.T3D())
+	m := modelled.New(P, machine.T3D())
 	rec := trace.NewRecorder(P)
 	m.SetRecorder(rec)
-	res := m.Run(func(p *machine.Proc) {
-		pcs[p.ID] = Factor(p, plan, opt)
+	res := m.Run(func(p pcomm.Comm) {
+		pcs[p.ID()] = Factor(p, plan, opt)
 	})
 	return pcs, rec.Events(), res
 }

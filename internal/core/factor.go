@@ -5,8 +5,8 @@ import (
 	"sort"
 
 	"repro/internal/ilu"
-	"repro/internal/machine"
 	"repro/internal/mis"
+	"repro/internal/pcomm"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -108,14 +108,14 @@ type ProcPrecond struct {
 // SPMD collective: every processor of the machine must call it with the
 // same plan and options. The returned piece belongs to the calling
 // processor.
-func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
+func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 	if opt.MISRounds <= 0 {
 		opt.MISRounds = mis.DefaultRounds
 	}
 	par := opt.Params
 	n := plan.A.N
 	lay := plan.Lay
-	me := p.ID
+	me := p.ID()
 
 	pc := &ProcPrecond{
 		plan:  plan,
@@ -304,7 +304,7 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 				mineCount++
 			}
 		}
-		counts := p.AllGatherInts([]int{mineCount})
+		counts := pcomm.AllGatherInts(p, []int{mineCount})
 		levelSize := 0
 		myOffset := nl
 		for q := 0; q < lay.P; q++ {
@@ -441,7 +441,7 @@ func Factor(p *machine.Proc, plan *Plan, opt Options) *ProcPrecond {
 			pairs = append(pairs, g, pc.newOf[li])
 		}
 	}
-	allPairs := p.AllGatherInts(pairs)
+	allPairs := pcomm.AllGatherInts(p, pairs)
 	newOfIface := make(map[int]int, plan.NInterface)
 	for _, pp := range allPairs {
 		for i := 0; i < len(pp); i += 2 {

@@ -11,6 +11,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 	"repro/internal/sparse"
 )
 
@@ -29,9 +31,9 @@ func runFactor(t *testing.T, a *sparse.CSR, P int, opt Options) ([]*ProcPrecond,
 		t.Fatal(err)
 	}
 	pcs := make([]*ProcPrecond, P)
-	m := machine.New(P, machine.T3D())
-	res := m.Run(func(p *machine.Proc) {
-		pcs[p.ID] = Factor(p, plan, opt)
+	m := pcommtest.New(t, P, machine.T3D())
+	res := m.Run(func(p pcomm.Comm) {
+		pcs[p.ID()] = Factor(p, plan, opt)
 	})
 	return pcs, plan, res
 }
@@ -256,14 +258,14 @@ func TestSolveInvertsDistributedFactors(t *testing.T) {
 		yParts := make([][]float64, P)
 
 		// Global reference: gather factors, apply serial solve.
-		m := machine.New(P, machine.T3D())
+		m := pcommtest.New(t, P, machine.T3D())
 		rng := rand.New(rand.NewSource(8))
 		b := make([]float64, n)
 		for i := range b {
 			b[i] = rng.NormFloat64()
 		}
-		m.Run(func(p *machine.Proc) {
-			pcs[p.ID] = Factor(p, plan, Options{Params: ilu.Params{M: 6, Tau: 1e-4}})
+		m.Run(func(p pcomm.Comm) {
+			pcs[p.ID()] = Factor(p, plan, Options{Params: ilu.Params{M: 6, Tau: 1e-4}})
 		})
 		f, perm, err := GatherFactors(pcs)
 		if err != nil {
@@ -286,9 +288,9 @@ func TestSolveInvertsDistributedFactors(t *testing.T) {
 			}
 			yParts[q] = make([]float64, lay.NLocal(q))
 		}
-		m2 := machine.New(P, machine.T3D())
-		m2.Run(func(p *machine.Proc) {
-			pcs[p.ID].Solve(p, yParts[p.ID], bParts[p.ID])
+		m2 := pcommtest.New(t, P, machine.T3D())
+		m2.Run(func(p pcomm.Comm) {
+			pcs[p.ID()].Solve(p, yParts[p.ID()], bParts[p.ID()])
 		})
 		got := lay.Gather(yParts)
 		for i := 0; i < n; i++ {
@@ -308,9 +310,9 @@ func TestPreconditionerReducesResidual(t *testing.T) {
 	lay, _ := dist.NewLayout(n, P, part)
 	plan, _ := NewPlan(a, lay)
 	pcs := make([]*ProcPrecond, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		pcs[p.ID] = Factor(p, plan, Options{Params: ilu.Params{M: 10, Tau: 1e-4, K: 2}})
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		pcs[p.ID()] = Factor(p, plan, Options{Params: ilu.Params{M: 10, Tau: 1e-4, K: 2}})
 	})
 	b := sparse.Ones(n)
 	bParts := lay.Scatter(b)
@@ -318,9 +320,9 @@ func TestPreconditionerReducesResidual(t *testing.T) {
 	for q := range xParts {
 		xParts[q] = make([]float64, lay.NLocal(q))
 	}
-	m2 := machine.New(P, machine.T3D())
-	m2.Run(func(p *machine.Proc) {
-		pcs[p.ID].Solve(p, xParts[p.ID], bParts[p.ID])
+	m2 := pcommtest.New(t, P, machine.T3D())
+	m2.Run(func(p pcomm.Comm) {
+		pcs[p.ID()].Solve(p, xParts[p.ID()], bParts[p.ID()])
 	})
 	x := lay.Gather(xParts)
 	r := make([]float64, n)
@@ -419,9 +421,9 @@ func TestStaticColoringInvalidatedByFill(t *testing.T) {
 	// Factor with a permissive ILUT and examine the dependencies the
 	// factors actually created among interface unknowns.
 	pcs := make([]*ProcPrecond, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		pcs[p.ID] = Factor(p, plan, Options{Params: ilu.Params{M: 20, Tau: 1e-8}})
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		pcs[p.ID()] = Factor(p, plan, Options{Params: ilu.Params{M: 20, Tau: 1e-8}})
 	})
 	f, perm, err := GatherFactors(pcs)
 	if err != nil {

@@ -4,8 +4,8 @@ import (
 	"sort"
 
 	"repro/internal/ilu"
-	"repro/internal/machine"
 	"repro/internal/mis"
+	"repro/internal/pcomm"
 	"repro/internal/sparse"
 )
 
@@ -19,13 +19,13 @@ import (
 //
 // The result is a ProcPrecond with the same solve machinery as Factor;
 // its factors have exactly the pattern of the permuted matrix.
-func FactorILU0(p *machine.Proc, plan *Plan, misRounds int, seed int64) *ProcPrecond {
+func FactorILU0(p pcomm.Comm, plan *Plan, misRounds int, seed int64) *ProcPrecond {
 	if misRounds <= 0 {
 		misRounds = mis.DefaultRounds
 	}
 	n := plan.A.N
 	lay := plan.Lay
-	me := p.ID
+	me := p.ID()
 
 	pc := &ProcPrecond{
 		plan:  plan,
@@ -158,7 +158,7 @@ func FactorILU0(p *machine.Proc, plan *Plan, misRounds int, seed int64) *ProcPre
 				active[k] = false
 			}
 		}
-		counts := p.AllGatherInts([]int{mineCount})
+		counts := pcomm.AllGatherInts(p, []int{mineCount})
 		lp := levelPlan{sel: sel, ex: ex, myOffset: nl}
 		for q := 0; q < lay.P; q++ {
 			if q < me {
@@ -266,7 +266,7 @@ func FactorILU0(p *machine.Proc, plan *Plan, misRounds int, seed int64) *ProcPre
 			pairs = append(pairs, g, pc.newOf[li])
 		}
 	}
-	allPairs := p.AllGatherInts(pairs)
+	allPairs := pcomm.AllGatherInts(p, pairs)
 	newOfIface := make(map[int]int, plan.NInterface)
 	for _, pp := range allPairs {
 		for i := 0; i < len(pp); i += 2 {

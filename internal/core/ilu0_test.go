@@ -10,6 +10,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 	"repro/internal/sparse"
 )
 
@@ -26,9 +28,9 @@ func runFactorILU0(t *testing.T, a *sparse.CSR, P int) ([]*ProcPrecond, *Plan) {
 		t.Fatal(err)
 	}
 	pcs := make([]*ProcPrecond, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		pcs[p.ID] = FactorILU0(p, plan, 0, 1)
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		pcs[p.ID()] = FactorILU0(p, plan, 0, 1)
 	})
 	return pcs, plan
 }
@@ -155,11 +157,11 @@ func TestParallelILU0SolveMatchesGathered(t *testing.T) {
 	f.Solve(want, sparse.PermuteVec(b, perm))
 	bParts := lay.Scatter(b)
 	yParts := make([][]float64, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		y := make([]float64, lay.NLocal(p.ID))
-		pcs[p.ID].Solve(p, y, bParts[p.ID])
-		yParts[p.ID] = y
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		y := make([]float64, lay.NLocal(p.ID()))
+		pcs[p.ID()].Solve(p, y, bParts[p.ID()])
+		yParts[p.ID()] = y
 	})
 	got := lay.Gather(yParts)
 	for i := 0; i < n; i++ {
@@ -180,11 +182,11 @@ func TestParallelILU0PreconditionsGMRES(t *testing.T) {
 	b := sparse.Ones(n)
 	bParts := lay.Scatter(b)
 	xParts := make([][]float64, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		x := make([]float64, lay.NLocal(p.ID))
-		pcs[p.ID].Solve(p, x, bParts[p.ID])
-		xParts[p.ID] = x
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		x := make([]float64, lay.NLocal(p.ID()))
+		pcs[p.ID()].Solve(p, x, bParts[p.ID()])
+		xParts[p.ID()] = x
 	})
 	x := lay.Gather(xParts)
 	r := make([]float64, n)
@@ -198,20 +200,20 @@ func TestParallelILU0PreconditionsGMRES(t *testing.T) {
 	}
 	// Richardson iteration with M = ILU(0) must converge steadily.
 	rParts := lay.Scatter(r)
-	m2 := machine.New(P, machine.T3D())
-	m2.Run(func(p *machine.Proc) {
-		xl := xParts[p.ID]
-		rl := rParts[p.ID]
+	m2 := pcommtest.New(t, P, machine.T3D())
+	m2.Run(func(p pcomm.Comm) {
+		xl := xParts[p.ID()]
+		rl := rParts[p.ID()]
 		z := make([]float64, len(xl))
 		dm := dist.NewMatrix(p, lay, a)
 		for it := 0; it < 10; it++ {
-			pcs[p.ID].Solve(p, z, rl)
+			pcs[p.ID()].Solve(p, z, rl)
 			for i := range xl {
 				xl[i] += z[i]
 			}
 			dm.MulVec(p, rl, xl)
 			for i := range rl {
-				rl[i] = bParts[p.ID][i] - rl[i]
+				rl[i] = bParts[p.ID()][i] - rl[i]
 			}
 		}
 	})

@@ -4,7 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/ilu"
-	"repro/internal/machine"
+	"repro/internal/pcomm"
 	"repro/internal/sparse"
 )
 
@@ -24,7 +24,7 @@ type redRow struct {
 // list and whether any row was factored globally (if not, the caller
 // falls back to an independent-set level).
 func (pc *ProcPrecond) schurBlockRound(
-	p *machine.Proc,
+	p pcomm.Comm,
 	w *sparse.WorkRow,
 	remaining []int,
 	reduced []redRow,
@@ -52,7 +52,7 @@ func (pc *ProcPrecond) schurBlockRound(
 		}
 	}
 	sort.Ints(refs)
-	all := p.AllGatherInts(refs)
+	all := pcomm.AllGatherInts(p, refs)
 	remoteRef := make(map[int]bool)
 	for q, ids := range all {
 		if q == me {
@@ -85,7 +85,7 @@ func (pc *ProcPrecond) schurBlockRound(
 		}
 	}
 
-	counts := p.AllGatherInts([]int{len(block)})
+	counts := pcomm.AllGatherInts(p, []int{len(block)})
 	total := 0
 	myOffset := *nl
 	for q := 0; q < lay.P; q++ {

@@ -10,6 +10,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 	"repro/internal/sparse"
 )
 
@@ -27,9 +29,9 @@ func runFactorSchur(t *testing.T, a *sparse.CSR, P int, params ilu.Params) ([]*P
 		t.Fatal(err)
 	}
 	pcs := make([]*ProcPrecond, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		pcs[p.ID] = Factor(p, plan, Options{Params: params, Schur: true})
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		pcs[p.ID()] = Factor(p, plan, Options{Params: params, Schur: true})
 	})
 	return pcs, plan
 }
@@ -75,11 +77,11 @@ func TestSchurSolveMatchesGatheredFactors(t *testing.T) {
 	}
 	bParts := lay.Scatter(b)
 	yParts := make([][]float64, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		y := make([]float64, lay.NLocal(p.ID))
-		pcs[p.ID].Solve(p, y, bParts[p.ID])
-		yParts[p.ID] = y
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		y := make([]float64, lay.NLocal(p.ID()))
+		pcs[p.ID()].Solve(p, y, bParts[p.ID()])
+		yParts[p.ID()] = y
 	})
 	got := lay.Gather(yParts)
 	for i := range got {

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/machine"
+	"repro/internal/pcomm"
 )
 
 // levelValues is the per-level exchange payload of the triangular solves:
@@ -15,14 +15,14 @@ type levelValues struct {
 // processor (one synchronization point per level, as in §5 of the paper:
 // the communication volume is proportional to the interface size and
 // there are q implicit synchronization points per solve).
-func (pc *ProcPrecond) publishLevel(p *machine.Proc, l int) {
+func (pc *ProcPrecond) publishLevel(p pcomm.Comm, l int) {
 	members := pc.levelMembers[l]
 	msg := levelValues{NewIDs: make([]int, len(members)), Vals: make([]float64, len(members))}
 	for k, li := range members {
 		msg.NewIDs[k] = pc.newOf[li]
 		msg.Vals[k] = pc.xIface[pc.newOf[li]-pc.plan.TotInterior]
 	}
-	all := p.AllGather(msg, machine.BytesOfInts(len(members))+machine.BytesOfFloats(len(members)))
+	all := p.AllGather(msg, pcomm.BytesOfInts(len(members))+pcomm.BytesOfFloats(len(members)))
 	for _, a := range all {
 		lv := a.(levelValues)
 		for k, nid := range lv.NewIDs {
@@ -34,7 +34,7 @@ func (pc *ProcPrecond) publishLevel(p *machine.Proc, l int) {
 // SolveForward solves L·y = b for this processor's unknowns. b and y are
 // local vectors in owned-row order (y and b may alias). Collective: every
 // processor must call it together.
-func (pc *ProcPrecond) SolveForward(p *machine.Proc, y, b []float64) {
+func (pc *ProcPrecond) SolveForward(p pcomm.Comm, y, b []float64) {
 	if len(y) != len(pc.owned) || len(b) != len(pc.owned) {
 		panic("core: SolveForward local vector length mismatch")
 	}
@@ -92,7 +92,7 @@ func (pc *ProcPrecond) SolveForward(p *machine.Proc, y, b []float64) {
 // SolveBackward solves U·y = b for this processor's unknowns, traversing
 // the interface levels in reverse and finishing with the local interior
 // block. Collective.
-func (pc *ProcPrecond) SolveBackward(p *machine.Proc, y, b []float64) {
+func (pc *ProcPrecond) SolveBackward(p pcomm.Comm, y, b []float64) {
 	if len(y) != len(pc.owned) || len(b) != len(pc.owned) {
 		panic("core: SolveBackward local vector length mismatch")
 	}
@@ -154,7 +154,7 @@ func (pc *ProcPrecond) SolveBackward(p *machine.Proc, y, b []float64) {
 
 // Solve applies the preconditioner: y = U⁻¹·L⁻¹·b on the distributed
 // factors (y and b may alias). Collective.
-func (pc *ProcPrecond) Solve(p *machine.Proc, y, b []float64) {
+func (pc *ProcPrecond) Solve(p pcomm.Comm, y, b []float64) {
 	pc.SolveForward(p, y, b)
 	pc.SolveBackward(p, y, y)
 }

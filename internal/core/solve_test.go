@@ -11,6 +11,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 	"repro/internal/sparse"
 )
 
@@ -30,9 +32,9 @@ func solveFixture(t *testing.T, P int) ([]*ProcPrecond, *Plan, *ilu.Factors, []i
 		t.Fatal(err)
 	}
 	pcs := make([]*ProcPrecond, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		pcs[p.ID] = Factor(p, plan, Options{Params: ilu.Params{M: 7, Tau: 1e-4, K: 2}})
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		pcs[p.ID()] = Factor(p, plan, Options{Params: ilu.Params{M: 7, Tau: 1e-4, K: 2}})
 	})
 	f, perm, err := GatherFactors(pcs)
 	if err != nil {
@@ -42,16 +44,16 @@ func solveFixture(t *testing.T, P int) ([]*ProcPrecond, *Plan, *ilu.Factors, []i
 }
 
 func distApply(t *testing.T, plan *Plan, pcs []*ProcPrecond, b []float64,
-	apply func(pc *ProcPrecond, p *machine.Proc, y, b []float64)) []float64 {
+	apply func(pc *ProcPrecond, p pcomm.Comm, y, b []float64)) []float64 {
 	t.Helper()
 	lay := plan.Lay
 	bParts := lay.Scatter(b)
 	yParts := make([][]float64, lay.P)
-	m := machine.New(lay.P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		y := make([]float64, lay.NLocal(p.ID))
-		apply(pcs[p.ID], p, y, bParts[p.ID])
-		yParts[p.ID] = y
+	m := pcommtest.New(t, lay.P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		y := make([]float64, lay.NLocal(p.ID()))
+		apply(pcs[p.ID()], p, y, bParts[p.ID()])
+		yParts[p.ID()] = y
 	})
 	return lay.Gather(yParts)
 }
@@ -65,7 +67,7 @@ func TestSolveForwardMatchesGathered(t *testing.T) {
 	for i := range b {
 		b[i] = rng.NormFloat64()
 	}
-	got := distApply(t, plan, pcs, b, func(pc *ProcPrecond, p *machine.Proc, y, bl []float64) {
+	got := distApply(t, plan, pcs, b, func(pc *ProcPrecond, p pcomm.Comm, y, bl []float64) {
 		pc.SolveForward(p, y, bl)
 	})
 	want := make([]float64, n)
@@ -86,7 +88,7 @@ func TestSolveBackwardMatchesGathered(t *testing.T) {
 	for i := range b {
 		b[i] = rng.NormFloat64()
 	}
-	got := distApply(t, plan, pcs, b, func(pc *ProcPrecond, p *machine.Proc, y, bl []float64) {
+	got := distApply(t, plan, pcs, b, func(pc *ProcPrecond, p pcomm.Comm, y, bl []float64) {
 		pc.SolveBackward(p, y, bl)
 	})
 	want := make([]float64, n)
@@ -113,13 +115,13 @@ func TestSolveBuffersReusable(t *testing.T) {
 	b1Parts := lay.Scatter(b1)
 	b2Parts := lay.Scatter(b2)
 	y2Parts := make([][]float64, P)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		y := make([]float64, lay.NLocal(p.ID))
-		pcs[p.ID].Solve(p, y, b1Parts[p.ID]) // first solve, result discarded
-		y2 := make([]float64, lay.NLocal(p.ID))
-		pcs[p.ID].Solve(p, y2, b2Parts[p.ID])
-		y2Parts[p.ID] = y2
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		y := make([]float64, lay.NLocal(p.ID()))
+		pcs[p.ID()].Solve(p, y, b1Parts[p.ID()]) // first solve, result discarded
+		y2 := make([]float64, lay.NLocal(p.ID()))
+		pcs[p.ID()].Solve(p, y2, b2Parts[p.ID()])
+		y2Parts[p.ID()] = y2
 	})
 	got := lay.Gather(y2Parts)
 	want := make([]float64, n)
@@ -139,9 +141,9 @@ func TestSolveAliasedVectors(t *testing.T) {
 	b := sparse.Ones(n)
 	lay := plan.Lay
 	parts := lay.Scatter(b)
-	m := machine.New(P, machine.T3D())
-	m.Run(func(p *machine.Proc) {
-		pcs[p.ID].Solve(p, parts[p.ID], parts[p.ID])
+	m := pcommtest.New(t, P, machine.T3D())
+	m.Run(func(p pcomm.Comm) {
+		pcs[p.ID()].Solve(p, parts[p.ID()], parts[p.ID()])
 	})
 	got := lay.Gather(parts)
 	want := make([]float64, n)
@@ -156,14 +158,14 @@ func TestSolveAliasedVectors(t *testing.T) {
 func TestSolvePanicsOnBadLength(t *testing.T) {
 	P := 2
 	pcs, plan, _, _ := solveFixture(t, P)
-	m := machine.New(P, machine.T3D())
+	m := pcommtest.New(t, P, machine.T3D())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	m.Run(func(p *machine.Proc) {
-		pcs[p.ID].SolveForward(p, make([]float64, 1), make([]float64, plan.Lay.NLocal(p.ID)))
+	m.Run(func(p pcomm.Comm) {
+		pcs[p.ID()].SolveForward(p, make([]float64, 1), make([]float64, plan.Lay.NLocal(p.ID())))
 	})
 }
 
@@ -175,10 +177,10 @@ func TestSolveSyncPointsEqualLevels(t *testing.T) {
 	lay := plan.Lay
 	b := sparse.Ones(plan.A.N)
 	parts := lay.Scatter(b)
-	m := machine.New(P, machine.T3D())
-	res := m.Run(func(p *machine.Proc) {
-		y := make([]float64, lay.NLocal(p.ID))
-		pcs[p.ID].SolveForward(p, y, parts[p.ID])
+	m := pcommtest.New(t, P, machine.T3D())
+	res := m.Run(func(p pcomm.Comm) {
+		y := make([]float64, lay.NLocal(p.ID()))
+		pcs[p.ID()].SolveForward(p, y, parts[p.ID()])
 	})
 	q := int64(pcs[0].NumLevels())
 	if got := res.PerProc[0].Collectives; got != q {

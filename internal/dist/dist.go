@@ -10,7 +10,7 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/machine"
+	"repro/internal/pcomm"
 	"repro/internal/sparse"
 )
 
@@ -107,18 +107,18 @@ const (
 // NewMatrix builds processor p's view of A under the layout, performing
 // the collective setup exchange that tells every owner which values its
 // neighbours need. All processors must call it together.
-func NewMatrix(p *machine.Proc, lay *Layout, a *sparse.CSR) *Matrix {
+func NewMatrix(p pcomm.Comm, lay *Layout, a *sparse.CSR) *Matrix {
 	if a.N != lay.N || a.M != lay.N {
 		panic("dist: matrix/layout size mismatch")
 	}
-	m := &Matrix{Lay: lay, A: a, me: p.ID, ghostSlot: make(map[int]int)}
+	m := &Matrix{Lay: lay, A: a, me: p.ID(), ghostSlot: make(map[int]int)}
 	P := lay.P
 	need := make([][]int, P)
-	for _, g := range lay.Rows[p.ID] {
+	for _, g := range lay.Rows[p.ID()] {
 		cols, _ := a.Row(g)
 		for _, j := range cols {
 			q := lay.PartOf[j]
-			if q == p.ID {
+			if q == p.ID() {
 				continue
 			}
 			if _, ok := m.ghostSlot[j]; !ok {
@@ -148,7 +148,7 @@ func NewMatrix(p *machine.Proc, lay *Layout, a *sparse.CSR) *Matrix {
 		flat = append(flat, q, len(need[q]))
 		flat = append(flat, need[q]...)
 	}
-	all := p.AllGatherInts(flat)
+	all := pcomm.AllGatherInts(p, flat)
 	m.sendTo = make([][]int, P)
 	for src := 0; src < P; src++ {
 		f := all[src]
@@ -156,11 +156,11 @@ func NewMatrix(p *machine.Proc, lay *Layout, a *sparse.CSR) *Matrix {
 			dst, cnt := f[i], f[i+1]
 			ids := f[i+2 : i+2+cnt]
 			i += 2 + cnt
-			if dst != p.ID {
+			if dst != p.ID() {
 				continue
 			}
 			for _, g := range ids {
-				li := lay.LocalIndex(p.ID, g)
+				li := lay.LocalIndex(p.ID(), g)
 				if li < 0 {
 					panic("dist: neighbour requested a row we do not own")
 				}
@@ -176,7 +176,7 @@ func (m *Matrix) NGhost() int { return len(m.ghostIDs) }
 
 // exchangeGhosts ships owned x values to neighbours and fills the ghost
 // buffer from theirs.
-func (m *Matrix) exchangeGhosts(p *machine.Proc, x []float64) {
+func (m *Matrix) exchangeGhosts(p pcomm.Comm, x []float64) {
 	P := m.Lay.P
 	for q := 0; q < P; q++ {
 		if q == m.me || len(m.sendTo[q]) == 0 {
@@ -186,7 +186,7 @@ func (m *Matrix) exchangeGhosts(p *machine.Proc, x []float64) {
 		for k, li := range m.sendTo[q] {
 			msg[k] = x[li]
 		}
-		p.Send(q, tagGhost, msg, machine.BytesOfFloats(len(msg)))
+		p.Send(q, tagGhost, msg, pcomm.BytesOfFloats(len(msg)))
 	}
 	pos := 0
 	for q := 0; q < P; q++ {
@@ -202,7 +202,7 @@ func (m *Matrix) exchangeGhosts(p *machine.Proc, x []float64) {
 // MulVec computes the local rows of y = A·x. x and y hold the owned
 // values in Rows[p] order. The ghost exchange and the 2·nnz flops are
 // charged to the virtual clock.
-func (m *Matrix) MulVec(p *machine.Proc, y, x []float64) {
+func (m *Matrix) MulVec(p pcomm.Comm, y, x []float64) {
 	rows := m.Lay.Rows[m.me]
 	if len(x) != len(rows) || len(y) != len(rows) {
 		panic("dist: MulVec local vector length mismatch")
@@ -232,7 +232,7 @@ func (m *Matrix) MulVec(p *machine.Proc, y, x []float64) {
 // per-message latency is paid once per neighbour instead of once per
 // vector. The arithmetic is identical to repeated MulVec calls.
 // Collective: every processor must call it with the same batch size.
-func (m *Matrix) MulVecBatch(p *machine.Proc, ys, xs [][]float64) {
+func (m *Matrix) MulVecBatch(p pcomm.Comm, ys, xs [][]float64) {
 	if len(ys) != len(xs) {
 		panic("dist: MulVecBatch batch size mismatch")
 	}
@@ -261,7 +261,7 @@ func (m *Matrix) MulVecBatch(p *machine.Proc, ys, xs [][]float64) {
 				msg = append(msg, x[li])
 			}
 		}
-		p.Send(q, tagGhost, msg, machine.BytesOfFloats(len(msg)))
+		p.Send(q, tagGhost, msg, pcomm.BytesOfFloats(len(msg)))
 	}
 	ghosts := make([][]float64, B)
 	for bi := range ghosts {
@@ -314,7 +314,7 @@ func (m *Matrix) SizeBytes() int64 {
 }
 
 // Dot computes the global inner product of two distributed vectors.
-func Dot(p *machine.Proc, x, y []float64) float64 {
+func Dot(p pcomm.Comm, x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("dist: Dot length mismatch")
 	}
@@ -323,17 +323,17 @@ func Dot(p *machine.Proc, x, y []float64) float64 {
 		s += v * y[i]
 	}
 	p.Work(float64(2 * len(x)))
-	return p.AllReduceFloat64(s, machine.OpSum)
+	return p.AllReduceFloat64(s, pcomm.OpSum)
 }
 
 // Norm2 computes the global Euclidean norm of a distributed vector.
-func Norm2(p *machine.Proc, x []float64) float64 {
+func Norm2(p pcomm.Comm, x []float64) float64 {
 	var s float64
 	for _, v := range x {
 		s += v * v
 	}
 	p.Work(float64(2 * len(x)))
-	total := p.AllReduceFloat64(s, machine.OpSum)
+	total := p.AllReduceFloat64(s, pcomm.OpSum)
 	if total < 0 {
 		total = 0
 	}

@@ -9,6 +9,9 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/modelled"
+	"repro/internal/pcomm/pcommtest"
 	"repro/internal/sparse"
 )
 
@@ -72,12 +75,12 @@ func TestDistributedMulVecMatchesSerial(t *testing.T) {
 		lay := partitionedLayout(t, a, P)
 		xParts := lay.Scatter(x)
 		yParts := make([][]float64, P)
-		m := machine.New(P, machine.T3D())
-		m.Run(func(p *machine.Proc) {
+		m := pcommtest.New(t, P, machine.T3D())
+		m.Run(func(p pcomm.Comm) {
 			dm := NewMatrix(p, lay, a)
-			y := make([]float64, lay.NLocal(p.ID))
-			dm.MulVec(p, y, xParts[p.ID])
-			yParts[p.ID] = y
+			y := make([]float64, lay.NLocal(p.ID()))
+			dm.MulVec(p, y, xParts[p.ID()])
+			yParts[p.ID()] = y
 		})
 		got := lay.Gather(yParts)
 		for i := range want {
@@ -101,12 +104,12 @@ func TestDistributedMulVecNonsymmetric(t *testing.T) {
 	lay := partitionedLayout(t, a, P)
 	xParts := lay.Scatter(x)
 	yParts := make([][]float64, P)
-	m := machine.New(P, machine.Zero())
-	m.Run(func(p *machine.Proc) {
+	m := pcommtest.New(t, P, machine.Zero())
+	m.Run(func(p pcomm.Comm) {
 		dm := NewMatrix(p, lay, a)
-		y := make([]float64, lay.NLocal(p.ID))
-		dm.MulVec(p, y, xParts[p.ID])
-		yParts[p.ID] = y
+		y := make([]float64, lay.NLocal(p.ID()))
+		dm.MulVec(p, y, xParts[p.ID()])
+		yParts[p.ID()] = y
 	})
 	got := lay.Gather(yParts)
 	for i := range want {
@@ -133,10 +136,10 @@ func TestDotAndNorm(t *testing.T) {
 	xp := lay.Scatter(x)
 	yp := lay.Scatter(y)
 	var gotDot, gotNorm [3]float64
-	m := machine.New(P, machine.Zero())
-	m.Run(func(p *machine.Proc) {
-		gotDot[p.ID] = Dot(p, xp[p.ID], yp[p.ID])
-		gotNorm[p.ID] = Norm2(p, xp[p.ID])
+	m := pcommtest.New(t, P, machine.Zero())
+	m.Run(func(p pcomm.Comm) {
+		gotDot[p.ID()] = Dot(p, xp[p.ID()], yp[p.ID()])
+		gotNorm[p.ID()] = Norm2(p, xp[p.ID()])
 	})
 	for q := 0; q < P; q++ {
 		if math.Abs(gotDot[q]-wantDot) > 1e-9*math.Abs(wantDot) {
@@ -175,7 +178,9 @@ func TestGhostCountsShrinkWithGoodPartition(t *testing.T) {
 func TestMulVecCostReflectsCommunication(t *testing.T) {
 	// With a nonzero cost model, the elapsed time of a distributed SpMV
 	// must exceed pure compute time (communication overhead exists) and
-	// per-proc compute must shrink as P grows.
+	// per-proc compute must shrink as P grows. The assertion is about the
+	// virtual clock, so the test pins the modelled backend regardless of
+	// PILUT_BACKEND.
 	a := matgen.Grid2D(24, 24)
 	elapsed := func(P int) float64 {
 		lay := partitionedLayout(t, a, P)
@@ -184,12 +189,12 @@ func TestMulVecCostReflectsCommunication(t *testing.T) {
 			x[i] = 1
 		}
 		xp := lay.Scatter(x)
-		m := machine.New(P, machine.T3D())
-		res := m.Run(func(p *machine.Proc) {
+		m := modelled.New(P, machine.T3D())
+		res := m.Run(func(p pcomm.Comm) {
 			dm := NewMatrix(p, lay, a)
-			y := make([]float64, lay.NLocal(p.ID))
+			y := make([]float64, lay.NLocal(p.ID()))
 			for it := 0; it < 10; it++ {
-				dm.MulVec(p, y, xp[p.ID])
+				dm.MulVec(p, y, xp[p.ID()])
 			}
 		})
 		return res.Elapsed
@@ -223,22 +228,22 @@ func TestMulVecBatchMatchesSerial(t *testing.T) {
 		ysParts[bi] = make([][]float64, P)
 	}
 	var msgsBatch int64
-	m := machine.New(P, machine.Zero())
-	res := m.Run(func(p *machine.Proc) {
+	m := pcommtest.New(t, P, machine.Zero())
+	res := m.Run(func(p pcomm.Comm) {
 		dm := NewMatrix(p, lay, a)
 		xs := make([][]float64, B)
 		ys := make([][]float64, B)
 		for bi := 0; bi < B; bi++ {
-			xs[bi] = lay.Scatter(xsGlobal[bi])[p.ID]
-			ys[bi] = make([]float64, lay.NLocal(p.ID))
+			xs[bi] = lay.Scatter(xsGlobal[bi])[p.ID()]
+			ys[bi] = make([]float64, lay.NLocal(p.ID()))
 		}
 		before := p.Stats().MsgsSent
 		dm.MulVecBatch(p, ys, xs)
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			msgsBatch = p.Stats().MsgsSent - before
 		}
 		for bi := 0; bi < B; bi++ {
-			ysParts[bi][p.ID] = ys[bi]
+			ysParts[bi][p.ID()] = ys[bi]
 		}
 	})
 	_ = res
@@ -254,14 +259,14 @@ func TestMulVecBatchMatchesSerial(t *testing.T) {
 	// The batch ships one message per neighbour regardless of B; a loop
 	// of single MulVec calls would send B times as many.
 	var msgsSingle int64
-	m2 := machine.New(P, machine.Zero())
-	m2.Run(func(p *machine.Proc) {
+	m2 := pcommtest.New(t, P, machine.Zero())
+	m2.Run(func(p pcomm.Comm) {
 		dm := NewMatrix(p, lay, a)
-		x := lay.Scatter(xsGlobal[0])[p.ID]
-		y := make([]float64, lay.NLocal(p.ID))
+		x := lay.Scatter(xsGlobal[0])[p.ID()]
+		y := make([]float64, lay.NLocal(p.ID()))
 		before := p.Stats().MsgsSent
 		dm.MulVec(p, y, x)
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			msgsSingle = p.Stats().MsgsSent - before
 		}
 	})

@@ -9,10 +9,11 @@ import (
 	"repro/internal/ilu"
 	"repro/internal/krylov"
 	"repro/internal/machine"
+	"repro/internal/pcomm"
 )
 
 // coreFactor wraps core.Factor with an explicit MIS round bound.
-func coreFactor(proc *machine.Proc, plan *core.Plan, params ilu.Params, rounds int, seed int64) *core.ProcPrecond {
+func coreFactor(proc pcomm.Comm, plan *core.Plan, params ilu.Params, rounds int, seed int64) *core.ProcPrecond {
 	return core.Factor(proc, plan, core.Options{Params: params, MISRounds: rounds, Seed: seed})
 }
 
@@ -293,11 +294,11 @@ func (c Config) RunAblationMIS(w io.Writer, pr *Problem) error {
 		return err
 	}
 	for _, rounds := range []int{1, 3, 5, 8, 16} {
-		m := machine.New(p, c.Cost)
+		m := c.mustWorld(p)
 		var q int
-		res := m.Run(func(proc *machine.Proc) {
+		res := m.Run(func(proc pcomm.Comm) {
 			pc := coreFactor(proc, plan, params, rounds, c.Seed)
-			if proc.ID == 0 {
+			if proc.ID() == 0 {
 				q = pc.NumLevels()
 			}
 		})
@@ -328,11 +329,11 @@ func (c Config) RunAblationSchur(w io.Writer, pr *Problem) error {
 			if schur {
 				name = "Schur blocks + MIS"
 			}
-			m := machine.New(p, c.Cost)
+			m := c.mustWorld(p)
 			var q int
-			res := m.Run(func(proc *machine.Proc) {
+			res := m.Run(func(proc pcomm.Comm) {
 				pc := core.Factor(proc, plan, core.Options{Params: params, Seed: c.Seed, Schur: schur})
-				if proc.ID == 0 {
+				if proc.ID() == 0 {
 					q = pc.NumLevels()
 				}
 			})
@@ -363,11 +364,11 @@ func (c Config) RunAblationPartition(w io.Writer, pr *Problem) error {
 		return err
 	}
 	_ = lay
-	m := machine.New(p, c.Cost)
+	m := c.mustWorld(p)
 	var q int
-	res := m.Run(func(proc *machine.Proc) {
+	res := m.Run(func(proc pcomm.Comm) {
 		pc := coreFactor(proc, plan, params, 0, c.Seed)
-		if proc.ID == 0 {
+		if proc.ID() == 0 {
 			q = pc.NumLevels()
 		}
 	})
@@ -449,12 +450,12 @@ func (c Config) RunILU0(w io.Writer, pr *Problem) error {
 
 	// Parallel ILU(0).
 	pcs := make([]*core.ProcPrecond, p)
-	m := machine.New(p, c.Cost)
-	res := m.Run(func(proc *machine.Proc) {
-		pcs[proc.ID] = core.FactorILU0(proc, plan, 0, c.Seed)
+	m := c.mustWorld(p)
+	res := m.Run(func(proc pcomm.Comm) {
+		pcs[proc.ID()] = core.FactorILU0(proc, plan, 0, c.Seed)
 	})
-	nmv, err := c.gmresWith(pr, p, lay, func(proc *machine.Proc) krylov.DistPreconditioner {
-		return pcs[proc.ID]
+	nmv, err := c.gmresWith(pr, p, lay, func(proc pcomm.Comm) krylov.DistPreconditioner {
+		return pcs[proc.ID()]
 	})
 	if err != nil {
 		return err
@@ -471,8 +472,8 @@ func (c Config) RunILU0(w io.Writer, pr *Problem) error {
 		if err != nil {
 			return err
 		}
-		nmv, err := c.gmresWith(pr, p, lay, func(proc *machine.Proc) krylov.DistPreconditioner {
-			return fpcs[proc.ID]
+		nmv, err := c.gmresWith(pr, p, lay, func(proc pcomm.Comm) krylov.DistPreconditioner {
+			return fpcs[proc.ID()]
 		})
 		if err != nil {
 			return err
@@ -488,7 +489,7 @@ func (c Config) RunILU0(w io.Writer, pr *Problem) error {
 
 // gmresWith runs the distributed solver with a caller-supplied
 // preconditioner factory and returns the NMV cell text.
-func (c Config) gmresWith(pr *Problem, p int, lay *dist.Layout, prec func(*machine.Proc) krylov.DistPreconditioner) (string, error) {
+func (c Config) gmresWith(pr *Problem, p int, lay *dist.Layout, prec func(pcomm.Comm) krylov.DistPreconditioner) (string, error) {
 	n := pr.A.N
 	e := make([]float64, n)
 	for i := range e {
@@ -498,16 +499,16 @@ func (c Config) gmresWith(pr *Problem, p int, lay *dist.Layout, prec func(*machi
 	pr.A.MulVec(b, e)
 	bParts := lay.Scatter(b)
 	outs := make([]krylov.Result, p)
-	m := machine.New(p, c.Cost)
-	m.Run(func(proc *machine.Proc) {
+	m := c.mustWorld(p)
+	m.Run(func(proc pcomm.Comm) {
 		dm := dist.NewMatrix(proc, lay, pr.A)
-		x := make([]float64, lay.NLocal(proc.ID))
-		r, err := krylov.DistGMRES(proc, dm, prec(proc), x, bParts[proc.ID],
+		x := make([]float64, lay.NLocal(proc.ID()))
+		r, err := krylov.DistGMRES(proc, dm, prec(proc), x, bParts[proc.ID()],
 			krylov.Options{Restart: 50, Tol: 1e-6, MaxMatVec: 4000})
 		if err != nil {
 			panic(err)
 		}
-		outs[proc.ID] = r
+		outs[proc.ID()] = r
 	})
 	nmv := fmt.Sprintf("%d", outs[0].NMatVec)
 	if !outs[0].Converged {
@@ -538,8 +539,8 @@ func (c Config) RunBreakdown(w io.Writer, pr *Problem) error {
 			if err != nil {
 				return err
 			}
-			m := machine.New(p, c.Cost)
-			res := m.Run(func(proc *machine.Proc) {
+			m := c.mustWorld(p)
+			res := m.Run(func(proc pcomm.Comm) {
 				core.Factor(proc, plan, core.Options{Params: params, Seed: c.Seed})
 			})
 			row = append(row, fmt.Sprintf("%.0f%%", 100*res.OverheadFraction()))

@@ -17,6 +17,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/backend"
 	"repro/internal/sparse"
 )
 
@@ -36,6 +38,22 @@ type Config struct {
 	TorsoSide int
 	Seed      int64
 	Cost      machine.CostModel
+	// Backend picks the communication backend every experiment machine
+	// runs on: "" or "modelled" for the simulated machine (Cost applies),
+	// "real" for wall-clock shared memory (Cost ignored, Seconds become
+	// wall time).
+	Backend string
+}
+
+// mustWorld builds the configured backend's world with p processors.
+// Experiment entry points validate Backend up front, so an unknown kind
+// here is a programming error and panics.
+func (c Config) mustWorld(p int) pcomm.World {
+	w, err := backend.New(c.Backend, p, c.Cost)
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 // Default returns the reduced-scale configuration used by tests and
@@ -141,9 +159,9 @@ func (c Config) Factorization(pr *Problem, p int, params ilu.Params) (FactorOutc
 		return FactorOutcome{}, nil, err
 	}
 	pcs := make([]*core.ProcPrecond, p)
-	m := machine.New(p, c.Cost)
-	res := m.Run(func(proc *machine.Proc) {
-		pcs[proc.ID] = core.Factor(proc, plan, core.Options{Params: params, Seed: c.Seed})
+	m := c.mustWorld(p)
+	res := m.Run(func(proc pcomm.Comm) {
+		pcs[proc.ID()] = core.Factor(proc, plan, core.Options{Params: params, Seed: c.Seed})
 	})
 	nnz := 0
 	for _, pc := range pcs {
@@ -174,11 +192,11 @@ func (c Config) TriangularSolveRate(pr *Problem, p int, pcs []*core.ProcPrecond,
 	}
 	b := sparse.Ones(pr.A.N)
 	bParts := lay.Scatter(b)
-	m := machine.New(p, c.Cost)
-	res := m.Run(func(proc *machine.Proc) {
-		x := make([]float64, lay.NLocal(proc.ID))
+	m := c.mustWorld(p)
+	res := m.Run(func(proc pcomm.Comm) {
+		x := make([]float64, lay.NLocal(proc.ID()))
 		for it := 0; it < nApply; it++ {
-			pcs[proc.ID].Solve(proc, x, bParts[proc.ID])
+			pcs[proc.ID()].Solve(proc, x, bParts[proc.ID()])
 		}
 	})
 	mflops := res.TotalFlops() / (res.Elapsed * float64(p)) / 1e6
@@ -200,12 +218,12 @@ func (c Config) MatVecRate(pr *Problem, p int, nApply int) (float64, float64, er
 	}
 	x := sparse.Ones(pr.A.N)
 	xParts := lay.Scatter(x)
-	m := machine.New(p, c.Cost)
-	res := m.Run(func(proc *machine.Proc) {
+	m := c.mustWorld(p)
+	res := m.Run(func(proc pcomm.Comm) {
 		dm := dist.NewMatrix(proc, lay, pr.A)
-		y := make([]float64, lay.NLocal(proc.ID))
+		y := make([]float64, lay.NLocal(proc.ID()))
 		for it := 0; it < nApply; it++ {
-			dm.MulVec(proc, y, xParts[proc.ID])
+			dm.MulVec(proc, y, xParts[proc.ID()])
 		}
 	})
 	mflops := res.TotalFlops() / (res.Elapsed * float64(p)) / 1e6
@@ -248,34 +266,34 @@ func (c Config) GMRES(pr *Problem, p int, kind PrecondKind, params ilu.Params, r
 	var pcs []*core.ProcPrecond
 	if kind != PrecondDiagonal {
 		pcs = make([]*core.ProcPrecond, p)
-		mf := machine.New(p, c.Cost)
-		mf.Run(func(proc *machine.Proc) {
-			pcs[proc.ID] = core.Factor(proc, plan, core.Options{Params: params, Seed: c.Seed})
+		mf := c.mustWorld(p)
+		mf.Run(func(proc pcomm.Comm) {
+			pcs[proc.ID()] = core.Factor(proc, plan, core.Options{Params: params, Seed: c.Seed})
 		})
 	}
 
 	outs := make([]krylov.Result, p)
-	m := machine.New(p, c.Cost)
-	res := m.Run(func(proc *machine.Proc) {
+	m := c.mustWorld(p)
+	res := m.Run(func(proc pcomm.Comm) {
 		dm := dist.NewMatrix(proc, lay, pr.A)
 		var prec krylov.DistPreconditioner
 		switch kind {
 		case PrecondDiagonal:
-			j, err := krylov.NewDistJacobi(lay, pr.A, proc.ID)
+			j, err := krylov.NewDistJacobi(lay, pr.A, proc.ID())
 			if err != nil {
 				panic(err)
 			}
 			prec = j
 		default:
-			prec = pcs[proc.ID]
+			prec = pcs[proc.ID()]
 		}
-		x := make([]float64, lay.NLocal(proc.ID))
-		r, err := krylov.DistGMRES(proc, dm, prec, x, bParts[proc.ID],
+		x := make([]float64, lay.NLocal(proc.ID()))
+		r, err := krylov.DistGMRES(proc, dm, prec, x, bParts[proc.ID()],
 			krylov.Options{Restart: restart, Tol: tol, MaxMatVec: maxMV})
 		if err != nil {
 			panic(err)
 		}
-		outs[proc.ID] = r
+		outs[proc.ID()] = r
 	})
 	return GMRESOutcome{
 		Seconds:   res.Elapsed,

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/machine"
+	"repro/internal/pcomm"
 	"repro/internal/trace"
 )
 
@@ -12,14 +12,14 @@ import (
 // batch of vectors with one ghost exchange; dist.Matrix satisfies it.
 type DistBatchOperator interface {
 	DistOperator
-	MulVecBatch(p *machine.Proc, ys, xs [][]float64)
+	MulVecBatch(p pcomm.Comm, ys, xs [][]float64)
 }
 
 // DistBatchPreconditioner applies M⁻¹ to a batch of vectors sharing one
 // level-synchronization pipeline; core.ProcPrecond satisfies it.
 type DistBatchPreconditioner interface {
 	DistPreconditioner
-	SolveBatch(p *machine.Proc, xs, bs [][]float64)
+	SolveBatch(p pcomm.Comm, xs, bs [][]float64)
 }
 
 // DistGMRESBatch solves A·xs[i] = bs[i] for a batch of right-hand sides
@@ -39,7 +39,7 @@ type DistBatchPreconditioner interface {
 // slices, with the same batch size and options. If op or prec do not
 // implement the batch interfaces, the corresponding applications fall
 // back to per-vector calls (still correct, no latency sharing).
-func DistGMRESBatch(p *machine.Proc, op DistOperator, prec DistPreconditioner, xs, bs [][]float64, opt Options) ([]Result, error) {
+func DistGMRESBatch(p pcomm.Comm, op DistOperator, prec DistPreconditioner, xs, bs [][]float64, opt Options) ([]Result, error) {
 	B := len(bs)
 	if len(xs) != B {
 		return nil, fmt.Errorf("krylov: DistGMRESBatch batch size mismatch")
@@ -56,7 +56,7 @@ func DistGMRESBatch(p *machine.Proc, op DistOperator, prec DistPreconditioner, x
 	if prec == nil {
 		prec = DistIdentity{}
 	}
-	nGlobal := p.AllReduceInt(nLocal, machine.OpSum)
+	nGlobal := p.AllReduceInt(nLocal, pcomm.OpSum)
 	opt = opt.normalize(nGlobal)
 	m := opt.Restart
 
@@ -94,7 +94,7 @@ func DistGMRESBatch(p *machine.Proc, op DistOperator, prec DistPreconditioner, x
 	// dist.Dot/dist.Norm2 so results are bitwise identical to the
 	// single-RHS path.
 	reduceBatch := func(partial []float64) []float64 {
-		all := p.AllGatherFloats(machine.CopyFloats(partial))
+		all := pcomm.AllGatherFloats(p, pcomm.CopyFloats(partial))
 		out := make([]float64, len(partial))
 		for q := range all {
 			for i, v := range all[q] {
@@ -133,9 +133,9 @@ func DistGMRESBatch(p *machine.Proc, op DistOperator, prec DistPreconditioner, x
 		tmp[i] = make([]float64, nLocal)
 	}
 	results := make([]Result, B)
-	fin := make([]bool, B)    // no further work for this system
-	kCycle := make([]int, B)  // Arnoldi steps completed in the current cycle
-	bn := make([]float64, B)  // ‖M⁻¹b‖ per system
+	fin := make([]bool, B)   // no further work for this system
+	kCycle := make([]int, B) // Arnoldi steps completed in the current cycle
+	bn := make([]float64, B) // ‖M⁻¹b‖ per system
 	vecAt := func(vs [][][]float64, slot int, idx []int) [][]float64 {
 		out := make([][]float64, len(idx))
 		for k, i := range idx {
@@ -226,6 +226,7 @@ func DistGMRESBatch(p *machine.Proc, op DistOperator, prec DistPreconditioner, x
 		var live []int
 		for k, i := range cyc {
 			results[i].Residual = betas[k] / bn[i]
+			results[i].History = append(results[i].History, results[i].Residual)
 			if results[i].Residual <= opt.Tol {
 				results[i].Converged = true
 				fin[i] = true
@@ -305,6 +306,7 @@ func DistGMRESBatch(p *machine.Proc, op DistOperator, prec DistPreconditioner, x
 				g[i][k+1] = -sn[i][k] * g[i][k]
 				g[i][k] = cs[i][k] * g[i][k]
 				results[i].Residual = math.Abs(g[i][k+1]) / bn[i]
+				results[i].History = append(results[i].History, results[i].Residual)
 				kCycle[i] = k + 1
 				if results[i].Residual <= opt.Tol || arnoldiNorm == 0 {
 					continue // exits the cycle; x update happens below

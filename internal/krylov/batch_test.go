@@ -14,6 +14,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 	"repro/internal/sparse"
 )
 
@@ -33,10 +35,10 @@ func batchFixture(t *testing.T, p int) (*sparse.CSR, *dist.Layout, []*core.ProcP
 		t.Fatal(err)
 	}
 	pcs := make([]*core.ProcPrecond, p)
-	m := machine.New(p, machine.Zero())
+	m := pcommtest.New(t, p, machine.Zero())
 	m.SetWatchdog(30 * time.Second)
-	m.Run(func(proc *machine.Proc) {
-		pcs[proc.ID] = core.Factor(proc, plan, core.Options{Params: ilu.Params{M: 8, Tau: 1e-4, K: 2}, Seed: 5})
+	m.Run(func(proc pcomm.Comm) {
+		pcs[proc.ID()] = core.Factor(proc, plan, core.Options{Params: ilu.Params{M: 8, Tau: 1e-4, K: 2}, Seed: 5})
 	})
 	return a, lay, pcs
 }
@@ -67,17 +69,17 @@ func TestDistGMRESBatchMatchesSingleSolves(t *testing.T) {
 	for bi := 0; bi < B; bi++ {
 		parts := lay.Scatter(bsGlobal[bi])
 		xParts := make([][]float64, P)
-		m := machine.New(P, machine.Zero())
+		m := pcommtest.New(t, P, machine.Zero())
 		m.SetWatchdog(60 * time.Second)
-		res := m.Run(func(p *machine.Proc) {
+		res := m.Run(func(p pcomm.Comm) {
 			dm := dist.NewMatrix(p, lay, a)
-			x := make([]float64, lay.NLocal(p.ID))
-			r, err := DistGMRES(p, dm, pcs[p.ID], x, parts[p.ID], opt)
+			x := make([]float64, lay.NLocal(p.ID()))
+			r, err := DistGMRES(p, dm, pcs[p.ID()], x, parts[p.ID()], opt)
 			if err != nil {
 				panic(err)
 			}
-			xParts[p.ID] = x
-			if p.ID == 0 {
+			xParts[p.ID()] = x
+			if p.ID() == 0 {
 				wantRes[bi] = r
 			}
 		})
@@ -91,24 +93,24 @@ func TestDistGMRESBatchMatchesSingleSolves(t *testing.T) {
 		gotParts[bi] = make([][]float64, P)
 	}
 	var gotRes []Result
-	m := machine.New(P, machine.Zero())
+	m := pcommtest.New(t, P, machine.Zero())
 	m.SetWatchdog(60 * time.Second)
-	resStats := m.Run(func(p *machine.Proc) {
+	resStats := m.Run(func(p pcomm.Comm) {
 		dm := dist.NewMatrix(p, lay, a)
 		xs := make([][]float64, B)
 		bs := make([][]float64, B)
 		for bi := 0; bi < B; bi++ {
-			xs[bi] = make([]float64, lay.NLocal(p.ID))
-			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID]
+			xs[bi] = make([]float64, lay.NLocal(p.ID()))
+			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID()]
 		}
-		rs, err := DistGMRESBatch(p, dm, pcs[p.ID], xs, bs, opt)
+		rs, err := DistGMRESBatch(p, dm, pcs[p.ID()], xs, bs, opt)
 		if err != nil {
 			panic(err)
 		}
 		for bi := 0; bi < B; bi++ {
-			gotParts[bi][p.ID] = xs[bi]
+			gotParts[bi][p.ID()] = xs[bi]
 		}
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			gotRes = rs
 		}
 	})
@@ -148,21 +150,21 @@ func TestDistGMRESBatchMixedConvergence(t *testing.T) {
 		bsGlobal[1][i] = 0
 	}
 	var gotRes []Result
-	m := machine.New(P, machine.Zero())
+	m := pcommtest.New(t, P, machine.Zero())
 	m.SetWatchdog(60 * time.Second)
-	m.Run(func(p *machine.Proc) {
+	m.Run(func(p pcomm.Comm) {
 		dm := dist.NewMatrix(p, lay, a)
 		xs := make([][]float64, 3)
 		bs := make([][]float64, 3)
 		for bi := 0; bi < 3; bi++ {
-			xs[bi] = make([]float64, lay.NLocal(p.ID))
-			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID]
+			xs[bi] = make([]float64, lay.NLocal(p.ID()))
+			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID()]
 		}
-		rs, err := DistGMRESBatch(p, dm, pcs[p.ID], xs, bs, Options{Restart: 15, Tol: 1e-8})
+		rs, err := DistGMRESBatch(p, dm, pcs[p.ID()], xs, bs, Options{Restart: 15, Tol: 1e-8})
 		if err != nil {
 			panic(err)
 		}
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			gotRes = rs
 		}
 	})
@@ -183,17 +185,17 @@ func TestDistGMRESBatchCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	errs := make([]error, P)
-	m := machine.New(P, machine.Zero())
+	m := pcommtest.New(t, P, machine.Zero())
 	m.SetWatchdog(30 * time.Second)
-	m.Run(func(p *machine.Proc) {
+	m.Run(func(p pcomm.Comm) {
 		dm := dist.NewMatrix(p, lay, a)
 		xs := make([][]float64, 2)
 		bs := make([][]float64, 2)
 		for bi := 0; bi < 2; bi++ {
-			xs[bi] = make([]float64, lay.NLocal(p.ID))
-			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID]
+			xs[bi] = make([]float64, lay.NLocal(p.ID()))
+			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID()]
 		}
-		_, errs[p.ID] = DistGMRESBatch(p, dm, pcs[p.ID], xs, bs, Options{Restart: 10, Ctx: ctx})
+		_, errs[p.ID()] = DistGMRESBatch(p, dm, pcs[p.ID()], xs, bs, Options{Restart: 10, Ctx: ctx})
 	})
 	for q, err := range errs {
 		if !errors.Is(err, ErrCanceled) {
@@ -209,25 +211,25 @@ func TestDistGMRESBatchFallbackWithoutBatchInterfaces(t *testing.T) {
 	a, lay, _ := batchFixture(t, P)
 	bsGlobal := randomRHS(a.N, 2, 31)
 	var gotRes []Result
-	m := machine.New(P, machine.Zero())
+	m := pcommtest.New(t, P, machine.Zero())
 	m.SetWatchdog(60 * time.Second)
-	m.Run(func(p *machine.Proc) {
+	m.Run(func(p pcomm.Comm) {
 		dm := dist.NewMatrix(p, lay, a)
-		jac, err := NewDistJacobi(lay, a, p.ID)
+		jac, err := NewDistJacobi(lay, a, p.ID())
 		if err != nil {
 			panic(err)
 		}
 		xs := make([][]float64, 2)
 		bs := make([][]float64, 2)
 		for bi := 0; bi < 2; bi++ {
-			xs[bi] = make([]float64, lay.NLocal(p.ID))
-			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID]
+			xs[bi] = make([]float64, lay.NLocal(p.ID()))
+			bs[bi] = lay.Scatter(bsGlobal[bi])[p.ID()]
 		}
 		rs, err := DistGMRESBatch(p, dm, jac, xs, bs, Options{Restart: 30, Tol: 1e-6, MaxMatVec: 4000})
 		if err != nil {
 			panic(err)
 		}
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			gotRes = rs
 		}
 	})

@@ -9,6 +9,8 @@ import (
 	"repro/internal/dist"
 	"repro/internal/machine"
 	"repro/internal/matgen"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 	"repro/internal/sparse"
 )
 
@@ -80,12 +82,12 @@ func TestDistGMRESCanceledCollectively(t *testing.T) {
 
 	errs := make([]error, P)
 	ress := make([]Result, P)
-	m := machine.New(P, machine.Zero())
+	m := pcommtest.New(t, P, machine.Zero())
 	m.SetWatchdog(30 * time.Second)
-	m.Run(func(p *machine.Proc) {
+	m.Run(func(p pcomm.Comm) {
 		dm := dist.NewMatrix(p, lay, a)
-		x := make([]float64, lay.NLocal(p.ID))
-		ress[p.ID], errs[p.ID] = DistGMRES(p, dm, nil, x, bParts[p.ID],
+		x := make([]float64, lay.NLocal(p.ID()))
+		ress[p.ID()], errs[p.ID()] = DistGMRES(p, dm, nil, x, bParts[p.ID()],
 			Options{Restart: 10, Tol: 1e-10, Ctx: ctx})
 	})
 	for q, err := range errs {
@@ -109,16 +111,16 @@ func TestDistGMRESNilContextMatchesNoContext(t *testing.T) {
 
 	solve := func(ctx context.Context) []float64 {
 		xParts := make([][]float64, P)
-		m := machine.New(P, machine.Zero())
+		m := pcommtest.New(t, P, machine.Zero())
 		m.SetWatchdog(30 * time.Second)
-		m.Run(func(p *machine.Proc) {
+		m.Run(func(p pcomm.Comm) {
 			dm := dist.NewMatrix(p, lay, a)
-			x := make([]float64, lay.NLocal(p.ID))
-			if _, err := DistGMRES(p, dm, nil, x, bParts[p.ID],
+			x := make([]float64, lay.NLocal(p.ID()))
+			if _, err := DistGMRES(p, dm, nil, x, bParts[p.ID()],
 				Options{Restart: 20, Tol: 1e-10, Ctx: ctx}); err != nil {
 				panic(err)
 			}
-			xParts[p.ID] = x
+			xParts[p.ID()] = x
 		})
 		return lay.Gather(xParts)
 	}

@@ -6,7 +6,7 @@ import (
 	"math"
 
 	"repro/internal/dist"
-	"repro/internal/machine"
+	"repro/internal/pcomm"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -14,13 +14,13 @@ import (
 // DistOperator is a distributed matrix acting on local vectors;
 // dist.Matrix satisfies it.
 type DistOperator interface {
-	MulVec(p *machine.Proc, y, x []float64)
+	MulVec(p pcomm.Comm, y, x []float64)
 }
 
 // DistPreconditioner applies M⁻¹ on local vectors; core.ProcPrecond
 // satisfies it.
 type DistPreconditioner interface {
-	Solve(p *machine.Proc, x, b []float64)
+	Solve(p pcomm.Comm, x, b []float64)
 }
 
 // distCtxErr takes the collective cancellation decision of the
@@ -30,7 +30,7 @@ type DistPreconditioner interface {
 // strand the others in the next collective. The extra AllReduce is only
 // paid when a context is actually supplied; Ctx nil-ness is uniform
 // across processors, so the collective schedule stays consistent.
-func distCtxErr(p *machine.Proc, ctx context.Context) error {
+func distCtxErr(p pcomm.Comm, ctx context.Context) error {
 	if ctx == nil {
 		return nil
 	}
@@ -38,7 +38,7 @@ func distCtxErr(p *machine.Proc, ctx context.Context) error {
 	if ctx.Err() != nil {
 		c = 1
 	}
-	if p.AllReduceInt(c, machine.OpMax) > 0 {
+	if p.AllReduceInt(c, pcomm.OpMax) > 0 {
 		if cause := ctx.Err(); cause != nil {
 			return fmt.Errorf("%w: %v", ErrCanceled, cause)
 		}
@@ -53,7 +53,7 @@ func distCtxErr(p *machine.Proc, ctx context.Context) error {
 type DistIdentity struct{}
 
 // Solve copies b into x.
-func (DistIdentity) Solve(p *machine.Proc, x, b []float64) { copy(x, b) }
+func (DistIdentity) Solve(p pcomm.Comm, x, b []float64) { copy(x, b) }
 
 // DistJacobi is the diagonal preconditioner of Table 3, applied with no
 // communication.
@@ -76,7 +76,7 @@ func NewDistJacobi(lay *dist.Layout, a *sparse.CSR, me int) (*DistJacobi, error)
 }
 
 // Solve applies the inverse diagonal.
-func (j *DistJacobi) Solve(p *machine.Proc, x, b []float64) {
+func (j *DistJacobi) Solve(p pcomm.Comm, x, b []float64) {
 	for i := range x {
 		x[i] = b[i] * j.InvDiag[i]
 	}
@@ -88,7 +88,7 @@ func (j *DistJacobi) Solve(p *machine.Proc, x, b []float64) {
 // local slices of x and b; the collective reductions keep the control
 // flow identical on all processors. Local BLAS-1 work is charged to the
 // virtual clock.
-func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b []float64, opt Options) (Result, error) {
+func DistGMRES(p pcomm.Comm, op DistOperator, prec DistPreconditioner, x, b []float64, opt Options) (Result, error) {
 	nLocal := len(x)
 	if len(b) != nLocal {
 		return Result{}, fmt.Errorf("krylov: DistGMRES local length mismatch")
@@ -97,7 +97,7 @@ func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b [
 		prec = DistIdentity{}
 	}
 	// Normalize against the *global* size for the matvec budget.
-	nGlobal := p.AllReduceInt(nLocal, machine.OpSum)
+	nGlobal := p.AllReduceInt(nLocal, pcomm.OpSum)
 	opt = opt.normalize(nGlobal)
 	m := opt.Restart
 
@@ -170,6 +170,7 @@ func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b [
 		applyPrec(v[0], tmp)
 		beta := dist.Norm2(p, v[0])
 		res.Residual = beta / bnorm
+		res.History = append(res.History, res.Residual)
 		if tr.Enabled() {
 			tr.Instant("krylov", "restart", p.Time(),
 				trace.I("matvec", res.NMatVec), trace.F("residual", res.Residual))
@@ -212,6 +213,7 @@ func DistGMRES(p *machine.Proc, op DistOperator, prec DistPreconditioner, x, b [
 			g[k+1] = -sn[k] * g[k]
 			g[k] = cs[k] * g[k]
 			res.Residual = math.Abs(g[k+1]) / bnorm
+			res.History = append(res.History, res.Residual)
 			if tr.Enabled() {
 				tr.Instant("krylov", "iteration", p.Time(),
 					trace.I("matvec", res.NMatVec), trace.F("residual", res.Residual))

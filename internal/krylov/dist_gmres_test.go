@@ -11,6 +11,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matgen"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 	"repro/internal/sparse"
 )
 
@@ -39,16 +41,16 @@ func TestDistGMRESMatchesSerialUnpreconditioned(t *testing.T) {
 		bParts := lay.Scatter(b)
 		xParts := make([][]float64, P)
 		results := make([]Result, P)
-		m := machine.New(P, machine.T3D())
-		m.Run(func(p *machine.Proc) {
+		m := pcommtest.New(t, P, machine.T3D())
+		m.Run(func(p pcomm.Comm) {
 			dm := dist.NewMatrix(p, lay, a)
-			x := make([]float64, lay.NLocal(p.ID))
-			r, err := DistGMRES(p, dm, nil, x, bParts[p.ID], Options{Restart: 15, Tol: 1e-9})
+			x := make([]float64, lay.NLocal(p.ID()))
+			r, err := DistGMRES(p, dm, nil, x, bParts[p.ID()], Options{Restart: 15, Tol: 1e-9})
 			if err != nil {
 				panic(err)
 			}
-			xParts[p.ID] = x
-			results[p.ID] = r
+			xParts[p.ID()] = x
+			results[p.ID()] = r
 		})
 		for q := 0; q < P; q++ {
 			if !results[q].Converged {
@@ -85,34 +87,34 @@ func TestDistGMRESWithPILUT(t *testing.T) {
 		bParts := lay.Scatter(b)
 		xParts := make([][]float64, P)
 		var nmv [2]int
-		m := machine.New(P, machine.T3D())
-		m.Run(func(p *machine.Proc) {
+		m := pcommtest.New(t, P, machine.T3D())
+		m.Run(func(p pcomm.Comm) {
 			dm := dist.NewMatrix(p, lay, a)
 			pc := core.Factor(p, plan, core.Options{Params: ilu.Params{M: 8, Tau: 1e-4, K: 2}})
-			x := make([]float64, lay.NLocal(p.ID))
-			r, err := DistGMRES(p, dm, pc, x, bParts[p.ID], Options{Restart: 20, Tol: 1e-8, MaxMatVec: 2000})
+			x := make([]float64, lay.NLocal(p.ID()))
+			r, err := DistGMRES(p, dm, pc, x, bParts[p.ID()], Options{Restart: 20, Tol: 1e-8, MaxMatVec: 2000})
 			if err != nil {
 				panic(err)
 			}
 			if !r.Converged {
 				panic("PILUT-preconditioned DistGMRES did not converge")
 			}
-			xParts[p.ID] = x
-			if p.ID == 0 {
+			xParts[p.ID()] = x
+			if p.ID() == 0 {
 				nmv[0] = r.NMatVec
 			}
 
 			// Diagonal baseline must need more matvecs.
-			jac, err := NewDistJacobi(lay, a, p.ID)
+			jac, err := NewDistJacobi(lay, a, p.ID())
 			if err != nil {
 				panic(err)
 			}
-			x2 := make([]float64, lay.NLocal(p.ID))
-			r2, err := DistGMRES(p, dm, jac, x2, bParts[p.ID], Options{Restart: 20, Tol: 1e-8, MaxMatVec: 4000})
+			x2 := make([]float64, lay.NLocal(p.ID()))
+			r2, err := DistGMRES(p, dm, jac, x2, bParts[p.ID()], Options{Restart: 20, Tol: 1e-8, MaxMatVec: 4000})
 			if err != nil {
 				panic(err)
 			}
-			if p.ID == 0 {
+			if p.ID() == 0 {
 				nmv[1] = r2.NMatVec
 			}
 		})
@@ -135,13 +137,13 @@ func TestDistGMRESWithPILUT(t *testing.T) {
 func TestDistJacobi(t *testing.T) {
 	a := matgen.Grid2D(4, 4)
 	lay := layoutFor(t, a, 2)
-	m := machine.New(2, machine.Zero())
-	m.Run(func(p *machine.Proc) {
-		j, err := NewDistJacobi(lay, a, p.ID)
+	m := pcommtest.New(t, 2, machine.Zero())
+	m.Run(func(p pcomm.Comm) {
+		j, err := NewDistJacobi(lay, a, p.ID())
 		if err != nil {
 			panic(err)
 		}
-		nl := lay.NLocal(p.ID)
+		nl := lay.NLocal(p.ID())
 		b := make([]float64, nl)
 		for i := range b {
 			b[i] = 4
@@ -159,10 +161,10 @@ func TestDistJacobi(t *testing.T) {
 func TestDistGMRESZeroRHS(t *testing.T) {
 	a := matgen.Grid2D(4, 4)
 	lay := layoutFor(t, a, 2)
-	m := machine.New(2, machine.Zero())
-	m.Run(func(p *machine.Proc) {
+	m := pcommtest.New(t, 2, machine.Zero())
+	m.Run(func(p pcomm.Comm) {
 		dm := dist.NewMatrix(p, lay, a)
-		nl := lay.NLocal(p.ID)
+		nl := lay.NLocal(p.ID())
 		x := make([]float64, nl)
 		for i := range x {
 			x[i] = 1

@@ -80,6 +80,12 @@ type Result struct {
 	NMatVec   int     // matrix–vector products performed (the paper's NMV)
 	Residual  float64 // final preconditioned relative residual
 	Restarts  int
+	// History records the preconditioned relative residual after every
+	// iteration (restart checks included), in order. The sequence is a
+	// pure function of the input data, so it is bitwise identical across
+	// communication backends — the backend-equivalence tests compare it
+	// with math.Float64bits.
+	History []float64
 }
 
 // GMRES solves A·x = b with left-preconditioned restarted GMRES; x holds

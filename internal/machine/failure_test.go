@@ -54,7 +54,7 @@ func TestPanicUnblocksCollective(t *testing.T) {
 		}
 	}()
 	m.Run(func(p *Proc) {
-		if p.ID == 3 {
+		if p.ID() == 3 {
 			panic("boom")
 		}
 		p.Barrier()
@@ -76,7 +76,7 @@ func TestCollectiveMismatchReportsOps(t *testing.T) {
 		}
 	}()
 	m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.AllReduceInt(1, OpSum)
 		} else {
 			p.Barrier()
@@ -107,7 +107,7 @@ func TestWatchdogRecvDeadlockDump(t *testing.T) {
 	}()
 	m.Run(func(p *Proc) {
 		// Classic SPMD deadlock: both sides receive first, nobody sends.
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.Recv(1, 7)
 		} else {
 			p.Recv(0, 9)
@@ -135,7 +135,7 @@ func TestWatchdogCollectiveDeadlockDump(t *testing.T) {
 		// Proc 2 waits for a message that never comes while the others
 		// enter the barrier: a one-sided collective, the static form of
 		// which the collective analyzer flags.
-		if p.ID == 2 {
+		if p.ID() == 2 {
 			p.Recv(0, 1)
 		} else {
 			p.Barrier()
@@ -148,8 +148,8 @@ func TestWatchdogDoesNotFireOnCompletion(t *testing.T) {
 	m.SetWatchdog(time.Minute)
 	var total int64
 	res := m.Run(func(p *Proc) {
-		p.Send((p.ID+1)%4, 1, p.ID, 8)
-		v := p.Recv((p.ID+3)%4, 1).(int)
+		p.Send((p.ID()+1)%4, 1, p.ID(), 8)
+		v := p.Recv((p.ID()+3)%4, 1).(int)
 		atomic.AddInt64(&total, int64(v))
 		p.Barrier()
 	})

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/pcomm"
 	"repro/internal/trace"
 )
 
@@ -61,55 +62,13 @@ func Workstation() CostModel {
 // that only care about data movement semantics.
 func Zero() CostModel { return CostModel{} }
 
-// Stats accumulates per-processor activity.
-type Stats struct {
-	Flops       float64
-	MsgsSent    int64
-	BytesSent   int64
-	Collectives int64
-	Time        float64 // final virtual clock
-	// Busy is the clock time spent computing (Work/Sleep); Time − Busy is
-	// communication, synchronization and idling — the overhead the paper's
-	// scalability analysis is about.
-	Busy float64
-}
-
-// Result summarizes a completed Run.
-type Result struct {
-	Elapsed float64 // max virtual clock over processors (modelled seconds)
-	PerProc []Stats
-}
-
-// TotalFlops sums the flop counts of all processors.
-func (r Result) TotalFlops() float64 {
-	var s float64
-	for _, st := range r.PerProc {
-		s += st.Flops
-	}
-	return s
-}
-
-// TotalBytes sums the bytes sent by all processors.
-func (r Result) TotalBytes() int64 {
-	var s int64
-	for _, st := range r.PerProc {
-		s += st.BytesSent
-	}
-	return s
-}
-
-// OverheadFraction reports the share of processor-time spent on
-// communication, synchronization and idling: 1 − Σbusy / (P × makespan).
-func (r Result) OverheadFraction() float64 {
-	if r.Elapsed == 0 {
-		return 0
-	}
-	var busy float64
-	for _, st := range r.PerProc {
-		busy += st.Busy
-	}
-	return 1 - busy/(r.Elapsed*float64(len(r.PerProc)))
-}
+// Stats and Result are the backend-neutral pcomm types: the machine is
+// one of two pcomm.World backends and reports its activity in the shared
+// vocabulary (Time/Busy are virtual modelled seconds here).
+type (
+	Stats  = pcomm.Stats
+	Result = pcomm.Result
+)
 
 type message struct {
 	tag     int
@@ -145,8 +104,14 @@ type Machine struct {
 	rec *trace.Recorder // nil = tracing off (the default)
 }
 
+// msgQueue is one (src, dst) mailbox. Each mailbox carries its own
+// condition variable (on the machine mutex) so a Send wakes only the one
+// processor that can possibly consume the message, not every parked
+// processor in the machine — the previous global cond.Broadcast cost
+// O(P²) spurious wakeups per exchange phase at large P.
 type msgQueue struct {
-	q []message
+	q    []message
+	cond *sync.Cond
 }
 
 type rvResult struct {
@@ -161,17 +126,23 @@ func New(p int, cost CostModel) *Machine {
 	}
 	m := &Machine{P: p, Cost: cost, mail: make([]msgQueue, p*p)}
 	m.cond = sync.NewCond(&m.mu)
+	for i := range m.mail {
+		m.mail[i].cond = sync.NewCond(&m.mu)
+	}
 	m.rvVals = make([]any, p)
 	m.rvTimes = make([]float64, p)
 	return m
 }
+
+// NumProcs returns P; part of the pcomm.World surface.
+func (m *Machine) NumProcs() int { return m.P }
 
 // Proc is the handle a virtual processor uses inside Run. It must only be
 // used from the goroutine it was handed to: never capture a *Proc in a go
 // statement, store it in a package-level variable, or pass it through a
 // channel (the procescape analyzer enforces this).
 type Proc struct {
-	ID int
+	id int
 	m  *Machine
 
 	now   float64
@@ -187,9 +158,10 @@ type Proc struct {
 
 // blockedState records why a processor is parked inside the machine.
 type blockedState struct {
-	kind  string // "" (running), "recv", "collective"
+	kind  string // "" (running), "send", "recv", "collective"
 	src   int    // recv: source processor
-	tag   int    // recv: message tag
+	dst   int    // send: destination processor
+	tag   int    // send/recv: message tag
 	op    string // collective: operation name
 	clock float64
 }
@@ -207,7 +179,7 @@ func (m *Machine) Run(f func(*Proc)) Result {
 	m.started = true
 	procs := make([]*Proc, m.P)
 	for i := 0; i < m.P; i++ {
-		procs[i] = &Proc{ID: i, m: m, tr: m.rec.Proc(i)}
+		procs[i] = &Proc{id: i, m: m, tr: m.rec.Proc(i)}
 	}
 	m.procs = procs
 	m.mu.Unlock()
@@ -254,8 +226,18 @@ func (m *Machine) fail(cause any) {
 	if m.failed == nil {
 		m.failed = cause
 	}
-	m.cond.Broadcast()
+	m.wakeAllLocked()
 	m.mu.Unlock()
+}
+
+// wakeAllLocked wakes every parked processor — collective waiters on the
+// machine cond and receivers on their per-mailbox conds — so a failure
+// (or the watchdog) reaches processors wherever they are blocked.
+func (m *Machine) wakeAllLocked() {
+	m.cond.Broadcast()
+	for i := range m.mail {
+		m.mail[i].cond.Broadcast()
+	}
 }
 
 // procAbort wraps the original panic so that secondary processors woken by
@@ -279,6 +261,12 @@ func (m *Machine) SetRecorder(r *trace.Recorder) {
 	}
 	m.rec = r
 }
+
+// ID returns this processor's rank in [0, P).
+func (p *Proc) ID() int { return p.id }
+
+// P returns the number of processors in the run.
+func (p *Proc) P() int { return p.m.P }
 
 // Time returns the processor's current virtual clock in modelled seconds.
 func (p *Proc) Time() float64 { return p.now }
@@ -330,9 +318,11 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 			trace.I("dst", dst), trace.I("tag", tag), trace.I("bytes", bytes))
 	}
 	m.mu.Lock()
-	p.blocked.clock = p.now
-	m.mail[p.ID*m.P+dst].q = append(m.mail[p.ID*m.P+dst].q, message{tag: tag, payload: payload, arrival: arrival})
-	m.cond.Broadcast()
+	p.blocked = blockedState{kind: "send", dst: dst, tag: tag, clock: p.now}
+	box := p.id*m.P + dst
+	m.mail[box].q = append(m.mail[box].q, message{tag: tag, payload: payload, arrival: arrival})
+	m.mail[box].cond.Signal()
+	p.blocked = blockedState{clock: p.now}
 	m.mu.Unlock()
 }
 
@@ -362,7 +352,7 @@ func (p *Proc) Recv(src, tag int) any {
 // names the (src, tag) it is waiting on for the watchdog dump.
 func (p *Proc) takeMessage(src, tag int) message {
 	m := p.m
-	box := src*m.P + p.ID
+	box := src*m.P + p.id
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	p.blocked = blockedState{kind: "recv", src: src, tag: tag, clock: p.now}
@@ -377,7 +367,7 @@ func (p *Proc) takeMessage(src, tag int) message {
 				return msg
 			}
 		}
-		m.cond.Wait()
+		m.mail[box].cond.Wait()
 	}
 }
 
@@ -403,8 +393,8 @@ func (p *Proc) collect(op string, val any) ([]any, float64) {
 	} else if m.rvOp != op {
 		panic(fmt.Sprintf("machine: collective mismatch: %q vs %q", m.rvOp, op))
 	}
-	m.rvVals[p.ID] = val
-	m.rvTimes[p.ID] = p.now
+	m.rvVals[p.id] = val
+	m.rvTimes[p.id] = p.now
 	m.rvCount++
 	myGen := m.rvGen
 	if m.rvCount == m.P {
@@ -454,14 +444,15 @@ func (p *Proc) Barrier() {
 	p.traceCollective("barrier", t0, 0)
 }
 
-// ReduceOp selects the combining operator of an AllReduce.
-type ReduceOp int
+// ReduceOp and the reduction operators are the pcomm vocabulary; the
+// aliases keep machine-level code and tests spelled the traditional way.
+type ReduceOp = pcomm.ReduceOp
 
 // Reduction operators.
 const (
-	OpSum ReduceOp = iota
-	OpMax
-	OpMin
+	OpSum = pcomm.OpSum
+	OpMax = pcomm.OpMax
+	OpMin = pcomm.OpMin
 )
 
 // AllReduceFloat64 combines one float64 per processor with op; all
@@ -527,57 +518,33 @@ func (p *Proc) AllGather(v any, bytes int) []any {
 	return vals
 }
 
-// AllGatherInts gathers one []int per processor.
-func (p *Proc) AllGatherInts(xs []int) [][]int {
-	vals := p.AllGather(xs, BytesOfInts(len(xs)))
-	out := make([][]int, len(vals))
-	for i, v := range vals {
-		out[i] = v.([]int)
-	}
-	return out
-}
-
-// AllGatherFloats gathers one []float64 per processor.
-func (p *Proc) AllGatherFloats(xs []float64) [][]float64 {
-	vals := p.AllGather(xs, BytesOfFloats(len(xs)))
-	out := make([][]float64, len(vals))
-	for i, v := range vals {
-		out[i] = v.([]float64)
-	}
-	return out
-}
-
 // collectiveCost models an allreduce-style exchange of b bytes.
 func (p *Proc) collectiveCost(b int) float64 {
 	return p.logP() * (p.m.Cost.Latency + float64(b)*p.m.Cost.ByteTime)
 }
 
+// The BytesOf* sizing helpers and Copy* payload-detachment helpers live
+// in pcomm (their canonical home since the communicator abstraction was
+// extracted); these wrappers keep the traditional machine-qualified
+// spelling working for machine-level code and tests.
+
 // BytesOfFloats returns the modelled wire size of n float64s.
-func BytesOfFloats(n int) int { return 8 * n }
+func BytesOfFloats(n int) int { return pcomm.BytesOfFloats(n) }
 
 // BytesOfInts returns the modelled wire size of n int indices.
-func BytesOfInts(n int) int { return 8 * n }
+func BytesOfInts(n int) int { return pcomm.BytesOfInts(n) }
 
 // BytesOfUint64s returns the modelled wire size of n uint64 keys.
-func BytesOfUint64s(n int) int { return 8 * n }
+func BytesOfUint64s(n int) int { return pcomm.BytesOfUint64s(n) }
 
-// BytesOfBools returns the modelled wire size of n boolean flags (one
-// byte each, as an MPI byte-typed message would ship them).
-func BytesOfBools(n int) int { return n }
-
-// The Copy* helpers detach a payload from the sender's memory before a
-// Send: because the simulated machine passes references where a real
-// distributed machine would serialize onto the wire, a sender that
-// retains and later mutates a sent slice silently corrupts the
-// receiver — the aliasing bug the sendalias analyzer flags. Copying at
-// the call site (or sending a freshly built buffer) restores the
-// by-value semantics of a real message.
+// BytesOfBools returns the modelled wire size of n boolean flags.
+func BytesOfBools(n int) int { return pcomm.BytesOfBools(n) }
 
 // CopyInts returns a copy of xs that shares no memory with it.
-func CopyInts(xs []int) []int { return append([]int(nil), xs...) }
+func CopyInts(xs []int) []int { return pcomm.CopyInts(xs) }
 
 // CopyFloats returns a copy of xs that shares no memory with it.
-func CopyFloats(xs []float64) []float64 { return append([]float64(nil), xs...) }
+func CopyFloats(xs []float64) []float64 { return pcomm.CopyFloats(xs) }
 
 // CopyBools returns a copy of xs that shares no memory with it.
-func CopyBools(xs []bool) []bool { return append([]bool(nil), xs...) }
+func CopyBools(xs []bool) []bool { return pcomm.CopyBools(xs) }

@@ -5,13 +5,15 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/pcomm"
 )
 
 func TestSendRecvBasic(t *testing.T) {
 	m := New(2, Zero())
 	var got int
 	m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.Send(1, 7, 42, 8)
 		} else {
 			got = p.Recv(0, 7).(int)
@@ -26,7 +28,7 @@ func TestSendRecvFIFOPerTag(t *testing.T) {
 	m := New(2, Zero())
 	var order []int
 	m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			for i := 0; i < 5; i++ {
 				p.Send(1, 1, i, 8)
 			}
@@ -47,7 +49,7 @@ func TestRecvByTagOutOfOrder(t *testing.T) {
 	m := New(2, Zero())
 	var a, b int
 	m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.Send(1, 10, 100, 8)
 			p.Send(1, 20, 200, 8)
 		} else {
@@ -79,7 +81,7 @@ func TestMessageTimestampPropagation(t *testing.T) {
 	m := New(2, cost)
 	var recvTime float64
 	m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.Work(5000) // clock = 5ms
 			p.Send(1, 0, nil, 1000)
 		} else {
@@ -99,7 +101,7 @@ func TestRecvDoesNotRewindClock(t *testing.T) {
 	m := New(2, cost)
 	var recvTime float64
 	m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.Send(1, 0, nil, 0) // arrives early
 		} else {
 			p.Work(1e6) // 1 second of local work first
@@ -118,9 +120,9 @@ func TestBarrierSynchronizesClocks(t *testing.T) {
 	m.Cost = cost
 	times := make([]float64, 4)
 	m.Run(func(p *Proc) {
-		p.Work(float64(p.ID) * 1000) // uneven work
+		p.Work(float64(p.ID()) * 1000) // uneven work
 		p.Barrier()
-		times[p.ID] = p.Time()
+		times[p.ID()] = p.Time()
 	})
 	for i := 1; i < 4; i++ {
 		if times[i] != times[0] {
@@ -138,9 +140,9 @@ func TestAllReduce(t *testing.T) {
 	maxs := make([]int, 5)
 	mins := make([]int, 5)
 	m.Run(func(p *Proc) {
-		sums[p.ID] = p.AllReduceFloat64(float64(p.ID+1), OpSum)
-		maxs[p.ID] = p.AllReduceInt(p.ID, OpMax)
-		mins[p.ID] = p.AllReduceInt(p.ID+10, OpMin)
+		sums[p.ID()] = p.AllReduceFloat64(float64(p.ID()+1), OpSum)
+		maxs[p.ID()] = p.AllReduceInt(p.ID(), OpMax)
+		mins[p.ID()] = p.AllReduceInt(p.ID()+10, OpMin)
 	})
 	for i := 0; i < 5; i++ {
 		if sums[i] != 15 {
@@ -159,7 +161,7 @@ func TestAllGather(t *testing.T) {
 	m := New(3, Zero())
 	var results [3][][]int
 	m.Run(func(p *Proc) {
-		results[p.ID] = p.AllGatherInts([]int{p.ID, p.ID * 10})
+		results[p.ID()] = pcomm.AllGatherInts(p, []int{p.ID(), p.ID() * 10})
 	})
 	for pid := 0; pid < 3; pid++ {
 		for src := 0; src < 3; src++ {
@@ -175,8 +177,8 @@ func TestAllGatherFloats(t *testing.T) {
 	m := New(2, Zero())
 	var out [][]float64
 	m.Run(func(p *Proc) {
-		g := p.AllGatherFloats([]float64{float64(p.ID) + 0.5})
-		if p.ID == 0 {
+		g := pcomm.AllGatherFloats(p, []float64{float64(p.ID()) + 0.5})
+		if p.ID() == 0 {
 			out = g
 		}
 	})
@@ -200,7 +202,7 @@ func TestRepeatedCollectives(t *testing.T) {
 func TestStatsCounters(t *testing.T) {
 	m := New(2, Zero())
 	res := m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.Send(1, 0, nil, 100)
 			p.Send(1, 0, nil, 50)
 		} else {
@@ -232,11 +234,11 @@ func TestPanicPropagation(t *testing.T) {
 		}
 	}()
 	m.Run(func(p *Proc) {
-		if p.ID == 1 {
+		if p.ID() == 1 {
 			panic("boom")
 		}
 		// Other processors block; the failure must wake them.
-		p.Recv((p.ID+1)%3, 99)
+		p.Recv((p.ID()+1)%3, 99)
 	})
 }
 
@@ -244,7 +246,7 @@ func TestElapsedIsMax(t *testing.T) {
 	cost := CostModel{FlopTime: 1e-6}
 	m := New(3, cost)
 	res := m.Run(func(p *Proc) {
-		p.Work(float64(p.ID) * 1e6)
+		p.Work(float64(p.ID()) * 1e6)
 	})
 	if math.Abs(res.Elapsed-2.0) > 1e-9 {
 		t.Fatalf("Elapsed = %v, want 2.0", res.Elapsed)
@@ -256,9 +258,9 @@ func TestManyProcessorsStress(t *testing.T) {
 	var total int64
 	m.Run(func(p *Proc) {
 		// Ring exchange.
-		next := (p.ID + 1) % 64
-		prev := (p.ID + 63) % 64
-		p.Send(next, 5, p.ID, 8)
+		next := (p.ID() + 1) % 64
+		prev := (p.ID() + 63) % 64
+		p.Send(next, 5, p.ID(), 8)
 		v := p.Recv(prev, 5).(int)
 		atomic.AddInt64(&total, int64(v))
 		p.Barrier()
@@ -288,9 +290,9 @@ func TestClockMonotoneProperty(t *testing.T) {
 			}
 			pr.Work(float64((seed%100)+1) * 10)
 			check()
-			pr.Send((pr.ID+1)%p, 1, nil, int(seed%1000))
+			pr.Send((pr.ID()+1)%p, 1, nil, int(seed%1000))
 			check()
-			pr.Recv((pr.ID+p-1)%p, 1)
+			pr.Recv((pr.ID()+p-1)%p, 1)
 			check()
 			pr.Barrier()
 			check()
@@ -323,7 +325,7 @@ func TestCollectiveMismatchPanics(t *testing.T) {
 		}
 	}()
 	m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.Barrier()
 		} else {
 			p.AllReduceInt(1, OpSum)
@@ -349,7 +351,7 @@ func TestSendInvalidDestination(t *testing.T) {
 		}
 	}()
 	m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.Send(5, 0, nil, 0)
 		} else {
 			p.Recv(0, 0)
@@ -377,7 +379,7 @@ func TestBytesHelpers(t *testing.T) {
 func TestMachineAccessor(t *testing.T) {
 	m := New(3, Zero())
 	m.Run(func(p *Proc) {
-		if p.Machine() != m || p.Machine().P != 3 {
+		if p.Machine() != m || p.Machine().P != 3 || p.P() != 3 {
 			panic("Machine accessor wrong")
 		}
 	})
@@ -397,7 +399,7 @@ func TestBusyAndOverheadAccounting(t *testing.T) {
 	cost := CostModel{FlopTime: 1e-3, Latency: 1e-3}
 	m := New(2, cost)
 	res := m.Run(func(p *Proc) {
-		if p.ID == 0 {
+		if p.ID() == 0 {
 			p.Work(10) // 10 ms busy
 			p.Send(1, 0, nil, 0)
 		} else {

@@ -53,7 +53,7 @@ func (m *Machine) startWatchdog() func() {
 			m.mu.Lock()
 			if m.failed == nil {
 				m.failed = &DeadlockError{Timeout: m.watchdog, Dump: m.dumpLocked()}
-				m.cond.Broadcast()
+				m.wakeAllLocked()
 			}
 			m.mu.Unlock()
 		}
@@ -70,15 +70,18 @@ func (m *Machine) dumpLocked() string {
 	fmt.Fprintf(&b, "P=%d processors:\n", m.P)
 	for _, p := range m.procs {
 		switch p.blocked.kind {
+		case "send":
+			fmt.Fprintf(&b, "  proc %d: in Send(dst=%d, tag=%d) at t=%.3e\n",
+				p.id, p.blocked.dst, p.blocked.tag, p.blocked.clock)
 		case "recv":
 			fmt.Fprintf(&b, "  proc %d: blocked in Recv(src=%d, tag=%d) at t=%.3e\n",
-				p.ID, p.blocked.src, p.blocked.tag, p.blocked.clock)
+				p.id, p.blocked.src, p.blocked.tag, p.blocked.clock)
 		case "collective":
 			fmt.Fprintf(&b, "  proc %d: waiting in collective %q (%d of %d arrived) at t=%.3e\n",
-				p.ID, p.blocked.op, m.rvCount, m.P, p.blocked.clock)
+				p.id, p.blocked.op, m.rvCount, m.P, p.blocked.clock)
 		default:
 			fmt.Fprintf(&b, "  proc %d: not blocked in the machine (computing or finished; last seen at t=%.3e)\n",
-				p.ID, p.blocked.clock)
+				p.id, p.blocked.clock)
 		}
 	}
 	return strings.TrimRight(b.String(), "\n")

@@ -3,7 +3,7 @@ package mis
 import (
 	"sort"
 
-	"repro/internal/machine"
+	"repro/internal/pcomm"
 	"repro/internal/trace"
 )
 
@@ -51,19 +51,19 @@ type Exchange struct {
 // All processors must call Distributed collectively with the same rounds
 // and seed. The returned mask is over owned, and the union across
 // processors is independent and nonempty whenever any vertex is active.
-func Distributed(p *machine.Proc, owned []int, adj [][]int, active []bool, owner func(int) int, rounds int, seed int64) []bool {
+func Distributed(p pcomm.Comm, owned []int, adj [][]int, active []bool, owner func(int) int, rounds int, seed int64) []bool {
 	sel, _ := DistributedPlan(p, owned, adj, active, owner, rounds, seed)
 	return sel
 }
 
 // DistributedPlan is Distributed exposing the communication plan and the
 // global activity count (see Exchange).
-func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, owner func(int) int, rounds int, seed int64) ([]bool, *Exchange) {
+func DistributedPlan(p pcomm.Comm, owned []int, adj [][]int, active []bool, owner func(int) int, rounds int, seed int64) ([]bool, *Exchange) {
 	if rounds <= 0 {
 		rounds = DefaultRounds
 	}
 	nLocal := len(owned)
-	P := p.Machine().P
+	P := p.P()
 
 	localIdx := make(map[int]int, nLocal)
 	for i, g := range owned {
@@ -113,7 +113,7 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 		flat = append(flat, q, len(reqFrom[q]))
 		flat = append(flat, reqFrom[q]...)
 	}
-	allReq := p.AllGatherInts(flat)
+	allReq := pcomm.AllGatherInts(p, flat)
 	needBy := make([][]int, P) // needBy[q]: local indices of vertices proc q needs
 	for src := 0; src < P; src++ {
 		f := allReq[src]
@@ -121,7 +121,7 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 			dst, cnt := f[i], f[i+1]
 			ids := f[i+2 : i+2+cnt]
 			i += 2 + cnt
-			if dst != p.ID {
+			if dst != p.ID() {
 				continue
 			}
 			for _, g := range ids {
@@ -156,18 +156,18 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 	// directions, following the setup lists.
 	exchangeBools := func(tag int, local []bool, remote []bool) {
 		for q := 0; q < P; q++ {
-			if q == p.ID || len(needBy[q]) == 0 {
+			if q == p.ID() || len(needBy[q]) == 0 {
 				continue
 			}
 			msg := make([]bool, len(needBy[q]))
 			for k, li := range needBy[q] {
 				msg[k] = local[li]
 			}
-			p.Send(q, tag, msg, machine.BytesOfBools(len(msg)))
+			p.Send(q, tag, msg, pcomm.BytesOfBools(len(msg)))
 		}
 		pos := 0
 		for q := 0; q < P; q++ {
-			if q == p.ID || len(reqFrom[q]) == 0 {
+			if q == p.ID() || len(reqFrom[q]) == 0 {
 				continue
 			}
 			msg := p.Recv(q, tag).([]bool)
@@ -197,7 +197,7 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 		// stay matched, and an empty round is cheap), keeping the
 		// synchronization count at one per MIS call.
 		if r == 0 {
-			ex.GlobalActive = p.AllReduceInt(nActive, machine.OpSum)
+			ex.GlobalActive = p.AllReduceInt(nActive, pcomm.OpSum)
 		}
 		if ex.GlobalActive == 0 {
 			break
@@ -205,7 +205,7 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 
 		// Exchange keys + active state of boundary vertices.
 		for q := 0; q < P; q++ {
-			if q == p.ID || len(needBy[q]) == 0 {
+			if q == p.ID() || len(needBy[q]) == 0 {
 				continue
 			}
 			msg := stateMsg{Keys: make([]uint64, len(needBy[q])), Active: make([]bool, len(needBy[q]))}
@@ -214,11 +214,11 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 				msg.Active[k] = act[li]
 			}
 			p.Send(q, tagState, msg,
-				machine.BytesOfUint64s(len(needBy[q]))+machine.BytesOfBools(len(needBy[q])))
+				pcomm.BytesOfUint64s(len(needBy[q]))+pcomm.BytesOfBools(len(needBy[q])))
 		}
 		pos := 0
 		for q := 0; q < P; q++ {
-			if q == p.ID || len(reqFrom[q]) == 0 {
+			if q == p.ID() || len(reqFrom[q]) == 0 {
 				continue
 			}
 			msg := p.Recv(q, tagState).(stateMsg)
@@ -332,16 +332,16 @@ func DistributedPlan(p *machine.Proc, owned []int, adj [][]int, active []bool, o
 			}
 		}
 		for q := 0; q < P; q++ {
-			if q == p.ID || len(reqFrom[q]) == 0 {
+			if q == p.ID() || len(reqFrom[q]) == 0 {
 				continue
 			}
 			// Copy before sending: excl[q] stays referenced by the sender
 			// for the rest of the round, and a sent slice must never share
 			// memory with anything the sender may touch again.
-			p.Send(q, tagExcl, machine.CopyInts(excl[q]), machine.BytesOfInts(len(excl[q])))
+			p.Send(q, tagExcl, pcomm.CopyInts(excl[q]), pcomm.BytesOfInts(len(excl[q])))
 		}
 		for q := 0; q < P; q++ {
-			if q == p.ID || len(needBy[q]) == 0 {
+			if q == p.ID() || len(needBy[q]) == 0 {
 				continue
 			}
 			ids := p.Recv(q, tagExcl).([]int)

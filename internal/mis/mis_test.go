@@ -8,6 +8,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/machine"
 	"repro/internal/matgen"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/pcommtest"
 )
 
 // symAdj builds symmetric adjacency lists from a graph.
@@ -183,14 +185,14 @@ func runDistributed(t *testing.T, adj [][]int, P, rounds int, seed int64) []bool
 	n := len(adj)
 	ownerOf := func(g int) int { return g % P }
 	globalSel := make([]bool, n)
-	m := machine.New(P, machine.T3D())
+	m := pcommtest.New(t, P, machine.T3D())
 	var mu = make(chan struct{}, 1)
 	mu <- struct{}{}
-	m.Run(func(p *machine.Proc) {
+	m.Run(func(p pcomm.Comm) {
 		var owned []int
 		var localAdj [][]int
 		for v := 0; v < n; v++ {
-			if ownerOf(v) == p.ID {
+			if ownerOf(v) == p.ID() {
 				owned = append(owned, v)
 				localAdj = append(localAdj, adj[v])
 			}
@@ -273,13 +275,13 @@ func TestDistributedActiveMask(t *testing.T) {
 	globalSel := make([]bool, n)
 	gate := make(chan struct{}, 1)
 	gate <- struct{}{}
-	m := machine.New(P, machine.Zero())
-	m.Run(func(p *machine.Proc) {
+	m := pcommtest.New(t, P, machine.Zero())
+	m.Run(func(p pcomm.Comm) {
 		var owned []int
 		var localAdj [][]int
 		var act []bool
 		for v := 0; v < n; v++ {
-			if ownerOf(v) == p.ID {
+			if ownerOf(v) == p.ID() {
 				owned = append(owned, v)
 				localAdj = append(localAdj, adj[v])
 				act = append(act, v < n/2)

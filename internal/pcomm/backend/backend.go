@@ -1,0 +1,43 @@
+// Package backend selects a pcomm.World implementation by name. This is
+// the single point where the service, CLIs, and tests choose between the
+// modelled simulator and the wall-clock shared-memory backend.
+package backend
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/modelled"
+	"repro/internal/pcomm/realcomm"
+)
+
+// Kinds accepted by New. The empty string means Modelled.
+const (
+	Modelled = "modelled"
+	Real     = "real"
+)
+
+// EnvVar is the environment variable FromEnv and the test harness read
+// to pick a backend ("modelled" or "real").
+const EnvVar = "PILUT_BACKEND"
+
+// New creates a world of the given kind with p processors. cost applies
+// only to the modelled backend; the real backend runs at hardware speed
+// and ignores it.
+func New(kind string, p int, cost machine.CostModel) (pcomm.World, error) {
+	switch kind {
+	case "", Modelled:
+		return modelled.New(p, cost), nil
+	case Real:
+		return realcomm.New(p), nil
+	default:
+		return nil, fmt.Errorf("backend: unknown kind %q (want %q or %q)", kind, Modelled, Real)
+	}
+}
+
+// FromEnv resolves the kind from $PILUT_BACKEND (empty → modelled).
+func FromEnv(p int, cost machine.CostModel) (pcomm.World, error) {
+	return New(os.Getenv(EnvVar), p, cost)
+}

@@ -1,0 +1,43 @@
+// Package modelled adapts the simulated machine (internal/machine) to
+// the pcomm.World interface. The adaptation is a zero-cost shim:
+// *machine.Proc itself implements pcomm.Comm, so the virtual-time output
+// of a run through this wrapper is byte-identical to driving the machine
+// directly.
+package modelled
+
+import (
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/pcomm"
+	"repro/internal/trace"
+)
+
+// World wraps one single-use machine.Machine as a pcomm.World.
+type World struct {
+	M *machine.Machine
+}
+
+// New creates a modelled world with p processors and the given cost
+// model.
+func New(p int, cost machine.CostModel) *World {
+	return &World{M: machine.New(p, cost)}
+}
+
+// NumProcs returns P.
+func (w *World) NumProcs() int { return w.M.NumProcs() }
+
+// SetWatchdog arms the machine's deadlock watchdog.
+func (w *World) SetWatchdog(d time.Duration) { w.M.SetWatchdog(d) }
+
+// SetRecorder attaches a trace recorder to the machine.
+func (w *World) SetRecorder(r *trace.Recorder) { w.M.SetRecorder(r) }
+
+// Run executes f on every virtual processor.
+func (w *World) Run(f func(pcomm.Comm)) pcomm.Result {
+	return w.M.Run(func(p *machine.Proc) { f(p) })
+}
+
+// Interface conformance of the machine's processor handle.
+var _ pcomm.Comm = (*machine.Proc)(nil)
+var _ pcomm.World = (*World)(nil)

@@ -1,0 +1,35 @@
+// Package pcommtest builds worlds for tests. New honors $PILUT_BACKEND
+// so the whole tier-1 suite can run against either backend (CI runs the
+// matrix); tests that assert modelled virtual-time numbers should call
+// machine.New directly instead.
+package pcommtest
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/backend"
+)
+
+// Backend reports the backend kind tests run under ("modelled" unless
+// $PILUT_BACKEND says otherwise).
+func Backend() string {
+	if k := os.Getenv(backend.EnvVar); k != "" {
+		return k
+	}
+	return backend.Modelled
+}
+
+// New creates a world with p processors using the backend selected by
+// $PILUT_BACKEND, failing the test on an unknown kind. cost applies to
+// the modelled backend only.
+func New(t testing.TB, p int, cost machine.CostModel) pcomm.World {
+	t.Helper()
+	w, err := backend.FromEnv(p, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

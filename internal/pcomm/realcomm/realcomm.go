@@ -1,0 +1,562 @@
+// Package realcomm is the wall-clock shared-memory pcomm backend: P
+// goroutines exchanging messages at hardware speed, with no cost model
+// and no global lock.
+//
+// Point-to-point traffic flows through per-(src, dst) mailboxes — a
+// buffered channel fast path with a mutex-guarded overflow queue so
+// sends never block (the machine's Send is asynchronous and unbounded) —
+// and only the one processor that can consume a message is ever woken.
+// Payload slices pass by reference (zero-copy); through the
+// pcomm.RawComm fast path slice headers move without boxing into
+// interface values. Collectives rendezvous on a sense-reversing barrier
+// and combine contributions in processor-rank order, which makes every
+// floating-point result bitwise identical to the modelled backend (a
+// tree reduction would be faster asymptotically but would change the
+// rounding order and break the Dong & Cooperman bit-compatibility
+// property the cross-backend tests assert).
+package realcomm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pcomm"
+	"repro/internal/trace"
+)
+
+// mailboxCap is the buffered-channel fast path depth of one mailbox.
+// The SPMD codes in this repo keep at most a handful of messages in
+// flight per processor pair, so the overflow queue is cold.
+const mailboxCap = 256
+
+// message is one in-flight payload: boxed (payload) or an unboxed slice
+// header (raw) from the SendRaw fast path.
+type message struct {
+	tag     int
+	payload any
+	raw     pcomm.RawSlice
+	isRaw   bool
+}
+
+// mailbox is the (src, dst) channel between one producer goroutine and
+// one consumer goroutine. put never blocks: when the channel is full it
+// spills to the overflow queue and pings wake so a parked consumer
+// re-checks. FIFO holds because the producer stops using the channel
+// while spilled is set, and the consumer always drains the channel
+// before the overflow.
+type mailbox struct {
+	ch      chan message
+	wake    chan struct{} // cap 1; pinged after an overflow append
+	spilled atomic.Bool
+	mu      sync.Mutex
+	over    []message
+}
+
+// put delivers m; producer side only (the src goroutine).
+func (b *mailbox) put(m message) {
+	if !b.spilled.Load() {
+		select {
+		case b.ch <- m:
+			return
+		default:
+		}
+	}
+	b.mu.Lock()
+	b.spilled.Store(true)
+	b.over = append(b.over, m)
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drainInto moves every currently delivered message into stash in
+// arrival order; consumer side only (the dst goroutine).
+func (b *mailbox) drainInto(stash *[]message) {
+	for {
+		select {
+		case m := <-b.ch:
+			*stash = append(*stash, m)
+			continue
+		default:
+		}
+		break
+	}
+	if b.spilled.Load() {
+		b.mu.Lock()
+		*stash = append(*stash, b.over...)
+		b.over = b.over[:0]
+		b.spilled.Store(false)
+		b.mu.Unlock()
+	}
+}
+
+// barrier is a sense-reversing barrier: arrivals of one generation
+// capture the release channel of their sense before incrementing, the
+// last arriver re-arms the other sense's channel and closes this one.
+type barrier struct {
+	size    int32
+	count   atomic.Int32
+	release [2]chan struct{}
+}
+
+// DeadlockError is the failure a watchdog-armed Run panics with when the
+// timeout expires, mirroring machine.DeadlockError: Dump reports what
+// each processor was last blocked on.
+type DeadlockError struct {
+	Timeout time.Duration
+	Dump    string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("realcomm: watchdog: run still blocked after %v\n%s", e.Timeout, e.Dump)
+}
+
+// World is a P-processor shared-memory run. A World is single-use, like
+// a machine.Machine.
+type World struct {
+	p     int
+	boxes []mailbox // index src*p + dst
+	bar   barrier
+	ops   []string // rendezvous deposits, indexed by rank
+	vals  []any
+
+	failMu    sync.Mutex
+	failCause any
+	failCh    chan struct{}
+
+	mu       sync.Mutex
+	started  bool
+	watchdog time.Duration
+	rec      *trace.Recorder
+
+	start time.Time
+	procs []*Proc
+}
+
+// New creates a real-backend world with p processors.
+func New(p int) *World {
+	if p < 1 {
+		panic("realcomm: need at least one processor")
+	}
+	w := &World{
+		p:      p,
+		boxes:  make([]mailbox, p*p),
+		ops:    make([]string, p),
+		vals:   make([]any, p),
+		failCh: make(chan struct{}),
+	}
+	for i := range w.boxes {
+		w.boxes[i].ch = make(chan message, mailboxCap)
+		w.boxes[i].wake = make(chan struct{}, 1)
+	}
+	w.bar.size = int32(p)
+	w.bar.release[0] = make(chan struct{})
+	w.bar.release[1] = make(chan struct{})
+	return w
+}
+
+// NumProcs returns P.
+func (w *World) NumProcs() int { return w.p }
+
+// SetWatchdog arms a per-Run deadlock timeout; must be called before
+// Run, d ≤ 0 disables.
+func (w *World) SetWatchdog(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.started {
+		panic("realcomm: SetWatchdog must be called before Run")
+	}
+	w.watchdog = d
+}
+
+// SetRecorder attaches a trace recorder; timestamps are wall-clock
+// seconds since Run started. Must be called before Run.
+func (w *World) SetRecorder(r *trace.Recorder) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.started {
+		panic("realcomm: SetRecorder after Run")
+	}
+	if r != nil && r.NumProcs() < w.p {
+		panic(fmt.Sprintf("realcomm: recorder covers %d processors, world has %d", r.NumProcs(), w.p))
+	}
+	w.rec = r
+}
+
+// procAbort wraps the original panic so that secondary processors woken
+// by a failure do not overwrite the root cause when they unwind.
+type procAbort struct{ cause any }
+
+func (w *World) fail(cause any) {
+	w.failMu.Lock()
+	if w.failCause == nil {
+		w.failCause = cause
+		close(w.failCh)
+	}
+	w.failMu.Unlock()
+}
+
+// abort panics with the run's root failure cause; called by processors
+// woken out of a blocking operation by failCh.
+func (p *Proc) abort() {
+	p.w.failMu.Lock()
+	cause := p.w.failCause
+	p.w.failMu.Unlock()
+	panic(procAbort{cause})
+}
+
+// Run executes f on every processor concurrently. Panic propagation and
+// single-use semantics match machine.Machine.Run.
+func (w *World) Run(f func(pcomm.Comm)) pcomm.Result {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		panic("realcomm: Run called twice on the same World; a World is single-use — create a new World per run")
+	}
+	w.started = true
+	rec := w.rec
+	wd := w.watchdog
+	w.mu.Unlock()
+
+	w.procs = make([]*Proc, w.p)
+	for i := 0; i < w.p; i++ {
+		w.procs[i] = &Proc{id: i, w: w, tr: rec.Proc(i), stash: make([][]message, w.p)}
+	}
+	w.start = time.Now()
+
+	stopWatchdog := func() {}
+	if wd > 0 {
+		done := make(chan struct{})
+		go func() {
+			t := time.NewTimer(wd)
+			defer t.Stop()
+			select {
+			case <-done:
+			case <-t.C:
+				w.fail(&DeadlockError{Timeout: wd, Dump: w.dump()})
+			}
+		}()
+		stopWatchdog = func() { close(done) }
+	}
+	defer stopWatchdog()
+
+	var wg sync.WaitGroup
+	wg.Add(w.p)
+	for i := 0; i < w.p; i++ {
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					w.fail(r)
+				}
+			}()
+			f(p)
+			p.stats.Time = time.Since(w.start).Seconds()
+		}(w.procs[i])
+	}
+	wg.Wait()
+
+	w.failMu.Lock()
+	failed := w.failCause
+	w.failMu.Unlock()
+	if failed != nil {
+		if abort, ok := failed.(procAbort); ok {
+			failed = abort.cause
+		}
+		panic(failed)
+	}
+	res := pcomm.Result{PerProc: make([]pcomm.Stats, w.p)}
+	for i, p := range w.procs {
+		res.PerProc[i] = p.stats
+		if p.stats.Time > res.Elapsed {
+			res.Elapsed = p.stats.Time
+		}
+	}
+	return res
+}
+
+// dump renders every processor's last published blocked state for the
+// watchdog's deadlock report.
+func (w *World) dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P=%d processors:\n", w.p)
+	for _, p := range w.procs {
+		state, _ := p.blocked.Load().(string)
+		if state == "" {
+			state = "not blocked in the communicator (computing or finished)"
+		}
+		fmt.Fprintf(&b, "  proc %d: %s\n", p.id, state)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// await passes the sense-reversing barrier; blocked describes the wait
+// for the watchdog dump.
+func (w *World) await(p *Proc, blocked string) {
+	s := p.sense
+	ch := w.bar.release[s]
+	p.sense = 1 - s
+	if w.bar.count.Add(1) == w.bar.size {
+		w.bar.count.Store(0)
+		w.bar.release[1-s] = make(chan struct{})
+		close(ch)
+		return
+	}
+	p.blocked.Store(blocked)
+	defer p.blocked.Store("")
+	select {
+	case <-ch:
+	case <-w.failCh:
+		p.abort()
+	}
+}
+
+// Proc is one processor's communicator handle. Like machine.Proc it is
+// confined to the goroutine Run handed it to.
+type Proc struct {
+	id    int
+	w     *World
+	tr    *trace.ProcTracer
+	stats pcomm.Stats
+	sense int
+	// stash holds messages drained from a mailbox while looking for a
+	// different tag, in arrival order, indexed by src. Owned by this
+	// processor's goroutine.
+	stash [][]message
+	// blocked publishes a human-readable wait state for the watchdog.
+	blocked atomic.Value
+}
+
+// ID returns this processor's rank.
+func (p *Proc) ID() int { return p.id }
+
+// P returns the number of processors.
+func (p *Proc) P() int { return p.w.p }
+
+// Time returns wall-clock seconds since Run started.
+func (p *Proc) Time() float64 { return time.Since(p.w.start).Seconds() }
+
+// Work accounts flops; the real backend spends actual time instead of
+// advancing a model clock.
+func (p *Proc) Work(flops float64) { p.stats.Flops += flops }
+
+// Sleep is a no-op: modelled non-flop local work takes its actual time
+// here.
+func (p *Proc) Sleep(dt float64) {}
+
+// Stats returns a snapshot of the processor's counters.
+func (p *Proc) Stats() pcomm.Stats {
+	s := p.stats
+	s.Time = p.Time()
+	return s
+}
+
+// Tracer returns the processor's trace sink, nil when tracing is off.
+func (p *Proc) Tracer() *trace.ProcTracer { return p.tr }
+
+// Send delivers payload to dst under tag. bytes feeds the traffic
+// counters (the cost model vocabulary is kept so both backends report
+// identical MsgsSent/BytesSent for the same program).
+func (p *Proc) Send(dst, tag int, payload any, bytes int) {
+	p.send(dst, tag, message{tag: tag, payload: payload}, bytes)
+}
+
+// SendRaw implements the pcomm.RawComm zero-boxing fast path.
+func (p *Proc) SendRaw(dst, tag int, h pcomm.RawSlice, bytes int) {
+	p.send(dst, tag, message{tag: tag, raw: h, isRaw: true}, bytes)
+}
+
+func (p *Proc) send(dst, tag int, m message, bytes int) {
+	w := p.w
+	if dst < 0 || dst >= w.p {
+		panic(fmt.Sprintf("realcomm: Send to invalid processor %d", dst))
+	}
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(bytes)
+	if p.tr != nil {
+		p.tr.Instant("machine", "send", p.Time(),
+			trace.I("dst", dst), trace.I("tag", tag), trace.I("bytes", bytes))
+	}
+	w.boxes[p.id*w.p+dst].put(m)
+}
+
+// Recv blocks until a message with the given tag from src is available
+// and returns its payload.
+func (p *Proc) Recv(src, tag int) any {
+	t0 := p.Time()
+	m := p.recvMessage(src, tag)
+	if m.isRaw {
+		panic(fmt.Sprintf("realcomm: Recv(src=%d, tag=%d) matched a raw slice message; receive it with pcomm.RecvSlice", src, tag))
+	}
+	if p.tr != nil {
+		p.tr.Span("machine", "recv", t0, p.Time(),
+			trace.I("src", src), trace.I("tag", tag))
+	}
+	return m.payload
+}
+
+// RecvRaw implements the pcomm.RawComm zero-boxing fast path.
+func (p *Proc) RecvRaw(src, tag int) (pcomm.RawSlice, any, bool) {
+	t0 := p.Time()
+	m := p.recvMessage(src, tag)
+	if p.tr != nil {
+		p.tr.Span("machine", "recv", t0, p.Time(),
+			trace.I("src", src), trace.I("tag", tag))
+	}
+	return m.raw, m.payload, m.isRaw
+}
+
+func (p *Proc) recvMessage(src, tag int) message {
+	w := p.w
+	if src < 0 || src >= w.p {
+		panic(fmt.Sprintf("realcomm: Recv from invalid processor %d", src))
+	}
+	stash := &p.stash[src]
+	if m, ok := takeByTag(stash, tag); ok {
+		return m
+	}
+	b := &w.boxes[src*w.p+p.id]
+	for {
+		n := len(*stash)
+		b.drainInto(stash)
+		if m, ok := takeByTagFrom(stash, tag, n); ok {
+			return m
+		}
+		p.blocked.Store(fmt.Sprintf("blocked in Recv(src=%d, tag=%d)", src, tag))
+		select {
+		case m := <-b.ch:
+			p.blocked.Store("")
+			// m is newer than everything stashed, so if it matches it is
+			// the FIFO-correct next message of this tag.
+			if m.tag == tag {
+				return m
+			}
+			*stash = append(*stash, m)
+		case <-b.wake:
+			p.blocked.Store("")
+		case <-w.failCh:
+			p.abort()
+		}
+	}
+}
+
+// takeByTag removes and returns the first stashed message with the tag.
+func takeByTag(stash *[]message, tag int) (message, bool) {
+	return takeByTagFrom(stash, tag, 0)
+}
+
+// takeByTagFrom scans stash starting at index from (earlier entries are
+// known not to match from a previous scan).
+func takeByTagFrom(stash *[]message, tag, from int) (message, bool) {
+	s := *stash
+	for i := from; i < len(s); i++ {
+		if s[i].tag == tag {
+			m := s[i]
+			*stash = append(s[:i], s[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// collect is the rendezvous underlying every collective: all P
+// processors deposit a value, phase-1 barrier, everyone snapshots the
+// deposits (and checks the collective ops match), phase-2 barrier so the
+// next collective may overwrite the slots.
+func (p *Proc) collect(op string, val any) []any {
+	w := p.w
+	p.stats.Collectives++
+	w.ops[p.id] = op
+	w.vals[p.id] = val
+	w.await(p, fmt.Sprintf("waiting in collective %q", op))
+	for q := 0; q < w.p; q++ {
+		if w.ops[q] != op {
+			panic(fmt.Sprintf("realcomm: collective mismatch: %q vs %q", w.ops[q], op))
+		}
+	}
+	vals := append([]any(nil), w.vals...)
+	w.await(p, fmt.Sprintf("leaving collective %q", op))
+	return vals
+}
+
+// Barrier synchronizes all processors.
+func (p *Proc) Barrier() {
+	t0 := p.Time()
+	p.collect("barrier", nil)
+	if p.tr != nil {
+		p.tr.Span("machine", "barrier", t0, p.Time(), trace.I("bytes", 0))
+	}
+}
+
+// AllReduceFloat64 combines one float64 per processor with op. The fold
+// runs in rank order — bitwise identical to the modelled backend.
+func (p *Proc) AllReduceFloat64(v float64, op pcomm.ReduceOp) float64 {
+	t0 := p.Time()
+	vals := p.collect("allreduce_f64", v)
+	if p.tr != nil {
+		p.tr.Span("machine", "allreduce_f64", t0, p.Time(), trace.I("bytes", 8))
+	}
+	out := vals[0].(float64)
+	for _, a := range vals[1:] {
+		x := a.(float64)
+		switch op {
+		case pcomm.OpSum:
+			out += x
+		case pcomm.OpMax:
+			if x > out {
+				out = x
+			}
+		case pcomm.OpMin:
+			if x < out {
+				out = x
+			}
+		}
+	}
+	return out
+}
+
+// AllReduceInt combines one int per processor with op.
+func (p *Proc) AllReduceInt(v int, op pcomm.ReduceOp) int {
+	t0 := p.Time()
+	vals := p.collect("allreduce_int", v)
+	if p.tr != nil {
+		p.tr.Span("machine", "allreduce_int", t0, p.Time(), trace.I("bytes", 8))
+	}
+	out := vals[0].(int)
+	for _, a := range vals[1:] {
+		x := a.(int)
+		switch op {
+		case pcomm.OpSum:
+			out += x
+		case pcomm.OpMax:
+			if x > out {
+				out = x
+			}
+		case pcomm.OpMin:
+			if x < out {
+				out = x
+			}
+		}
+	}
+	return out
+}
+
+// AllGather deposits one value per processor and returns the slice
+// indexed by processor rank.
+func (p *Proc) AllGather(v any, bytes int) []any {
+	t0 := p.Time()
+	vals := p.collect("allgather", v)
+	if p.tr != nil {
+		p.tr.Span("machine", "allgather", t0, p.Time(), trace.I("bytes", bytes))
+	}
+	return vals
+}
+
+var _ pcomm.Comm = (*Proc)(nil)
+var _ pcomm.RawComm = (*Proc)(nil)
+var _ pcomm.World = (*World)(nil)

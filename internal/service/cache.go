@@ -8,8 +8,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/graph"
-	"repro/internal/machine"
 	"repro/internal/partition"
+	"repro/internal/pcomm"
 	"repro/internal/sparse"
 )
 
@@ -168,19 +168,19 @@ func buildEntry(key string, a *sparse.CSR, cfg Config) (ent *entry, err error) {
 		pcs:  make([]*core.ProcPrecond, cfg.Procs),
 		mats: make([]*dist.Matrix, cfg.Procs),
 	}
-	m := machine.New(cfg.Procs, cfg.Cost)
+	m := cfg.mustWorld()
 	m.SetWatchdog(2 * time.Minute)
 	rec := newRunRecorder(cfg)
 	if rec != nil {
 		m.SetRecorder(rec)
 	}
-	res := m.Run(func(proc *machine.Proc) {
-		ent.pcs[proc.ID] = core.Factor(proc, plan, core.Options{
+	res := m.Run(func(proc pcomm.Comm) {
+		ent.pcs[proc.ID()] = core.Factor(proc, plan, core.Options{
 			Params:    cfg.Params,
 			MISRounds: cfg.MISRounds,
 			Seed:      cfg.Seed,
 		})
-		ent.mats[proc.ID] = dist.NewMatrix(proc, lay, a)
+		ent.mats[proc.ID()] = dist.NewMatrix(proc, lay, a)
 	})
 	writeRunTrace(cfg.TraceDir, "factor", key, rec)
 	ent.factorSeconds = res.Elapsed

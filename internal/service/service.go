@@ -20,6 +20,8 @@ import (
 	"repro/internal/ilu"
 	"repro/internal/krylov"
 	"repro/internal/machine"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/backend"
 	"repro/internal/sparse"
 )
 
@@ -42,8 +44,14 @@ type Config struct {
 	MISRounds int
 	Seed      int64
 	// Cost is the virtual machine cost model. The zero value models free
-	// communication; use machine.T3D() for the paper's machine.
+	// communication; use machine.T3D() for the paper's machine. Ignored by
+	// the real backend.
 	Cost machine.CostModel
+	// Backend picks the communication backend every run uses: "" or
+	// "modelled" for the simulated machine, "real" for wall-clock shared
+	// memory. Both produce bitwise-identical factors and solutions;
+	// ModelledSeconds becomes wall time under the real backend.
+	Backend string
 	// Workers is the number of concurrent batch executors. Default 2.
 	Workers int
 	// MaxBatch caps how many right-hand sides one machine run solves
@@ -56,6 +64,17 @@ type Config struct {
 	// factorizations and solve-<key>-<stamp>.json for solve batches. Empty
 	// (the default) attaches no recorder, so runs pay no tracing cost.
 	TraceDir string
+}
+
+// mustWorld builds one backend world for a factorization or solve run.
+// New validates cfg.Backend, so an unknown kind here cannot happen for a
+// server built through New.
+func (c Config) mustWorld() pcomm.World {
+	w, err := backend.New(c.Backend, c.Procs, c.Cost)
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 func (c Config) withDefaults() Config {
@@ -137,9 +156,14 @@ type Server struct {
 	workerWG sync.WaitGroup
 }
 
-// New starts a Server with cfg.Workers executor goroutines.
+// New starts a Server with cfg.Workers executor goroutines. It panics on
+// an unknown cfg.Backend so a misconfigured daemon fails at startup
+// instead of on its first request.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if _, err := backend.New(cfg.Backend, cfg.Procs, cfg.Cost); err != nil {
+		panic(err)
+	}
 	s := &Server{
 		cfg:       cfg,
 		stats:     newStatsCollector(),
@@ -461,26 +485,26 @@ func (s *Server) runBatch(key string, batch []*request) {
 				err = fmt.Errorf("service: solve of %s failed: %v", key, r)
 			}
 		}()
-		m := machine.New(s.cfg.Procs, s.cfg.Cost)
+		m := s.cfg.mustWorld()
 		m.SetWatchdog(2 * time.Minute)
 		rec := newRunRecorder(s.cfg)
 		if rec != nil {
 			m.SetRecorder(rec)
 			defer writeRunTrace(s.cfg.TraceDir, "solve", key, rec)
 		}
-		mr = m.Run(func(proc *machine.Proc) {
+		mr = m.Run(func(proc pcomm.Comm) {
 			xs := make([][]float64, B)
 			bs := make([][]float64, B)
 			for bi := 0; bi < B; bi++ {
-				xs[bi] = make([]float64, ent.lay.NLocal(proc.ID))
-				bs[bi] = bParts[bi][proc.ID]
+				xs[bi] = make([]float64, ent.lay.NLocal(proc.ID()))
+				bs[bi] = bParts[bi][proc.ID()]
 			}
-			rs, serr := krylov.DistGMRESBatch(proc, ent.mats[proc.ID], ent.pcs[proc.ID], xs, bs, opt)
-			procErrs[proc.ID] = serr
+			rs, serr := krylov.DistGMRESBatch(proc, ent.mats[proc.ID()], ent.pcs[proc.ID()], xs, bs, opt)
+			procErrs[proc.ID()] = serr
 			for bi := 0; bi < B; bi++ {
-				xsParts[bi][proc.ID] = xs[bi]
+				xsParts[bi][proc.ID()] = xs[bi]
 			}
-			if proc.ID == 0 && len(rs) == B {
+			if proc.ID() == 0 && len(rs) == B {
 				copy(perRes, rs)
 			}
 		})
