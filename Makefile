@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test test-real race race-real check serve-smoke bench-service bench-backend fuzz-smoke cover
+.PHONY: all build vet lint test test-real race race-real chaos check serve-smoke bench-service bench-backend fuzz-smoke cover
 
 all: check
 
@@ -34,6 +34,17 @@ race:
 # that actually exercises their memory ordering.
 race-real:
 	PILUT_TEST_FAST=1 PILUT_BACKEND=real $(GO) test -race ./...
+
+# Chaos lane: the deterministic fault-injection suites (injected panics,
+# dropped messages, pivot breakdown, breaker/shedding) race-enabled on
+# both backends, then the full tier-1 suite replayed under a delay-only
+# fault spec — delays must leave every numerical assertion bitwise
+# intact (collectives fold in rank order regardless of arrival time).
+chaos:
+	PILUT_TEST_FAST=1 $(GO) test -race -count=1 ./internal/fault ./internal/service
+	PILUT_TEST_FAST=1 PILUT_BACKEND=real $(GO) test -race -count=1 ./internal/fault ./internal/service
+	PILUT_TEST_FAST=1 PILUT_FAULTS='seed=7,delay=0.05@1e-6' $(GO) test -count=1 ./internal/core ./internal/krylov ./internal/dist
+	PILUT_TEST_FAST=1 PILUT_FAULTS='seed=7,delay=0.05@1e-6' PILUT_BACKEND=real $(GO) test -count=1 ./internal/core ./internal/krylov ./internal/dist
 
 # End-to-end smoke of the solver daemon: builds pilutd, starts it, submits
 # the quickstart matrix over HTTP, solves it twice (asserting the second

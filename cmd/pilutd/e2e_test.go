@@ -276,14 +276,40 @@ func TestEndToEnd(t *testing.T) {
 	if !strings.Contains(string(body), "canceled") {
 		t.Fatalf("deadline solve reply does not mention cancellation: %s", body)
 	}
-	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
-		t.Fatal("daemon unhealthy after canceled solve")
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon unhealthy after canceled solve: status %d: %s", resp.StatusCode, body)
+	}
+	var health struct {
+		Status          string   `json:"status"`
+		QueueDepth      int      `json:"queue_depth"`
+		BreakerOpenKeys []string `json:"breaker_open_keys"`
+		DegradedSolves  int64    `json:"degraded_solves"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz is not JSON: %v: %s", err, body)
+	}
+	if health.Status != "ok" || health.BreakerOpenKeys == nil {
+		t.Fatalf("healthz = %+v, want status ok with breaker key list", health)
 	}
 
-	// Unknown key → 404.
+	// Unknown key → 404 with a structured JSON error body.
 	missBody, _ := json.Marshal(map[string]any{"key": "no-such-key", "b": b})
-	if resp, _ := post("/v1/solve", "application/json", missBody); resp.StatusCode != http.StatusNotFound {
+	resp, body = post("/v1/solve", "application/json", missBody)
+	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown key: status %d, want 404", resp.StatusCode)
+	}
+	var missErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &missErr); err != nil || missErr.Error == "" {
+		t.Fatalf("unknown-key reply is not a JSON error object: %v: %s", err, body)
+	}
+
+	// A negative timeout is a client error, answered as structured JSON.
+	negBody, _ := json.Marshal(map[string]any{"key": sub.Key, "b": b, "timeout_ms": -5})
+	if resp, body := post("/v1/solve", "application/json", negBody); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative timeout: status %d, want 400: %s", resp.StatusCode, body)
 	}
 
 	// Graceful shutdown on SIGTERM.

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// newTestServer spins up the real mux over an in-process service with a
+// tiny matrix pre-submitted, so handler tests exercise exactly the code
+// the daemon runs.
+func newTestServer(t *testing.T) (*httptest.Server, *service.Server, string) {
+	t.Helper()
+	svc := service.New(service.Config{Procs: 2, Workers: 1})
+	ts := httptest.NewServer(newMux(svc, 600000))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	})
+
+	mm := "%%MatrixMarket matrix coordinate real general\n4 4 8\n" +
+		"1 1 4\n2 2 4\n3 3 4\n4 4 4\n1 2 -1\n2 3 -1\n3 4 -1\n4 1 -1\n"
+	resp, err := http.Post(ts.URL+"/v1/matrices", "text/plain", strings.NewReader(mm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub struct {
+		Key string `json:"key"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil || sub.Key == "" {
+		t.Fatalf("submit: err=%v key=%q", err, sub.Key)
+	}
+	return ts, svc, sub.Key
+}
+
+// decodeError asserts the response is a JSON {"error": ...} object with
+// the right status and content type, returning the message.
+func decodeError(t *testing.T, resp *http.Response, wantStatus int) string {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("body is not a JSON error object: %v", err)
+	}
+	return e.Error
+}
+
+func TestNegativeTimeoutRejected(t *testing.T) {
+	ts, _, key := newTestServer(t)
+	body, _ := json.Marshal(map[string]any{"key": key, "b": []float64{1, 1, 1, 1}, "timeout_ms": -1})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := decodeError(t, resp, http.StatusBadRequest)
+	if !strings.Contains(msg, "timeout_ms") {
+		t.Fatalf("error %q does not mention timeout_ms", msg)
+	}
+}
+
+func TestHealthzJSON(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var h struct {
+		Status          string   `json:"status"`
+		QueueDepth      int      `json:"queue_depth"`
+		BreakerOpenKeys []string `json:"breaker_open_keys"`
+		DegradedSolves  int64    `json:"degraded_solves"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	if h.Status != "ok" || h.BreakerOpenKeys == nil {
+		t.Fatalf("healthz = %+v, want status ok and a (possibly empty) breaker key list", h)
+	}
+}
+
+func TestHealthzDraining(t *testing.T) {
+	svc := service.New(service.Config{Procs: 2, Workers: 1})
+	ts := httptest.NewServer(newMux(svc, 600000))
+	defer ts.Close()
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 while draining", resp.StatusCode)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.Status != "draining" {
+		t.Fatalf("healthz = %+v (err %v), want status draining", h, err)
+	}
+}
+
+func TestUnknownEndpointIsJSON404(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/no/such/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := decodeError(t, resp, http.StatusNotFound)
+	if !strings.Contains(msg, "/no/such/path") {
+		t.Fatalf("error %q does not name the path", msg)
+	}
+}
+
+func TestSolveStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{&service.OverloadedError{QueueDepth: 9, RetryAfter: time.Second}, http.StatusTooManyRequests},
+		{&service.BreakerOpenError{Key: "k", RetryAfter: 5 * time.Second}, http.StatusServiceUnavailable},
+		{service.ErrClosed, http.StatusServiceUnavailable},
+		{service.ErrUnknownMatrix, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		if got := solveStatus(c.err); got != c.want {
+			t.Errorf("solveStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestWriteErrorSetsRetryAfter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, http.StatusTooManyRequests, &service.OverloadedError{QueueDepth: 3, RetryAfter: 1500 * time.Millisecond})
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want 2 (rounded up)", got)
+	}
+	rec = httptest.NewRecorder()
+	writeError(rec, http.StatusServiceUnavailable, &service.BreakerOpenError{Key: "k", RetryAfter: 30 * time.Second})
+	if got := rec.Header().Get("Retry-After"); got != "30" {
+		t.Fatalf("Retry-After = %q, want 30", got)
+	}
+	rec = httptest.NewRecorder()
+	writeError(rec, http.StatusNotFound, service.ErrUnknownMatrix)
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Fatalf("Retry-After = %q for a plain error, want unset", got)
+	}
+}

@@ -8,9 +8,12 @@
 //	POST /v1/solve      {"key", "b", ...}      → solution + solver stats
 //	GET  /v1/stats                             → service counters
 //	GET  /metrics                              → Prometheus text metrics
-//	GET  /healthz                              → "ok"
+//	GET  /healthz                              → {"status", "queue_depth", ...}; 503 while draining
 //
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// Every error response is a JSON object {"error": "..."}. Overload (full
+// queue) answers 429 and an open per-matrix circuit breaker answers 503,
+// both with a Retry-After header. SIGINT/SIGTERM drain in-flight
+// requests before exiting; /healthz reports "draining" (503) meanwhile.
 package main
 
 import (
@@ -24,9 +27,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ilu"
 	"repro/internal/krylov"
 	"repro/internal/machine"
@@ -64,7 +69,10 @@ func solveStatus(err error) int {
 	switch {
 	case errors.Is(err, service.ErrUnknownMatrix):
 		return http.StatusNotFound
-	case errors.Is(err, service.ErrClosed):
+	case errors.Is(err, service.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrBreakerOpen),
+		errors.Is(err, service.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, krylov.ErrCanceled):
 		return http.StatusGatewayTimeout
@@ -73,13 +81,40 @@ func solveStatus(err error) int {
 	}
 }
 
-func newMux(svc *service.Server) *http.ServeMux {
+// retryAfter extracts the back-off hint carried by shed and breaker-open
+// errors, rounded up to whole seconds for the Retry-After header.
+func retryAfter(err error) (time.Duration, bool) {
+	var ov *service.OverloadedError
+	if errors.As(err, &ov) {
+		return ov.RetryAfter, true
+	}
+	var bo *service.BreakerOpenError
+	if errors.As(err, &bo) {
+		return bo.RetryAfter, true
+	}
+	return 0, false
+}
+
+// writeError renders the structured JSON error body every non-200 answer
+// uses, attaching Retry-After when the error carries a back-off hint.
+func writeError(w http.ResponseWriter, status int, err error) {
+	if wait, ok := retryAfter(err); ok {
+		secs := int64(wait / time.Second)
+		if wait%time.Second != 0 || secs == 0 {
+			secs++
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, errorReply{err.Error()})
+}
+
+func newMux(svc *service.Server, maxTimeoutMs int) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/matrices", func(w http.ResponseWriter, r *http.Request) {
 		a, err := sparse.ReadMatrixMarket(http.MaxBytesReader(w, r.Body, maxMatrixBytes))
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorReply{fmt.Sprintf("parsing MatrixMarket body: %v", err)})
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing MatrixMarket body: %w", err))
 			return
 		}
 		key, known, err := svc.Submit(a)
@@ -88,7 +123,7 @@ func newMux(svc *service.Server) *http.ServeMux {
 			if errors.Is(err, service.ErrClosed) {
 				status = http.StatusServiceUnavailable
 			}
-			writeJSON(w, status, errorReply{err.Error()})
+			writeError(w, status, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -99,20 +134,30 @@ func newMux(svc *service.Server) *http.ServeMux {
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
 		var req solveRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMatrixBytes)).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorReply{fmt.Sprintf("parsing solve request: %v", err)})
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing solve request: %w", err))
 			return
 		}
+		if req.TimeoutMs < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("timeout_ms must be non-negative, got %d", req.TimeoutMs))
+			return
+		}
+		// Cap client deadlines at the server maximum so a single request
+		// cannot pin a worker arbitrarily long; 0 means the cap itself.
+		timeout := req.TimeoutMs
+		if maxTimeoutMs > 0 && (timeout == 0 || timeout > maxTimeoutMs) {
+			timeout = maxTimeoutMs
+		}
 		ctx := r.Context()
-		if req.TimeoutMs > 0 {
+		if timeout > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(timeout)*time.Millisecond)
 			defer cancel()
 		}
 		res, err := svc.Solve(ctx, req.Key, req.B, service.SolveOptions{
 			Restart: req.Restart, Tol: req.Tol, MaxMatVec: req.MaxMatVec,
 		})
 		if err != nil {
-			writeJSON(w, solveStatus(err), errorReply{err.Error()})
+			writeError(w, solveStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -130,7 +175,18 @@ func newMux(svc *service.Server) *http.ServeMux {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
+		h := svc.Health()
+		status := http.StatusOK
+		if h.Status != "ok" {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
+	})
+
+	// Unknown paths get the same structured JSON error shape as every
+	// other failure instead of the default text/plain 404 page.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, errorReply{fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path)})
 	})
 
 	return mux
@@ -148,7 +204,20 @@ func main() {
 	t3d := flag.Bool("t3d", false, "model Cray T3D communication costs instead of free communication")
 	backendKind := flag.String("backend", "modelled", "communication backend: modelled (virtual time) or real (wall-clock shared memory)")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace JSON file per machine run into this directory")
+	maxTimeoutMs := flag.Int("max-timeout-ms", 600000, "per-request deadline cap in milliseconds; requests without timeout_ms get this deadline (0 disables)")
+	maxQueue := flag.Int("max-queue", 1024, "queued solve requests beyond which the server sheds load with 429")
+	faults := flag.String("faults", os.Getenv(fault.EnvVar), "deterministic fault-injection spec, e.g. \"seed=7,delay=0.2,panic=1@5\" (default $"+fault.EnvVar+")")
 	flag.Parse()
+
+	var spec *fault.Spec
+	if *faults != "" {
+		s, err := fault.Parse(*faults)
+		if err != nil {
+			log.Fatalf("pilutd: parsing fault spec: %v", err)
+		}
+		spec = s
+		log.Printf("pilutd: FAULT INJECTION ACTIVE: %s", spec)
+	}
 
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -172,13 +241,15 @@ func main() {
 		MaxBatch:   *maxBatch,
 		CacheBytes: *cacheMB << 20,
 		TraceDir:   *traceDir,
+		MaxQueue:   *maxQueue,
+		Faults:     spec,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("pilutd: listen: %v", err)
 	}
-	srv := &http.Server{Handler: newMux(svc)}
+	srv := &http.Server{Handler: newMux(svc, *maxTimeoutMs)}
 	log.Printf("pilutd listening on %s (procs=%d workers=%d max-batch=%d)",
 		ln.Addr(), *procs, *workers, *maxBatch)
 
@@ -195,10 +266,15 @@ func main() {
 	log.Printf("pilutd: signal received, draining in-flight solves")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	// Start draining the service first so /healthz answers 503
+	// ("draining") while the HTTP server is still up finishing in-flight
+	// solves; then stop accepting connections and wait for both.
+	svcDone := make(chan error, 1)
+	go func() { svcDone <- svc.Shutdown(shutCtx) }()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("pilutd: http shutdown: %v", err)
 	}
-	if err := svc.Shutdown(shutCtx); err != nil {
+	if err := <-svcDone; err != nil {
 		log.Printf("pilutd: service shutdown: %v", err)
 	}
 	log.Printf("pilutd: bye")

@@ -36,11 +36,15 @@ const MachinePath = "repro/internal/machine"
 // analyzers treat both as the machine layer.
 const PcommPath = "repro/internal/pcomm"
 
+// FaultPath is the fault-injection layer: a pass-through Comm wrapper
+// that forwards caller-owned payloads by design, like the backends.
+const FaultPath = "repro/internal/fault"
+
 // exemptPkg reports whether path is part of the messaging layer itself
 // (the machine, the pcomm interface, or a backend), where the invariants
 // are established rather than consumed.
 func exemptPkg(path string) bool {
-	return path == MachinePath || path == PcommPath ||
+	return path == MachinePath || path == PcommPath || path == FaultPath ||
 		strings.HasPrefix(path, PcommPath+"/")
 }
 

@@ -26,6 +26,15 @@ type Options struct {
 	MISRounds int
 	// Seed drives the independent-set randomness.
 	Seed int64
+	// MaxRepairRate, when positive, arms collective numerical-breakdown
+	// detection at the end of Factor: if the global fraction of pivots
+	// that needed floor repairs exceeds it, or any non-finite value
+	// reached the factors, every processor panics with the same
+	// *BreakdownError (the decision inputs are AllGathered integers, so
+	// the check never perturbs a floating-point result). The service's
+	// recovery ladder catches it through pcomm.Guard. Zero — the default
+	// — disables the check.
+	MaxRepairRate float64
 	// Schur enables the paper's §7 future-work variant: before each
 	// independent-set level, every processor factors — sequentially and
 	// with no synchronization — the interface rows that currently couple
@@ -202,7 +211,7 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 		// indices ≥ myNew. EliminateRowSeq split at myNew, so rC holds
 		// diag + later interiors + interface columns. Cap it to M like the
 		// standard 2nd dropping rule (diagonal excluded from the cap).
-		urow, err := ilu.FactorPivotRow(myNew, rC, rV, tau, par.M, st)
+		urow, err := ilu.FactorPivotRowPerturbed(myNew, rC, rV, tau, par.M, par.PivotPerturb, st)
 		if err != nil {
 			panic(err)
 		}
@@ -329,7 +338,7 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 			}
 			g := pc.owned[li]
 			tau := par.Tau * plan.RowTau[g]
-			urow, err := ilu.FactorPivotRow(n+g, reduced[li].cols, reduced[li].vals, tau, par.M, st)
+			urow, err := ilu.FactorPivotRowPerturbed(n+g, reduced[li].cols, reduced[li].vals, tau, par.M, par.PivotPerturb, st)
 			if err != nil {
 				panic(err)
 			}
@@ -463,6 +472,9 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 
 	pc.xInt = make([]float64, nInt)
 	pc.xIface = make([]float64, plan.NInterface)
+	if opt.MaxRepairRate > 0 {
+		pc.checkBreakdown(p, opt.MaxRepairRate)
+	}
 	p.Barrier()
 	if tr.Enabled() {
 		tr.Span("factor", "finalize", tPhase2, p.Time(),

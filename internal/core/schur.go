@@ -140,7 +140,7 @@ func (pc *ProcPrecond) schurBlockRound(
 		tC, tV := translate(li)
 		lC, lV, rC, rV := ilu.EliminateRowSeq(w, myNew, tC, tV,
 			pivotFn, myOffset, myNew, tau, par.M, 0, st)
-		urow, err := ilu.FactorPivotRow(myNew, rC, rV, tau, par.M, st)
+		urow, err := ilu.FactorPivotRowPerturbed(myNew, rC, rV, tau, par.M, par.PivotPerturb, st)
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,277 @@
+// Package fault is a seeded, deterministic fault-injection layer for the
+// SPMD stack. A Spec wraps any pcomm.World so that every communicator the
+// world hands out misbehaves in a reproducible way:
+//
+//   - delay: probabilistic per-op stalls. On the modelled backend they
+//     advance the virtual clock; on the real backend they sleep wall
+//     time. Delays never change floating-point results — collectives
+//     fold in rank order regardless of arrival time — so delay-only
+//     specs are safe to run under the entire test suite (see the chaos
+//     Makefile lane).
+//   - drop: one Send of one rank is swallowed. The receiver blocks
+//     forever, which the run's watchdog converts into a deadlock dump —
+//     the fault that exercises containment of lost messages.
+//   - panic: one rank panics with *InjectedPanic at its Nth communicator
+//     operation, modelling a crashed processor mid-protocol.
+//   - pivot: Spec.PivotScale is wired (by the caller) into
+//     ilu.Params.PivotPerturb, scaling every pivot toward zero to force
+//     the pivot-repair/breakdown path in core.Factor.
+//
+// All randomness derives from Spec.Seed and the processor rank, never
+// from time or global state, so the same spec injects the same faults at
+// the same operations on every run — failures found by a chaos sweep
+// replay exactly from their seed.
+//
+// Destructive faults (drop, panic) fire once per Spec value: a service
+// holding a Spec in its Config injects the fault into one run, survives
+// it, and then must serve the follow-up request cleanly — exactly the
+// acceptance story. Call Reset to rearm.
+package fault
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar selects a fault spec for test worlds built through
+// pcomm/pcommtest and for pilutd, e.g.
+// PILUT_FAULTS="seed=7,delay=0.2@1e-5".
+const EnvVar = "PILUT_FAULTS"
+
+// Spec describes what to inject. The zero value (and a nil *Spec)
+// injects nothing.
+type Spec struct {
+	// Seed drives every random decision; per-rank generators are derived
+	// from it so injection is independent of goroutine scheduling.
+	Seed int64
+
+	// DelayProb is the per-operation probability of a delay; DelayMean
+	// is the mean delay in seconds (default 10µs when a delay spec sets
+	// only the probability).
+	DelayProb float64
+	DelayMean float64
+
+	// DropRank/DropNth: the DropNth-th Send (1-based) of rank DropRank
+	// is silently swallowed. Zero DropNth disables.
+	DropRank int
+	DropNth  int
+
+	// PanicRank/PanicNth: rank PanicRank panics with *InjectedPanic at
+	// its PanicNth-th communicator operation (1-based). Zero PanicNth
+	// disables.
+	PanicRank int
+	PanicNth  int
+
+	// PivotScale multiplies every ILUT pivot before the tiny-pivot floor
+	// check when threaded into ilu.Params.PivotPerturb (the service does
+	// this for factorization runs). A denormal scale such as 1e-320
+	// turns every pivot into a repair, tripping breakdown detection.
+	// Zero disables.
+	PivotScale float64
+
+	dropFired  atomic.Bool
+	panicFired atomic.Bool
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event records one injected fault, for determinism assertions. Seq is
+// the per-rank operation count at injection time, so sorting by
+// (Rank, Seq) yields a schedule-independent order.
+type Event struct {
+	Rank int
+	Seq  int
+	Kind string // "delay", "drop", "panic"
+	Op   string // "send", "recv", "barrier", ...
+}
+
+// InjectedPanic is the panic value of a panic fault. It is an error, so
+// errors.As finds it through pcomm.RunError.
+type InjectedPanic struct {
+	Rank int
+	Op   int
+	At   string
+}
+
+func (e *InjectedPanic) Error() string {
+	return fmt.Sprintf("fault: injected panic on proc %d at comm op %d (%s)", e.Rank, e.Op, e.At)
+}
+
+// Enabled reports whether the spec injects anything.
+func (s *Spec) Enabled() bool {
+	if s == nil {
+		return false
+	}
+	return s.DelayProb > 0 || s.DropNth > 0 || s.PanicNth > 0 || s.PivotScale != 0
+}
+
+// Parse decodes a spec string: comma- or semicolon-separated clauses
+//
+//	seed=N            RNG seed (default 1)
+//	delay=P[@MEAN]    delay probability, optional mean seconds
+//	drop=RANK@NTH     swallow rank's NTH send
+//	panic=RANK@NTH    panic rank at its NTH comm op
+//	pivot=SCALE       pivot perturbation factor
+//
+// An empty string parses to a disabled spec.
+func Parse(text string) (*Spec, error) {
+	s := &Spec{Seed: 1, DelayMean: 1e-5}
+	for _, clause := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ';' }) {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: seed %q: %v", val, err)
+			}
+			s.Seed = n
+		case "delay":
+			prob, mean, err := probAt(val, s.DelayMean)
+			if err != nil {
+				return nil, fmt.Errorf("fault: delay %q: %v", val, err)
+			}
+			s.DelayProb, s.DelayMean = prob, mean
+		case "drop":
+			rank, nth, err := rankAt(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: drop %q: %v", val, err)
+			}
+			s.DropRank, s.DropNth = rank, nth
+		case "panic":
+			rank, nth, err := rankAt(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: panic %q: %v", val, err)
+			}
+			s.PanicRank, s.PanicNth = rank, nth
+		case "pivot":
+			scale, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: pivot %q: %v", val, err)
+			}
+			s.PivotScale = scale
+		default:
+			return nil, fmt.Errorf("fault: unknown clause %q", key)
+		}
+	}
+	return s, nil
+}
+
+func probAt(val string, defMean float64) (prob, mean float64, err error) {
+	probStr, meanStr, has := strings.Cut(val, "@")
+	prob, err = strconv.ParseFloat(probStr, 64)
+	if err != nil || prob < 0 || prob > 1 {
+		return 0, 0, fmt.Errorf("probability %q must be in [0,1]", probStr)
+	}
+	mean = defMean
+	if has {
+		mean, err = strconv.ParseFloat(meanStr, 64)
+		if err != nil || mean <= 0 {
+			return 0, 0, fmt.Errorf("mean %q must be a positive duration in seconds", meanStr)
+		}
+	}
+	return prob, mean, nil
+}
+
+func rankAt(val string) (rank, nth int, err error) {
+	rankStr, nthStr, has := strings.Cut(val, "@")
+	if !has {
+		return 0, 0, fmt.Errorf("want RANK@NTH, got %q", val)
+	}
+	rank, err = strconv.Atoi(rankStr)
+	if err != nil || rank < 0 {
+		return 0, 0, fmt.Errorf("rank %q must be a non-negative integer", rankStr)
+	}
+	nth, err = strconv.Atoi(nthStr)
+	if err != nil || nth < 1 {
+		return 0, 0, fmt.Errorf("nth %q must be a positive integer", nthStr)
+	}
+	return rank, nth, nil
+}
+
+// FromEnv parses PILUT_FAULTS. An unset or empty variable yields a nil
+// spec (inject nothing).
+func FromEnv() (*Spec, error) {
+	text := os.Getenv(EnvVar)
+	if text == "" {
+		return nil, nil
+	}
+	s, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// String renders the spec back into Parse's grammar.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("seed=%d", s.Seed)}
+	if s.DelayProb > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g@%g", s.DelayProb, s.DelayMean))
+	}
+	if s.DropNth > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%d@%d", s.DropRank, s.DropNth))
+	}
+	if s.PanicNth > 0 {
+		parts = append(parts, fmt.Sprintf("panic=%d@%d", s.PanicRank, s.PanicNth))
+	}
+	if s.PivotScale != 0 {
+		parts = append(parts, fmt.Sprintf("pivot=%g", s.PivotScale))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Reset rearms one-shot faults and clears the event log, so one Spec can
+// drive repeated identical runs in determinism tests.
+func (s *Spec) Reset() {
+	if s == nil {
+		return
+	}
+	s.dropFired.Store(false)
+	s.panicFired.Store(false)
+	s.mu.Lock()
+	s.events = nil
+	s.mu.Unlock()
+}
+
+// Events returns the injected-fault log sorted by (Rank, Seq) — a
+// schedule-independent order, equal across same-seed runs.
+func (s *Spec) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := append([]Event(nil), s.events...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+func (s *Spec) record(rank, seq int, kind, op string) {
+	s.mu.Lock()
+	s.events = append(s.events, Event{Rank: rank, Seq: seq, Kind: kind, Op: op})
+	s.mu.Unlock()
+}
+
+func (s *Spec) fireDrop() bool  { return s.dropFired.CompareAndSwap(false, true) }
+func (s *Spec) firePanic() bool { return s.panicFired.CompareAndSwap(false, true) }

@@ -21,6 +21,13 @@ type Params struct {
 	// ILUT (reduced rows bounded only by the threshold). K only affects
 	// the two-phase/reduced-matrix driver, not the plain serial ILUT.
 	K int
+	// PivotPerturb, when nonzero, multiplies every computed pivot before
+	// the tiny-pivot floor check. It exists for the fault-injection layer
+	// (internal/fault, Spec.PivotScale): a denormal factor such as 1e-320
+	// deterministically turns every pivot into a repair, driving the
+	// breakdown-detection and recovery-ladder paths. Zero — the default,
+	// and the only production value — is bitwise inert.
+	PivotPerturb float64
 }
 
 // Validate reports configuration errors.
@@ -156,6 +163,9 @@ func ILUT(a *sparse.CSR, p Params) (*Factors, Stats, error) {
 		// Store the diagonal first for O(1) pivot access; the remaining
 		// upper entries follow in increasing column order.
 		d := w.Get(i)
+		if p.PivotPerturb != 0 {
+			d *= p.PivotPerturb
+		}
 		if math.Abs(d) < pivotFloor(tau)*1e-3 || d == 0 {
 			if d >= 0 {
 				d = pivotFloor(tau)

@@ -42,6 +42,14 @@ func BytesOfURows(rows []URow) int {
 // threshold tau are dropped and at most m off-diagonal entries survive.
 // cols/vals must contain the diagonal position i.
 func FactorPivotRow(i int, cols []int, vals []float64, tau float64, m int, st *Stats) (URow, error) {
+	return FactorPivotRowPerturbed(i, cols, vals, tau, m, 0, st)
+}
+
+// FactorPivotRowPerturbed is FactorPivotRow with the fault-injection
+// pivot perturbation of Params.PivotPerturb applied before the tiny-pivot
+// repair check; perturb 0 disables it and is bitwise identical to
+// FactorPivotRow.
+func FactorPivotRowPerturbed(i int, cols []int, vals []float64, tau float64, m int, perturb float64, st *Stats) (URow, error) {
 	r := URow{Col: i}
 	found := false
 	type ent struct {
@@ -64,6 +72,9 @@ func FactorPivotRow(i int, cols []int, vals []float64, tau float64, m int, st *S
 	}
 	if !found {
 		return r, fmt.Errorf("ilu: pivot row %d has no diagonal entry", i)
+	}
+	if perturb != 0 {
+		r.Diag *= perturb
 	}
 	if r.Diag == 0 || math.Abs(r.Diag) < 1e-300 {
 		if r.Diag >= 0 {

@@ -1,10 +1,13 @@
 package machine
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/pcomm"
 )
 
 // A Machine is single-use: rendezvous buffers, mailboxes and failure
@@ -41,7 +44,9 @@ func TestRunReusePanicsAfterFailure(t *testing.T) {
 
 // A panic on one processor must carry its original value out of Run even
 // when the other processors are parked in a collective (not just in Recv,
-// which TestPanicPropagation covers).
+// which TestPanicPropagation covers). Run wraps it in a *pcomm.RunError
+// naming the failing rank, with its stack trace and a blocked-state dump
+// of the siblings it stranded.
 func TestPanicUnblocksCollective(t *testing.T) {
 	m := New(4, Zero())
 	defer func() {
@@ -49,8 +54,21 @@ func TestPanicUnblocksCollective(t *testing.T) {
 		if r == nil {
 			t.Fatal("expected panic to propagate from Run")
 		}
-		if s, ok := r.(string); !ok || s != "boom" {
-			t.Fatalf("root cause lost: got %v, want \"boom\"", r)
+		re, ok := r.(*pcomm.RunError)
+		if !ok {
+			t.Fatalf("expected *pcomm.RunError, got %T: %v", r, r)
+		}
+		if re.Rank != 3 || re.Cause != any("boom") {
+			t.Fatalf("root cause lost: rank=%d cause=%v, want rank 3 cause \"boom\"", re.Rank, re.Cause)
+		}
+		if !strings.Contains(re.Stack, "TestPanicUnblocksCollective") {
+			t.Errorf("stack trace does not name the panicking frame:\n%s", re.Stack)
+		}
+		// The dump is a best-effort snapshot at failure time (siblings
+		// may not have parked yet); it must at least cover every rank
+		// and embed the root-cause stack.
+		if !strings.Contains(re.Dump, "P=4 processors") || !strings.Contains(re.Dump, "root-cause stack (proc 3)") {
+			t.Errorf("dump missing processor table or stack section:\n%s", re.Dump)
 		}
 	}()
 	m.Run(func(p *Proc) {
@@ -70,8 +88,8 @@ func TestCollectiveMismatchReportsOps(t *testing.T) {
 		if r == nil {
 			t.Fatal("expected collective mismatch panic")
 		}
-		msg, ok := r.(string)
-		if !ok || !strings.Contains(msg, "collective mismatch") {
+		re, ok := r.(*pcomm.RunError)
+		if !ok || !strings.Contains(fmt.Sprint(re.Cause), "collective mismatch") {
 			t.Fatalf("unexpected panic value: %v", r)
 		}
 	}()
@@ -89,9 +107,16 @@ func TestWatchdogRecvDeadlockDump(t *testing.T) {
 	m.SetWatchdog(50 * time.Millisecond)
 	defer func() {
 		r := recover()
-		de, ok := r.(*DeadlockError)
+		re, ok := r.(*pcomm.RunError)
 		if !ok {
-			t.Fatalf("expected *DeadlockError, got %v", r)
+			t.Fatalf("expected *pcomm.RunError, got %v", r)
+		}
+		de, ok := re.Cause.(*DeadlockError)
+		if !ok {
+			t.Fatalf("expected *DeadlockError cause, got %v", re.Cause)
+		}
+		if re.Rank != -1 {
+			t.Errorf("watchdog failure blames rank %d, want -1 (no single culprit)", re.Rank)
 		}
 		for _, want := range []string{
 			"proc 0: blocked in Recv(src=1, tag=7)",
@@ -120,9 +145,13 @@ func TestWatchdogCollectiveDeadlockDump(t *testing.T) {
 	m.SetWatchdog(50 * time.Millisecond)
 	defer func() {
 		r := recover()
-		de, ok := r.(*DeadlockError)
+		re, ok := r.(*pcomm.RunError)
 		if !ok {
-			t.Fatalf("expected *DeadlockError, got %v", r)
+			t.Fatalf("expected *pcomm.RunError, got %v", r)
+		}
+		de, ok := re.Cause.(*DeadlockError)
+		if !ok {
+			t.Fatalf("expected *DeadlockError cause, got %v", re.Cause)
 		}
 		if !strings.Contains(de.Dump, `waiting in collective "barrier" (2 of 3 arrived)`) {
 			t.Errorf("dump missing collective wait:\n%s", de.Dump)

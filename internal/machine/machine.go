@@ -16,6 +16,7 @@ package machine
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -95,7 +96,10 @@ type Machine struct {
 	rvTimes  []float64
 	rvResult *rvResult
 
-	failed any
+	failed    any
+	failRank  int    // root-cause rank, -1 when none (watchdog)
+	failStack string // panicking goroutine's stack, "" for watchdog
+	failDump  string // blocked-state table at failure time
 
 	started  bool          // set by Run; a Machine is single-use
 	procs    []*Proc       // the run's processors, for the watchdog dump
@@ -168,8 +172,10 @@ type blockedState struct {
 
 // Run executes f on every processor concurrently and returns once all have
 // finished. If any processor panics, the panic value is captured, all
-// blocked processors are woken with the same failure, and Run re-panics
-// with the original value. Run may be called at most once per Machine.
+// blocked processors are woken with the same failure, and Run panics with
+// a *pcomm.RunError carrying the failing rank, its stack trace, the root
+// panic value, and a blocked-state dump of the other processors. Run may
+// be called at most once per Machine.
 func (m *Machine) Run(f func(*Proc)) Result {
 	m.mu.Lock()
 	if m.started {
@@ -194,7 +200,14 @@ func (m *Machine) Run(f func(*Proc)) Result {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					m.fail(r)
+					if _, secondary := r.(procAbort); secondary {
+						m.fail(r)
+						return
+					}
+					// debug.Stack() inside a deferred recover still sees
+					// the panicking frames: defers run before the stack
+					// unwinds, so the trace names the real culprit.
+					m.failProc(p.id, r, string(debug.Stack()))
 				}
 			}()
 			f(p)
@@ -203,12 +216,13 @@ func (m *Machine) Run(f func(*Proc)) Result {
 	wg.Wait()
 	m.mu.Lock()
 	failed := m.failed
+	rank, stack, dump := m.failRank, m.failStack, m.failDump
 	m.mu.Unlock()
 	if failed != nil {
 		if abort, ok := failed.(procAbort); ok {
 			failed = abort.cause
 		}
-		panic(failed)
+		panic(&pcomm.RunError{Backend: "modelled", Rank: rank, Cause: failed, Stack: stack, Dump: dump})
 	}
 	res := Result{PerProc: make([]Stats, m.P)}
 	for i, p := range procs {
@@ -225,6 +239,25 @@ func (m *Machine) fail(cause any) {
 	m.mu.Lock()
 	if m.failed == nil {
 		m.failed = cause
+	}
+	m.wakeAllLocked()
+	m.mu.Unlock()
+}
+
+// failProc records a root-cause processor failure: the rank, its stack
+// trace, and a blocked-state snapshot of every other processor at the
+// moment of death. Only the first failure wins; secondary procAbort
+// unwinds go through fail and never overwrite these fields.
+func (m *Machine) failProc(rank int, cause any, stack string) {
+	m.mu.Lock()
+	if m.failed == nil {
+		m.failed = cause
+		m.failRank = rank
+		m.failStack = stack
+		m.failDump = m.dumpLocked()
+		if stack != "" {
+			m.failDump += fmt.Sprintf("\nroot-cause stack (proc %d):\n%s", rank, stack)
+		}
 	}
 	m.wakeAllLocked()
 	m.mu.Unlock()

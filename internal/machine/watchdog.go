@@ -52,7 +52,10 @@ func (m *Machine) startWatchdog() func() {
 		case <-t.C:
 			m.mu.Lock()
 			if m.failed == nil {
-				m.failed = &DeadlockError{Timeout: m.watchdog, Dump: m.dumpLocked()}
+				de := &DeadlockError{Timeout: m.watchdog, Dump: m.dumpLocked()}
+				m.failed = de
+				m.failRank = -1
+				m.failDump = de.Dump
 				m.wakeAllLocked()
 			}
 			m.mu.Unlock()

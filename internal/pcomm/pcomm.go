@@ -146,7 +146,9 @@ type World interface {
 	NumProcs() int
 	// Run executes f on every processor concurrently and returns once all
 	// have finished. If any processor panics, all blocked processors are
-	// woken and Run re-panics with the original value.
+	// woken and Run panics with a *RunError carrying the failing rank,
+	// root cause, stack trace and blocked-state dump; catch it with
+	// Guard to contain the failure to this run.
 	Run(f func(Comm)) Result
 	// SetWatchdog arms a per-Run deadlock timeout. Must be called before
 	// Run; d ≤ 0 disables the watchdog.

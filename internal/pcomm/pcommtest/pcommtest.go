@@ -1,13 +1,17 @@
 // Package pcommtest builds worlds for tests. New honors $PILUT_BACKEND
 // so the whole tier-1 suite can run against either backend (CI runs the
-// matrix); tests that assert modelled virtual-time numbers should call
-// machine.New directly instead.
+// matrix), and $PILUT_FAULTS so the chaos lane can replay the entire
+// suite under deterministic fault injection (delay-only specs keep every
+// numerical assertion valid — see internal/fault). Tests that assert
+// modelled virtual-time numbers should call machine.New directly
+// instead.
 package pcommtest
 
 import (
 	"os"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/pcomm"
 	"repro/internal/pcomm/backend"
@@ -24,12 +28,18 @@ func Backend() string {
 
 // New creates a world with p processors using the backend selected by
 // $PILUT_BACKEND, failing the test on an unknown kind. cost applies to
-// the modelled backend only.
+// the modelled backend only. When $PILUT_FAULTS is set, the world is
+// wrapped in the fault-injection layer with a fresh spec per call so
+// one-shot faults rearm for every test.
 func New(t testing.TB, p int, cost machine.CostModel) pcomm.World {
 	t.Helper()
 	w, err := backend.FromEnv(p, cost)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return w
+	spec, err := fault.FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.World(w)
 }

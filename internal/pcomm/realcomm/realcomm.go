@@ -18,6 +18,7 @@ package realcomm
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -127,6 +128,9 @@ type World struct {
 
 	failMu    sync.Mutex
 	failCause any
+	failRank  int    // root-cause rank, -1 when none (watchdog)
+	failStack string // panicking goroutine's stack, "" for watchdog
+	failDump  string // blocked-state table at failure time
 	failCh    chan struct{}
 
 	mu       sync.Mutex
@@ -193,9 +197,23 @@ func (w *World) SetRecorder(r *trace.Recorder) {
 type procAbort struct{ cause any }
 
 func (w *World) fail(cause any) {
+	w.failProc(-1, cause, "")
+}
+
+// failProc records the root failure cause with its rank and stack trace
+// and poisons failCh, waking every processor parked in a mailbox receive
+// or barrier wait so siblings unwind promptly. Only the first failure
+// wins; the blocked-state dump is snapshotted at that moment.
+func (w *World) failProc(rank int, cause any, stack string) {
 	w.failMu.Lock()
 	if w.failCause == nil {
 		w.failCause = cause
+		w.failRank = rank
+		w.failStack = stack
+		w.failDump = w.dump()
+		if stack != "" {
+			w.failDump += fmt.Sprintf("\nroot-cause stack (proc %d):\n%s", rank, stack)
+		}
 		close(w.failCh)
 	}
 	w.failMu.Unlock()
@@ -252,7 +270,15 @@ func (w *World) Run(f func(pcomm.Comm)) pcomm.Result {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					w.fail(r)
+					if _, secondary := r.(procAbort); secondary {
+						w.fail(r)
+						return
+					}
+					// Capturing the stack inside the deferred recover
+					// preserves the panicking frames: defers run before
+					// the stack unwinds, so the trace survives into the
+					// fail-channel payload and the RunError.
+					w.failProc(p.id, r, string(debug.Stack()))
 				}
 			}()
 			f(p)
@@ -263,12 +289,13 @@ func (w *World) Run(f func(pcomm.Comm)) pcomm.Result {
 
 	w.failMu.Lock()
 	failed := w.failCause
+	rank, stack, dump := w.failRank, w.failStack, w.failDump
 	w.failMu.Unlock()
 	if failed != nil {
 		if abort, ok := failed.(procAbort); ok {
 			failed = abort.cause
 		}
-		panic(failed)
+		panic(&pcomm.RunError{Backend: "real", Rank: rank, Cause: failed, Stack: stack, Dump: dump})
 	}
 	res := pcomm.Result{PerProc: make([]pcomm.Stats, w.p)}
 	for i, p := range w.procs {

@@ -159,8 +159,20 @@ func TestCollectiveMismatchPanics(t *testing.T) {
 func TestPanicPropagatesRootCause(t *testing.T) {
 	defer func() {
 		r := recover()
-		if r != "boom on proc 1" {
-			t.Fatalf("recover() = %v, want original panic value", r)
+		re, ok := r.(*pcomm.RunError)
+		if !ok {
+			t.Fatalf("recover() = %v (%T), want *pcomm.RunError", r, r)
+		}
+		if re.Rank != 1 || re.Cause != any("boom on proc 1") {
+			t.Fatalf("root cause lost: rank=%d cause=%v", re.Rank, re.Cause)
+		}
+		// The fail-channel payload must preserve the panicking
+		// goroutine's stack, and the dump must embed it.
+		if !strings.Contains(re.Stack, "TestPanicPropagatesRootCause") {
+			t.Errorf("stack trace does not name the panicking frame:\n%s", re.Stack)
+		}
+		if !strings.Contains(re.Dump, "root-cause stack (proc 1)") {
+			t.Errorf("dump missing root-cause stack section:\n%s", re.Dump)
 		}
 	}()
 	w := New(3)
@@ -175,9 +187,16 @@ func TestPanicPropagatesRootCause(t *testing.T) {
 func TestWatchdogDeadlock(t *testing.T) {
 	defer func() {
 		r := recover()
-		de, ok := r.(*DeadlockError)
+		re, ok := r.(*pcomm.RunError)
 		if !ok {
-			t.Fatalf("recover() = %v (%T), want *DeadlockError", r, r)
+			t.Fatalf("recover() = %v (%T), want *pcomm.RunError", r, r)
+		}
+		de, ok := re.Cause.(*DeadlockError)
+		if !ok {
+			t.Fatalf("cause = %v (%T), want *DeadlockError", re.Cause, re.Cause)
+		}
+		if re.Rank != -1 {
+			t.Errorf("watchdog failure blames rank %d, want -1", re.Rank)
 		}
 		if !strings.Contains(de.Dump, "Recv(src=1, tag=5)") {
 			t.Errorf("dump missing blocked Recv state:\n%s", de.Dump)

@@ -2,14 +2,9 @@ package service
 
 import (
 	"container/list"
-	"fmt"
-	"time"
 
-	"repro/internal/core"
 	"repro/internal/dist"
-	"repro/internal/graph"
-	"repro/internal/partition"
-	"repro/internal/pcomm"
+	"repro/internal/krylov"
 	"repro/internal/sparse"
 )
 
@@ -43,6 +38,15 @@ func (s *matrixStore) get(key string) (*sparse.CSR, bool) {
 
 func (s *matrixStore) len() int { return len(s.byKey) }
 
+// precPiece is one virtual processor's preconditioner piece: anything
+// krylov can apply that also reports its memory footprint for the cache
+// byte budget. core.ProcPrecond (the normal and ladder-retry rungs) and
+// core.BlockJacobi (the final fallback rung) both satisfy it.
+type precPiece interface {
+	krylov.DistPreconditioner
+	SizeBytes() int64
+}
+
 // entry is one cached factorization: the elimination plan plus every
 // virtual processor's preconditioner piece and ghost-exchange plan, all
 // built in a single machine run. Entries are immutable once published;
@@ -53,12 +57,19 @@ type entry struct {
 	key  string
 	a    *sparse.CSR
 	lay  *dist.Layout
-	pcs  []*core.ProcPrecond
+	pcs  []precPiece
 	mats []*dist.Matrix
 
 	bytes         int64
 	levels        int
 	factorSeconds float64 // modelled machine seconds of the factorization
+
+	// degraded marks an entry built by a recovery-ladder rung rather
+	// than the configured factorization; ladderStep names the rung
+	// ("shift", "relaxed", "blockjacobi"). Solves through a degraded
+	// entry carry the flag in their SolveResult.
+	degraded   bool
+	ladderStep string
 
 	elem *list.Element
 }
@@ -135,61 +146,4 @@ func (c *factorCache) snapshot() CacheStats {
 		Evictions:      c.evictions,
 		Factorizations: c.factorizations,
 	}
-}
-
-// buildEntry partitions, plans and factors a on cfg.Procs virtual
-// processors and constructs the distributed matrix views the solves will
-// use. It runs on a worker goroutine with no locks held. A failed
-// factorization (for example a structurally zero pivot) surfaces as an
-// error, not a panic.
-func buildEntry(key string, a *sparse.CSR, cfg Config) (ent *entry, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			ent = nil
-			err = fmt.Errorf("service: factorization of %s failed: %v", key, r)
-		}
-	}()
-
-	g := graph.FromMatrix(a)
-	part := partition.KWay(g, cfg.Procs, partition.Options{Seed: cfg.Seed})
-	lay, lerr := dist.NewLayout(a.N, cfg.Procs, part)
-	if lerr != nil {
-		return nil, fmt.Errorf("service: layout for %s: %w", key, lerr)
-	}
-	plan, perr := core.NewPlan(a, lay)
-	if perr != nil {
-		return nil, fmt.Errorf("service: elimination plan for %s: %w", key, perr)
-	}
-
-	ent = &entry{
-		key:  key,
-		a:    a,
-		lay:  lay,
-		pcs:  make([]*core.ProcPrecond, cfg.Procs),
-		mats: make([]*dist.Matrix, cfg.Procs),
-	}
-	m := cfg.mustWorld()
-	m.SetWatchdog(2 * time.Minute)
-	rec := newRunRecorder(cfg)
-	if rec != nil {
-		m.SetRecorder(rec)
-	}
-	res := m.Run(func(proc pcomm.Comm) {
-		ent.pcs[proc.ID()] = core.Factor(proc, plan, core.Options{
-			Params:    cfg.Params,
-			MISRounds: cfg.MISRounds,
-			Seed:      cfg.Seed,
-		})
-		ent.mats[proc.ID()] = dist.NewMatrix(proc, lay, a)
-	})
-	writeRunTrace(cfg.TraceDir, "factor", key, rec)
-	ent.factorSeconds = res.Elapsed
-	ent.levels = ent.pcs[0].NumLevels()
-
-	ent.bytes = a.SizeBytes()
-	for q := 0; q < cfg.Procs; q++ {
-		ent.bytes += ent.pcs[q].SizeBytes()
-		ent.bytes += ent.mats[q].SizeBytes()
-	}
-	return ent, nil
 }

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/sparse"
+)
+
+// The recovery ladder, climbed one rung per *core.BreakdownError. The
+// empty rung is the configured factorization; each later rung trades
+// preconditioner quality for robustness, ending at block-Jacobi — a
+// zero-communication factorization of diagonally shifted local blocks
+// whose pivot floor cannot cascade, the containment floor that always
+// produces *some* usable preconditioner. Any failure that is not a
+// breakdown (a panicked processor, a watchdog deadlock) aborts the climb
+// immediately: retrying cannot help and the caller needs the real error.
+var ladderRungs = []string{"", "shift", "relaxed", "blockjacobi"}
+
+// buildEntry partitions, plans and factors a on cfg.Procs virtual
+// processors, climbing the recovery ladder on numerical breakdown when
+// cfg.DisableLadder is unset. It runs on a worker goroutine with no
+// locks held. Any failed factorization surfaces as an error, never a
+// panic or a process death.
+func buildEntry(key string, a *sparse.CSR, cfg Config, st *statsCollector) (ent *entry, err error) {
+	// The serial phases (graph, partition, plan, diagonal shift) can
+	// panic on a malformed matrix; pcomm.Guard only covers the machine
+	// run, so catch those here and surface an error.
+	defer func() {
+		if r := recover(); r != nil {
+			ent = nil
+			err = fmt.Errorf("service: factorization of %s failed: %v", key, r)
+		}
+	}()
+
+	g := graph.FromMatrix(a)
+	part := partition.KWay(g, cfg.Procs, partition.Options{Seed: cfg.Seed})
+	lay, lerr := dist.NewLayout(a.N, cfg.Procs, part)
+	if lerr != nil {
+		return nil, fmt.Errorf("service: layout for %s: %w", key, lerr)
+	}
+
+	rungs := ladderRungs
+	if cfg.DisableLadder {
+		rungs = rungs[:1]
+	}
+	var lastErr error
+	for i, step := range rungs {
+		ent, err := buildRung(key, a, lay, cfg, step)
+		if err == nil {
+			ent.degraded = step != ""
+			ent.ladderStep = step
+			return ent, nil
+		}
+		lastErr = err
+		var bd *core.BreakdownError
+		if !errors.As(err, &bd) {
+			return nil, err
+		}
+		if i < len(rungs)-1 {
+			st.ladderRetry()
+		}
+	}
+	return nil, fmt.Errorf("service: recovery ladder exhausted for %s: %w", key, lastErr)
+}
+
+// buildRung runs one ladder rung. The preconditioner is factored from
+// the rung's (possibly shifted) matrix, but the distributed operator the
+// solves apply is always the original a — a degraded preconditioner must
+// never change which system is being solved.
+func buildRung(key string, a *sparse.CSR, lay *dist.Layout, cfg Config, step string) (*entry, error) {
+	params := cfg.Params
+	if cfg.Faults != nil {
+		params.PivotPerturb = cfg.Faults.PivotScale
+	}
+	prem := a
+	maxRepair := cfg.MaxRepairRate
+	switch step {
+	case "shift":
+		prem = shiftDiagonal(a, shiftAlpha(a))
+	case "relaxed":
+		params.Tau /= 10
+		if params.M > 0 {
+			params.M *= 2
+		}
+	case "blockjacobi":
+		// The containment floor must terminate even under a persistent
+		// injected pivot fault: the fault targets the distributed
+		// pivot-row pipeline, so the local-block fallback runs
+		// unperturbed and without the breakdown check (its pivot floor
+		// repairs locally and cannot cascade across processors).
+		params.PivotPerturb = 0
+		maxRepair = 0
+	}
+
+	ent := &entry{
+		key:  key,
+		a:    a,
+		lay:  lay,
+		pcs:  make([]precPiece, cfg.Procs),
+		mats: make([]*dist.Matrix, cfg.Procs),
+	}
+	plan, perr := core.NewPlan(prem, lay)
+	if perr != nil {
+		return nil, fmt.Errorf("service: elimination plan for %s: %w", key, perr)
+	}
+
+	m := cfg.mustWorld()
+	m.SetWatchdog(cfg.Watchdog)
+	rec := newRunRecorder(cfg)
+	if rec != nil {
+		m.SetRecorder(rec)
+	}
+	bjErrs := make([]error, cfg.Procs)
+	res, runErr := pcomm.Guard(m, func(proc pcomm.Comm) {
+		if step == "blockjacobi" {
+			bj, err := core.FactorBlockJacobi(proc, plan, params)
+			if err != nil {
+				bjErrs[proc.ID()] = err
+				return
+			}
+			ent.pcs[proc.ID()] = bj
+		} else {
+			ent.pcs[proc.ID()] = core.Factor(proc, plan, core.Options{
+				Params:        params,
+				MISRounds:     cfg.MISRounds,
+				Seed:          cfg.Seed,
+				MaxRepairRate: maxRepair,
+			})
+		}
+		ent.mats[proc.ID()] = dist.NewMatrix(proc, lay, a)
+	})
+	writeRunTrace(cfg.TraceDir, "factor", key, rec)
+	if runErr != nil {
+		return nil, fmt.Errorf("service: factorization of %s failed: %w", key, runErr)
+	}
+	for _, err := range bjErrs {
+		if err != nil {
+			return nil, fmt.Errorf("service: factorization of %s failed: %w", key, err)
+		}
+	}
+	ent.factorSeconds = res.Elapsed
+	if pp, ok := ent.pcs[0].(*core.ProcPrecond); ok {
+		ent.levels = pp.NumLevels()
+	}
+
+	ent.bytes = a.SizeBytes()
+	for q := 0; q < cfg.Procs; q++ {
+		ent.bytes += ent.pcs[q].SizeBytes()
+		ent.bytes += ent.mats[q].SizeBytes()
+	}
+	return ent, nil
+}
+
+// shiftAlpha picks the diagonal shift: one percent of the largest
+// diagonal magnitude, falling back to the largest entry magnitude and
+// finally to 1 for a pathologically zero matrix.
+func shiftAlpha(a *sparse.CSR) float64 {
+	var maxDiag, maxAll float64
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			v := math.Abs(vals[k])
+			if v > maxAll {
+				maxAll = v
+			}
+			if j == i && v > maxDiag {
+				maxDiag = v
+			}
+		}
+	}
+	switch {
+	case maxDiag > 0:
+		return 1e-2 * maxDiag
+	case maxAll > 0:
+		return 1e-2 * maxAll
+	default:
+		return 1
+	}
+}
+
+// shiftDiagonal returns a + alpha·I, creating diagonal entries where the
+// pattern lacks them. Only the ladder's preconditioner sees the shifted
+// matrix; the solve operator stays the original a.
+func shiftDiagonal(a *sparse.CSR, alpha float64) *sparse.CSR {
+	b := sparse.NewBuilder(a.N, a.M)
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		diagSeen := false
+		for k, j := range cols {
+			v := vals[k]
+			if j == i {
+				v += alpha
+				diagSeen = true
+			}
+			b.Add(i, j, v)
+		}
+		if !diagSeen {
+			b.Add(i, i, alpha)
+		}
+	}
+	return b.Build()
+}

@@ -39,6 +39,12 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	inflight := v.Requests - v.Completed - v.Canceled - v.Errors
 	mw.gauge("pilut_solve_inflight", "Accepted solve requests not yet answered.", float64(inflight))
 
+	mw.counter("pilut_solve_shed_total", "Solve requests rejected because the bounded queue was full.", float64(v.Shed))
+	mw.counter("pilut_solve_breaker_rejected_total", "Solve requests bounced off an open circuit breaker.", float64(v.BreakerRejected))
+	mw.counter("pilut_ladder_retries_total", "Recovery-ladder rung climbs after numerical breakdown.", float64(v.LadderRetries))
+	mw.counter("pilut_solve_degraded_total", "Solves answered through a degraded (ladder-built) preconditioner.", float64(v.Degraded))
+	mw.gauge("pilut_breaker_open_keys", "Matrix keys whose circuit breaker is currently open.", float64(len(s.Health().BreakerOpenKeys)))
+
 	mw.counter("pilut_solve_batches_total", "Machine runs executed (one per batch).", float64(v.Batches))
 	mw.counter("pilut_solve_batched_rhs_total", "Right-hand sides solved across all batches.", float64(v.BatchedRHS))
 	mw.gauge("pilut_solve_max_batch", "Largest batch coalesced so far.", float64(v.MaxBatch))

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ilu"
 	"repro/internal/krylov"
 	"repro/internal/machine"
@@ -30,7 +31,43 @@ var (
 	ErrUnknownMatrix = errors.New("service: unknown matrix key")
 	// ErrClosed is returned for requests arriving after Shutdown began.
 	ErrClosed = errors.New("service: server is shutting down")
+	// ErrOverloaded is the load-shedding sentinel: the bounded request
+	// queue is full. Match the *OverloadedError for the retry hint.
+	ErrOverloaded = errors.New("service: request queue full")
+	// ErrBreakerOpen is the circuit-breaker sentinel: this matrix key
+	// keeps failing and is short-circuited until a cooldown expires.
+	// Match the *BreakerOpenError for the retry hint.
+	ErrBreakerOpen = errors.New("service: circuit breaker open for matrix")
 )
+
+// OverloadedError is the shed verdict of the bounded request queue;
+// RetryAfter is the client back-off hint (pilutd turns it into a 429
+// with a Retry-After header).
+type OverloadedError struct {
+	QueueDepth int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("service: request queue full (%d queued), retry in %v", e.QueueDepth, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// BreakerOpenError rejects a request for a key whose circuit breaker is
+// open; RetryAfter is the cooldown remaining until the next probe.
+type BreakerOpenError struct {
+	Key        string
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("service: circuit breaker open for matrix %s, retry in %v", e.Key, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrBreakerOpen) match.
+func (e *BreakerOpenError) Is(target error) bool { return target == ErrBreakerOpen }
 
 // Config configures a Server. The zero value of every field selects a
 // sensible default.
@@ -64,17 +101,43 @@ type Config struct {
 	// factorizations and solve-<key>-<stamp>.json for solve batches. Empty
 	// (the default) attaches no recorder, so runs pay no tracing cost.
 	TraceDir string
+	// Faults, when non-nil, wraps every run's world with the
+	// deterministic fault-injection layer (internal/fault) and threads
+	// Faults.PivotScale into the factorization's pivot perturbation.
+	// Production servers leave it nil; chaos tests and the PILUT_FAULTS
+	// environment drive it.
+	Faults *fault.Spec
+	// MaxQueue bounds the accepted-but-not-yet-running solve requests;
+	// beyond it Solve sheds load with an *OverloadedError. Default 1024.
+	MaxQueue int
+	// Watchdog is the per-run deadlock timeout of every factorization
+	// and solve run. Default 2 minutes.
+	Watchdog time.Duration
+	// BreakerFailures is the consecutive-failure count that opens a
+	// matrix key's circuit breaker; BreakerCooldown is how long it stays
+	// open before one probe request is admitted. Defaults 3 and 30s.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// MaxRepairRate is the global pivot-repair rate above which a
+	// factorization is declared broken down (see core.Options). Default
+	// 0.25; negative disables breakdown detection.
+	MaxRepairRate float64
+	// DisableLadder turns off the breakdown recovery ladder (diagonal
+	// shift → relaxed parameters → block-Jacobi): breakdowns then fail
+	// the request instead of degrading it.
+	DisableLadder bool
 }
 
-// mustWorld builds one backend world for a factorization or solve run.
-// New validates cfg.Backend, so an unknown kind here cannot happen for a
+// mustWorld builds one backend world for a factorization or solve run,
+// wrapped in the fault-injection layer when Config.Faults is set. New
+// validates cfg.Backend, so an unknown kind here cannot happen for a
 // server built through New.
 func (c Config) mustWorld() pcomm.World {
 	w, err := backend.New(c.Backend, c.Procs, c.Cost)
 	if err != nil {
 		panic(err)
 	}
-	return w
+	return c.Faults.World(w)
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +155,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	if c.Watchdog <= 0 {
+		c.Watchdog = 2 * time.Minute
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	switch {
+	case c.MaxRepairRate == 0:
+		c.MaxRepairRate = 0.25
+	case c.MaxRepairRate < 0:
+		c.MaxRepairRate = 0 // disables the check in core.Factor
 	}
 	return c
 }
@@ -118,6 +199,11 @@ type SolveResult struct {
 	// ModelledSeconds is the virtual machine time of the run (shared by
 	// the whole batch), excluding factorization.
 	ModelledSeconds float64 `json:"modelled_seconds"`
+	// Degraded marks a solve answered through a recovery-ladder
+	// preconditioner instead of the configured factorization;
+	// LadderStep names the rung ("shift", "relaxed", "blockjacobi").
+	Degraded   bool   `json:"degraded,omitempty"`
+	LadderStep string `json:"ladder_step,omitempty"`
 }
 
 type outcome struct {
@@ -144,9 +230,11 @@ type Server struct {
 	cond      *sync.Cond
 	matrices  *matrixStore
 	cache     *factorCache
+	breaker   *breaker
 	pending   map[string][]*request // per key, FIFO
 	scheduled map[string]bool       // key is queued or being run
 	keyq      []string
+	queued    int // requests in pending, for the MaxQueue bound
 	running   int
 	draining  bool // reject new requests
 	aborting  bool // fail queued requests instead of solving them
@@ -169,6 +257,7 @@ func New(cfg Config) *Server {
 		stats:     newStatsCollector(),
 		matrices:  newMatrixStore(),
 		cache:     newFactorCache(cfg.CacheBytes),
+		breaker:   newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
 		pending:   make(map[string][]*request),
 		scheduled: make(map[string]bool),
 	}
@@ -226,6 +315,17 @@ func (s *Server) Solve(ctx context.Context, key string, b []float64, opt SolveOp
 		s.mu.Unlock()
 		return SolveResult{}, fmt.Errorf("service: right-hand side has %d entries for an n=%d matrix", len(b), a.N)
 	}
+	if wait, ok := s.breaker.allow(key); !ok {
+		s.stats.breakerRejected()
+		s.mu.Unlock()
+		return SolveResult{}, &BreakerOpenError{Key: key, RetryAfter: wait}
+	}
+	if s.queued >= s.cfg.MaxQueue {
+		s.stats.shedRequest()
+		depth := s.queued
+		s.mu.Unlock()
+		return SolveResult{}, &OverloadedError{QueueDepth: depth, RetryAfter: time.Second}
+	}
 	req := &request{
 		key:  key,
 		b:    append([]float64(nil), b...),
@@ -237,6 +337,7 @@ func (s *Server) Solve(ctx context.Context, key string, b []float64, opt SolveOp
 	s.stats.request()
 	s.reqWG.Add(1)
 	s.pending[key] = append(s.pending[key], req)
+	s.queued++
 	if !s.scheduled[key] {
 		s.scheduled[key] = true
 		s.keyq = append(s.keyq, key)
@@ -252,6 +353,40 @@ func (s *Server) Solve(ctx context.Context, key string, b []float64, opt SolveOp
 		// is buffered); the caller gets the cancellation immediately.
 		return SolveResult{}, fmt.Errorf("%w: %v", krylov.ErrCanceled, ctx.Err())
 	}
+}
+
+// Health is the liveness summary served by pilutd's /healthz endpoint.
+type Health struct {
+	// Status is "ok" while the server accepts work and "draining" once
+	// Shutdown has begun.
+	Status string `json:"status"`
+	// QueueDepth is the number of accepted-but-unanswered solve requests.
+	QueueDepth int `json:"queue_depth"`
+	// BreakerOpenKeys lists matrix keys whose circuit breaker is
+	// currently open, sorted.
+	BreakerOpenKeys []string `json:"breaker_open_keys"`
+	// DegradedSolves counts solves answered through a recovery-ladder
+	// preconditioner since startup.
+	DegradedSolves int64 `json:"degraded_solves"`
+}
+
+// Health reports the server's failure-containment state.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	h := Health{
+		Status:          "ok",
+		QueueDepth:      s.queued,
+		BreakerOpenKeys: s.breaker.openKeys(),
+	}
+	if s.draining {
+		h.Status = "draining"
+	}
+	s.mu.Unlock()
+	h.DegradedSolves = s.stats.degradedCount()
+	if h.BreakerOpenKeys == nil {
+		h.BreakerOpenKeys = []string{}
+	}
+	return h
 }
 
 // StatsSnapshot returns a point-in-time view of the service counters.
@@ -366,6 +501,7 @@ func (s *Server) takeBatchLocked(key string) []*request {
 		}
 	}
 	s.pending[key] = rest
+	s.queued -= len(batch)
 	return batch
 }
 
@@ -400,7 +536,7 @@ func (s *Server) entryFor(key string) (*entry, bool, error) {
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownMatrix, key)
 	}
-	ent, err := buildEntry(key, a, s.cfg)
+	ent, err := buildEntry(key, a, s.cfg, s.stats)
 	if err != nil {
 		return nil, false, err
 	}
@@ -437,6 +573,23 @@ func mergedContext(reqs []*request) (context.Context, func()) {
 	}
 }
 
+// recordOutcome feeds one batch verdict to the key's circuit breaker.
+// Cancellations say nothing about the matrix: they only revert a pending
+// half-open probe. Unknown keys are client errors, not matrix failures.
+func (s *Server) recordOutcome(key string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.breaker.success(key)
+	case errors.Is(err, krylov.ErrCanceled):
+		s.breaker.cancel(key)
+	case errors.Is(err, ErrUnknownMatrix):
+	default:
+		s.breaker.failure(key)
+	}
+}
+
 // runBatch factors (or fetches) the matrix and solves the batch in one
 // simulated machine run.
 func (s *Server) runBatch(key string, batch []*request) {
@@ -445,6 +598,7 @@ func (s *Server) runBatch(key string, batch []*request) {
 	}
 	ent, hit, err := s.entryFor(key)
 	if err != nil {
+		s.recordOutcome(key, err)
 		s.failBatch(batch, err)
 		return
 	}
@@ -479,42 +633,39 @@ func (s *Server) runBatch(key string, batch []*request) {
 	perRes := make([]krylov.Result, B)
 	procErrs := make([]error, s.cfg.Procs)
 
-	mres, runErr := func() (mr machine.Result, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("service: solve of %s failed: %v", key, r)
-			}
-		}()
-		m := s.cfg.mustWorld()
-		m.SetWatchdog(2 * time.Minute)
-		rec := newRunRecorder(s.cfg)
-		if rec != nil {
-			m.SetRecorder(rec)
-			defer writeRunTrace(s.cfg.TraceDir, "solve", key, rec)
+	m := s.cfg.mustWorld()
+	m.SetWatchdog(s.cfg.Watchdog)
+	rec := newRunRecorder(s.cfg)
+	if rec != nil {
+		m.SetRecorder(rec)
+	}
+	mres, runErr := pcomm.Guard(m, func(proc pcomm.Comm) {
+		xs := make([][]float64, B)
+		bs := make([][]float64, B)
+		for bi := 0; bi < B; bi++ {
+			xs[bi] = make([]float64, ent.lay.NLocal(proc.ID()))
+			bs[bi] = bParts[bi][proc.ID()]
 		}
-		mr = m.Run(func(proc pcomm.Comm) {
-			xs := make([][]float64, B)
-			bs := make([][]float64, B)
-			for bi := 0; bi < B; bi++ {
-				xs[bi] = make([]float64, ent.lay.NLocal(proc.ID()))
-				bs[bi] = bParts[bi][proc.ID()]
-			}
-			rs, serr := krylov.DistGMRESBatch(proc, ent.mats[proc.ID()], ent.pcs[proc.ID()], xs, bs, opt)
-			procErrs[proc.ID()] = serr
-			for bi := 0; bi < B; bi++ {
-				xsParts[bi][proc.ID()] = xs[bi]
-			}
-			if proc.ID() == 0 && len(rs) == B {
-				copy(perRes, rs)
-			}
-		})
-		return mr, nil
-	}()
-	if runErr == nil {
+		rs, serr := krylov.DistGMRESBatch(proc, ent.mats[proc.ID()], ent.pcs[proc.ID()], xs, bs, opt)
+		procErrs[proc.ID()] = serr
+		for bi := 0; bi < B; bi++ {
+			xsParts[bi][proc.ID()] = xs[bi]
+		}
+		if proc.ID() == 0 && len(rs) == B {
+			copy(perRes, rs)
+		}
+	})
+	if rec != nil {
+		writeRunTrace(s.cfg.TraceDir, "solve", key, rec)
+	}
+	if runErr != nil {
+		runErr = fmt.Errorf("service: solve of %s failed: %w", key, runErr)
+	} else {
 		// The solve error is SPMD-collective: every processor returns the
 		// same one.
 		runErr = procErrs[0]
 	}
+	s.recordOutcome(key, runErr)
 	if runErr != nil {
 		s.failBatch(live, runErr)
 		return
@@ -533,8 +684,13 @@ func (s *Server) runBatch(key string, batch []*request) {
 			CacheHit:        hit,
 			BatchSize:       B,
 			ModelledSeconds: mres.Elapsed,
+			Degraded:        ent.degraded,
+			LadderStep:      ent.ladderStep,
 		}
 		s.stats.completedSolve(float64(time.Since(r.enq))/float64(time.Millisecond), res.Iterations)
+		if ent.degraded {
+			s.stats.degradedSolve()
+		}
 		s.respond(r, outcome{res: res})
 	}
 }

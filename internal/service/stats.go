@@ -70,6 +70,16 @@ type SolveStats struct {
 	BatchedRHS int64 `json:"batched_rhs"`
 	MaxBatch   int   `json:"max_batch"`
 
+	// Failure-containment counters: Shed counts requests rejected by the
+	// bounded queue, BreakerRejected counts requests bounced off an open
+	// circuit breaker, LadderRetries counts recovery-ladder rung climbs
+	// after a breakdown, and Degraded counts solves answered through a
+	// ladder-built (degraded) preconditioner.
+	Shed            int64 `json:"shed"`
+	BreakerRejected int64 `json:"breaker_rejected"`
+	LadderRetries   int64 `json:"ladder_retries"`
+	Degraded        int64 `json:"degraded"`
+
 	// LatencyMs is wall-clock milliseconds from request acceptance to
 	// response; Iterations is matrix–vector products per completed solve.
 	LatencyMs  Histogram `json:"latency_ms"`
@@ -105,6 +115,10 @@ type statsCollector struct {
 	batches    int64
 	batchedRHS int64
 	maxBatch   int
+	shed       int64
+	breakerRej int64
+	ladderRet  int64
+	degraded   int64
 	latency    *histogram
 	iterations *histogram
 	modelled   float64
@@ -154,6 +168,37 @@ func (s *statsCollector) failedSolve() {
 	s.mu.Unlock()
 }
 
+func (s *statsCollector) shedRequest() {
+	s.mu.Lock()
+	s.shed++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) breakerRejected() {
+	s.mu.Lock()
+	s.breakerRej++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) ladderRetry() {
+	s.mu.Lock()
+	s.ladderRet++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) degradedSolve() {
+	s.mu.Lock()
+	s.degraded++
+	s.mu.Unlock()
+}
+
+// degradedCount reads the degraded-solve counter for health reports.
+func (s *statsCollector) degradedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
 func (s *statsCollector) snapshot() SolveStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -165,6 +210,10 @@ func (s *statsCollector) snapshot() SolveStats {
 		Batches:         s.batches,
 		BatchedRHS:      s.batchedRHS,
 		MaxBatch:        s.maxBatch,
+		Shed:            s.shed,
+		BreakerRejected: s.breakerRej,
+		LadderRetries:   s.ladderRet,
+		Degraded:        s.degraded,
 		LatencyMs:       s.latency.snapshot(),
 		Iterations:      s.iterations.snapshot(),
 		ModelledSeconds: s.modelled,
