@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test test-real race race-real chaos check serve-smoke bench-service bench-backend fuzz-smoke cover
+.PHONY: all build vet lint lint-json test test-real race race-real chaos check serve-smoke bench-service bench-backend fuzz-smoke cover
 
 all: check
 
@@ -12,9 +12,15 @@ vet:
 	$(GO) vet ./...
 
 # Static SPMD-invariant checks (sendalias, collective, procescape,
-# bytesarg). Add -tests to also analyze _test.go files.
+# bytesarg, determinism, floatfold, hotalloc, errdrop). Add -tests to
+# also analyze _test.go files; -enable/-disable select analyzers.
 lint:
 	$(GO) run ./cmd/pilutlint ./...
+
+# CI's lint job: same suite, findings written to lint.json (uploaded as
+# an artifact) and echoed on failure. Exit 1 = findings, 2 = broken tree.
+lint-json:
+	$(GO) run ./cmd/pilutlint -json ./... > lint.json || (cat lint.json; exit 1)
 
 test:
 	$(GO) test ./...

@@ -1,5 +1,6 @@
 // Command pilutlint runs the repro/internal/analysis suite — sendalias,
-// collective, procescape, bytesarg — over packages of this module:
+// collective, procescape, bytesarg, determinism, floatfold, hotalloc,
+// errdrop — over packages of this module:
 //
 //	go run ./cmd/pilutlint ./...
 //
@@ -9,137 +10,183 @@
 // exercise failure paths. Suppress a finding with a trailing
 // "//pilutlint:ok <analyzer> <reason>" comment.
 //
-// Exit status: 0 clean, 1 findings, 2 load/usage errors.
+// -json emits the findings as a JSON array (one object per finding with
+// file, line, col, analyzer, message) on stdout — the CI lint job
+// uploads it as an artifact. -enable / -disable take comma-separated
+// analyzer names to restrict the run.
+//
+// Exit status: 0 clean, 1 findings, 2 load/type/usage errors — CI can
+// tell a regression from a broken tree. Every text-mode diagnostic ends
+// with the analyzer name in parentheses.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"go/build"
+	"io"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 )
 
 func main() {
-	tests := flag.Bool("tests", false, "also analyze _test.go files")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pilutlint [-tests] [packages]\n\nAnalyzers:\n")
-		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
-		}
-		flag.PrintDefaults()
-	}
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	args := flag.Args()
+// Finding is one diagnostic in -json output.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// run executes the driver and returns its exit code: 0 clean, 1 at
+// least one finding, 2 load/type/usage error.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pilutlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", false, "also analyze _test.go files")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pilutlint [-tests] [-json] [-enable a,b] [-disable a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "pilutlint:", err)
+		return 2
+	}
+
+	args := fs.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	dirs, err := expand(args)
+	dirs, err := analysis.ExpandPatterns(args)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pilutlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pilutlint:", err)
+		return 2
 	}
 
 	ld, err := analysis.NewLoader(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pilutlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pilutlint:", err)
+		return 2
 	}
 
-	found := false
+	findings := []Finding{} // non-nil so -json prints [] on a clean tree
 	broken := false
 	for _, dir := range dirs {
 		pkgs, err := ld.Load(dir, *tests)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pilutlint:", err)
+			fmt.Fprintln(stderr, "pilutlint:", err)
 			broken = true
 			continue
 		}
 		for _, pkg := range pkgs {
-			for _, a := range analysis.All() {
+			for _, a := range analyzers {
 				diags, err := a.Apply(pkg)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "pilutlint: %s: %s: %v\n", pkg.Path, a.Name, err)
+					fmt.Fprintf(stderr, "pilutlint: %s: %s: %v\n", pkg.Path, a.Name, err)
 					broken = true
 					continue
 				}
 				for _, d := range diags {
-					fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
-					found = true
+					pos := pkg.Fset.Position(d.Pos)
+					findings = append(findings, Finding{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: a.Name,
+						Message:  d.Message,
+					})
+					if !*jsonOut {
+						fmt.Fprintf(stdout, "%s: %s (%s)\n", pos, d.Message, a.Name)
+					}
 				}
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "pilutlint:", err)
+			return 2
 		}
 	}
 	switch {
 	case broken:
-		os.Exit(2)
-	case found:
-		os.Exit(1)
+		return 2
+	case len(findings) > 0:
+		return 1
 	}
+	return 0
 }
 
-// expand resolves package patterns to directories containing Go files.
-// Only the "dir" and "dir/..." forms are supported — enough for a module
-// with no external dependencies.
-func expand(args []string) ([]string, error) {
-	seen := make(map[string]bool)
-	var dirs []string
-	add := func(dir string) {
-		if !seen[dir] && hasGoFiles(dir) {
-			seen[dir] = true
-			dirs = append(dirs, dir)
-		}
+// selectAnalyzers applies -enable/-disable to the full suite.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range analysis.All() {
+		byName[a.Name] = a
 	}
-	for _, arg := range args {
-		if root, ok := strings.CutSuffix(arg, "..."); ok {
-			root = filepath.Clean(strings.TrimSuffix(root, "/"))
-			if root == "" {
-				root = "."
+	parse := func(list string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
 			}
-			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-				if err != nil {
-					return err
-				}
-				if !d.IsDir() {
-					return nil
-				}
-				name := d.Name()
-				// Match the go tool: testdata, vendor and dot/underscore
-				// directories are not part of "...".
-				if path != root && (name == "testdata" || name == "vendor" ||
-					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-					return filepath.SkipDir
-				}
-				add(path)
-				return nil
-			})
-			if err != nil {
-				return nil, err
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, analyzerNames())
 			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if on != nil && !on[a.Name] {
 			continue
 		}
-		info, err := os.Stat(arg)
-		if err != nil || !info.IsDir() {
-			return nil, fmt.Errorf("argument %q is not a directory (only dir and dir/... patterns are supported)", arg)
+		if off[a.Name] {
+			continue
 		}
-		add(filepath.Clean(arg))
+		out = append(out, a)
 	}
-	sort.Strings(dirs)
-	return dirs, nil
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
 }
 
-// hasGoFiles reports whether dir holds at least one non-test Go file, so
-// test-only directories (like the repo root) are skipped rather than
-// failing to load.
-func hasGoFiles(dir string) bool {
-	bp, err := build.Default.ImportDir(dir, 0)
-	if err != nil {
-		return false
+func analyzerNames() string {
+	var names []string
+	for _, a := range analysis.All() {
+		names = append(names, a.Name)
 	}
-	return len(bp.GoFiles) > 0
+	return strings.Join(names, ", ")
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// capture runs the driver and returns its exit code plus both streams.
+func capture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestExitCleanTree(t *testing.T) {
+	code, stdout, stderr := capture(t, "testdata/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings:\n%s", stdout)
+	}
+}
+
+func TestExitFindings(t *testing.T) {
+	code, stdout, _ := capture(t, "../../internal/analysis/testdata/src/errdrop")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "(errdrop)") {
+		t.Errorf("diagnostic lines must name the analyzer; got:\n%s", stdout)
+	}
+}
+
+func TestExitLoadError(t *testing.T) {
+	code, _, stderr := capture(t, "testdata/broken")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "broken") {
+		t.Errorf("stderr should mention the broken package; got:\n%s", stderr)
+	}
+}
+
+func TestExitUsageError(t *testing.T) {
+	if code, _, _ := capture(t, "-enable", "nosuch", "testdata/clean"); code != 2 {
+		t.Fatalf("unknown -enable analyzer: exit = %d, want 2", code)
+	}
+	if code, _, _ := capture(t, "-disable", "nosuch", "testdata/clean"); code != 2 {
+		t.Fatalf("unknown -disable analyzer: exit = %d, want 2", code)
+	}
+	if code, _, _ := capture(t, "no/such/dir"); code != 2 {
+		t.Fatalf("missing directory: exit = %d, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := capture(t, "-json", "../../internal/analysis/testdata/src/errdrop")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []Finding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected findings in errdrop testdata")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "errdrop" {
+			t.Errorf("finding from analyzer %q, want errdrop: %+v", f.Analyzer, f)
+		}
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestJSONEmptyArrayWhenClean(t *testing.T) {
+	code, stdout, _ := capture(t, "-json", "testdata/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(stdout); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	// Disabling the only analyzer with findings turns the run clean.
+	code, stdout, _ := capture(t, "-disable", "errdrop", "../../internal/analysis/testdata/src/errdrop")
+	if code != 0 {
+		t.Fatalf("-disable errdrop: exit = %d, want 0\n%s", code, stdout)
+	}
+	// Enabling only an unrelated analyzer likewise reports nothing.
+	code, stdout, _ = capture(t, "-enable", "sendalias", "../../internal/analysis/testdata/src/errdrop")
+	if code != 0 {
+		t.Fatalf("-enable sendalias: exit = %d, want 0\n%s", code, stdout)
+	}
+	// Enabling the reporting analyzer alone still finds the violations.
+	code, _, _ = capture(t, "-enable", "errdrop", "../../internal/analysis/testdata/src/errdrop")
+	if code != 1 {
+		t.Fatalf("-enable errdrop: exit = %d, want 1", code)
+	}
+	// Disabling everything is a usage error, not a silent pass.
+	all := "sendalias,collective,procescape,bytesarg,determinism,floatfold,hotalloc,errdrop"
+	if code, _, _ := capture(t, "-disable", all, "testdata/clean"); code != 2 {
+		t.Fatalf("-disable all: exit = %d, want 2", code)
+	}
+}

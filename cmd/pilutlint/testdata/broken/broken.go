@@ -1,0 +1,8 @@
+// Package broken fails to type-check: the pilutlint driver must report
+// the load error on stderr and exit 2, not panic and not report
+// findings.
+package broken
+
+func oops() int {
+	return "not an int"
+}

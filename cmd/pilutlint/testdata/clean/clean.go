@@ -1,0 +1,12 @@
+// Package clean passes every analyzer: the driver must exit 0 and
+// -json must print an empty array, not null.
+package clean
+
+// Sum is deliberately boring.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -61,6 +61,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts holds interprocedural summaries for this package and every
+	// module-local package it imports (nil when the loader predates the
+	// facts layer, e.g. hand-built passes in tests).
+	Facts *FactStore
 
 	diags []Diagnostic
 }
@@ -79,7 +83,10 @@ type Analyzer struct {
 
 // All returns the full suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SendAlias, Collective, ProcEscape, BytesArg}
+	return []*Analyzer{
+		SendAlias, Collective, ProcEscape, BytesArg,
+		Determinism, FloatFold, HotAlloc, ErrDrop,
+	}
 }
 
 // Apply runs the analyzer over a loaded package and returns the findings
@@ -92,6 +99,7 @@ func (a *Analyzer) Apply(pkg *Package) ([]Diagnostic, error) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Facts:     pkg.Facts,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, err
@@ -101,9 +109,15 @@ func (a *Analyzer) Apply(pkg *Package) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// suppress drops diagnostics whose line, or the line above, carries a
-// "//pilutlint:ok <name>" comment.
+// suppress drops diagnostics covered by a "//pilutlint:ok <name>"
+// comment: one on the diagnostic's own line or the line above, or one
+// covering a call expression the diagnostic sits inside — a comment above
+// a multi-line call suppresses diagnostics reported at the call's
+// arguments on later lines, not just at its first line.
 func suppress(name string, pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
 	marker := "pilutlint:ok " + name
 	// Lines (per file) carrying a suppression for this analyzer.
 	ok := make(map[string]map[int]bool)
@@ -122,13 +136,37 @@ func suppress(name string, pkg *Package, diags []Diagnostic) []Diagnostic {
 			}
 		}
 	}
+	okLine := func(pos token.Pos) bool {
+		p := pkg.Fset.Position(pos)
+		return ok[p.Filename][p.Line]
+	}
+	suppressed := make([]bool, len(diags))
+	for i, d := range diags {
+		suppressed[i] = okLine(d.Pos)
+	}
+	// A diagnostic anywhere inside a call expression is suppressed when
+	// the suppression covers the call's first line: analyzers report at
+	// argument positions (sendalias at the payload, bytesarg at the byte
+	// count), which land on later lines when the call is wrapped.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall || !okLine(call.Pos()) {
+				return true
+			}
+			for i, d := range diags {
+				if !suppressed[i] && call.Pos() <= d.Pos && d.Pos < call.End() {
+					suppressed[i] = true
+				}
+			}
+			return true
+		})
+	}
 	var out []Diagnostic
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		if ok[pos.Filename][pos.Line] {
-			continue
+	for i, d := range diags {
+		if !suppressed[i] {
+			out = append(out, d)
 		}
-		out = append(out, d)
 	}
 	return out
 }

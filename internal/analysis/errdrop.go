@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded errors on the comm and service boundaries: a
+// call into the messaging layer (pcomm and its backends, machine, fault)
+// or the service package whose error result is dropped — the call used
+// as a statement, deferred, or the error assigned to the blank
+// identifier. The error on these boundaries is almost always a
+// *pcomm.RunError carrying the failing rank, root cause, stack and
+// blocked-state dump, or a service admission/breaker decision; dropping
+// it converts a contained, diagnosable failure back into a silent one,
+// undoing exactly what the failure-containment layer (DESIGN.md §11)
+// bought. Other packages' errors are go vet's business, not this
+// analyzer's.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded errors on comm and service boundaries",
+	Run:  runErrDrop,
+}
+
+// ServicePath is the import path of the solver-service package.
+const ServicePath = "repro/internal/service"
+
+// errBoundaryPkg reports whether path is a package whose returned errors
+// must not be dropped: the messaging layer plus the service supervisor.
+func errBoundaryPkg(path string) bool {
+	return exemptPkg(path) || path == ServicePath
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// boundaryErrResults returns the indices of call's error-typed results
+// when the callee is a module-local function of a boundary package.
+func boundaryErrResults(info *types.Info, call *ast.CallExpr) (fn *types.Func, errIdx []int) {
+	callee := calleeOf(info, call)
+	if callee == nil || callee.Pkg() == nil || !errBoundaryPkg(callee.Pkg().Path()) {
+		return nil, nil
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Implements(sig.Results().At(i).Type(), errorType) {
+			errIdx = append(errIdx, i)
+		}
+	}
+	if len(errIdx) == 0 {
+		return nil, nil
+	}
+	return callee, errIdx
+}
+
+func runErrDrop(pass *Pass) error {
+	if exemptPkg(pass.Pkg.Path()) {
+		// The messaging layer's internal plumbing manages its own errors.
+		return nil
+	}
+	info := pass.TypesInfo
+	report := func(pos ast.Node, fn *types.Func, how string) {
+		pass.Reportf(pos.Pos(),
+			"error result of %s %s; on a comm/service boundary the error carries the failure diagnosis (*pcomm.RunError rank, cause, blocked-state dump) — handle it", funcLabel(fn), how)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if fn, _ := boundaryErrResults(info, call); fn != nil {
+						report(n, fn, "discarded (call used as a statement)")
+					}
+				}
+			case *ast.DeferStmt:
+				if fn, _ := boundaryErrResults(info, n.Call); fn != nil {
+					report(n, fn, "discarded (deferred call)")
+				}
+			case *ast.GoStmt:
+				if fn, _ := boundaryErrResults(info, n.Call); fn != nil {
+					report(n, fn, "discarded (go statement)")
+				}
+			case *ast.AssignStmt:
+				// x, _ := pcomm.Guard(...): the error position is blanked.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || len(n.Lhs) < 2 {
+					return true
+				}
+				fn, errIdx := boundaryErrResults(info, call)
+				if fn == nil {
+					return true
+				}
+				for _, i := range errIdx {
+					if i >= len(n.Lhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						report(n.Lhs[i], fn, "assigned to _")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// HotAlloc is the allocation ratchet for the factorization hot loops: a
+// function whose doc comment carries a //pilut:hotpath directive may not
+// allocate — make, new, append, slice/map composite literals, &composite
+// literals, closure creation — nor call a module-local function that
+// allocates (transitively, via the facts layer). Every allocation that
+// is currently tolerated must wear a //pilutlint:ok hotalloc comment
+// with a reason, which turns the analyzer's findings into the worklist
+// for allocator-pressure work: remove the allocation, delete the
+// annotation, and the ratchet tightens.
+//
+// Calls to other //pilut:hotpath functions are not reported — they are
+// audited at their own definition — so the hot region composes without
+// re-reporting each leaf's annotated allocations at every caller.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocations (direct or via callees) in //pilut:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd.Doc) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					if desc := allocExpr(info, e); desc != "" {
+						pass.Reportf(n.Pos(),
+							"%s in //pilut:hotpath function %s; reuse a scratch buffer or annotate the site", desc, fd.Name.Name)
+					}
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(info, call)
+				if callee == nil {
+					return true
+				}
+				ff := pass.Facts.Lookup(callee)
+				if ff == nil || ff.Hot {
+					// Standard library / opaque package / interface dispatch,
+					// or a hot function audited at its own definition.
+					return true
+				}
+				if ff.Has(FactAllocates) {
+					pass.Reportf(call.Pos(),
+						"call from //pilut:hotpath function %s to %s, which %s",
+						fd.Name.Name, funcLabel(callee), pass.Facts.Chain(pass.Fset, callee, FactAllocates))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -21,6 +21,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Facts is the loader-wide interprocedural fact store; it already
+	// holds summaries for this package and everything it (transitively)
+	// imports within the module.
+	Facts *FactStore
 }
 
 // Loader parses and type-checks packages without golang.org/x/tools: it
@@ -32,6 +36,10 @@ type Loader struct {
 	Fset    *token.FileSet
 	ModPath string
 	ModRoot string
+	// Facts accumulates per-function summaries for every module-local
+	// package the loader checks, imported ones included, in dependency
+	// order (a package is summarized before any of its importers).
+	Facts *FactStore
 
 	cache map[string]*types.Package
 }
@@ -47,6 +55,7 @@ func NewLoader(dir string) (*Loader, error) {
 		Fset:    token.NewFileSet(),
 		ModPath: path,
 		ModRoot: root,
+		Facts:   NewFactStore(),
 		cache:   make(map[string]*types.Package),
 	}, nil
 }
@@ -103,14 +112,28 @@ func (ld *Loader) Import(path string) (*types.Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	files, err := ld.parse(dir, bp.GoFiles, 0)
+	moduleLocal := path == ld.ModPath || strings.HasPrefix(path, ld.ModPath+"/")
+	// Module-local imports are parsed with comments and full type
+	// information so their functions can be summarized into the fact
+	// store (hotpath markers live in doc comments); the standard library
+	// needs neither.
+	var mode parser.Mode
+	var info *types.Info
+	if moduleLocal {
+		mode = parser.ParseComments
+		info = newInfo()
+	}
+	files, err := ld.parse(dir, bp.GoFiles, mode)
 	if err != nil {
 		return nil, err
 	}
 	conf := types.Config{Importer: ld, FakeImportC: true}
-	pkg, err := conf.Check(path, ld.Fset, files, nil)
+	pkg, err := conf.Check(path, ld.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking import %q: %w", path, err)
+	}
+	if moduleLocal {
+		ld.Facts.Summarize(path, files, info)
 	}
 	ld.cache[path] = pkg
 	return pkg, nil
@@ -189,6 +212,7 @@ func (ld *Loader) Load(dir string, tests bool) ([]*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
+	ld.Facts.Summarize(path, files, info)
 	if _, ok := ld.cache[path]; !ok && !tests {
 		// Only a test-free check is safe to reuse as an import: test files
 		// must not leak into importers of this package. And only the first
@@ -198,7 +222,7 @@ func (ld *Loader) Load(dir string, tests bool) ([]*Package, error) {
 		// being identical.
 		ld.cache[path] = tpkg
 	}
-	pkgs := []*Package{{Dir: dir, Path: path, Fset: ld.Fset, Files: files, Types: tpkg, Info: info}}
+	pkgs := []*Package{{Dir: dir, Path: path, Fset: ld.Fset, Files: files, Types: tpkg, Info: info, Facts: ld.Facts}}
 
 	if tests && len(bp.XTestGoFiles) > 0 {
 		xfiles, err := ld.parse(dir, bp.XTestGoFiles, parser.ParseComments)
@@ -210,9 +234,70 @@ func (ld *Loader) Load(dir string, tests bool) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: type-checking %s_test: %w", path, err)
 		}
-		pkgs = append(pkgs, &Package{Dir: dir, Path: path + "_test", Fset: ld.Fset, Files: xfiles, Types: xpkg, Info: xinfo})
+		ld.Facts.Summarize(path+"_test", xfiles, xinfo)
+		pkgs = append(pkgs, &Package{Dir: dir, Path: path + "_test", Fset: ld.Fset, Files: xfiles, Types: xpkg, Info: xinfo, Facts: ld.Facts})
 	}
 	return pkgs, nil
+}
+
+// ExpandPatterns resolves package patterns to directories containing Go
+// files. Only the "dir" and "dir/..." forms are supported — enough for a
+// module with no external dependencies. Matching the go tool, testdata,
+// vendor and dot/underscore directories are not part of "...".
+func ExpandPatterns(args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, arg := range args {
+		if root, ok := strings.CutSuffix(arg, "..."); ok {
+			root = filepath.Clean(strings.TrimSuffix(root, "/"))
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		info, err := os.Stat(arg)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("argument %q is not a directory (only dir and dir/... patterns are supported)", arg)
+		}
+		add(filepath.Clean(arg))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir holds at least one non-test Go file, so
+// test-only directories (like the repo root) are skipped rather than
+// failing to load.
+func hasGoFiles(dir string) bool {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return false
+	}
+	return len(bp.GoFiles) > 0
 }
 
 // pathOf maps a directory to an import path: module-relative when inside

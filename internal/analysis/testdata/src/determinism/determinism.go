@@ -1,0 +1,85 @@
+// Package determinism exercises the determinism analyzer: SPMD code —
+// any function whose signature carries a communicator — must not range
+// over maps, read the wall clock, draw from the global math/rand source,
+// select, or launch goroutines, directly or through callees (the facts
+// layer carries callee summaries across packages).
+package determinism
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/analysis/testdata/src/determinism/dethelper"
+	"repro/internal/pcomm"
+)
+
+// Direct violations inside an SPMD function.
+func bad(c pcomm.Comm, weights map[int]float64) {
+	for k := range weights { // want `map iteration in SPMD code`
+		_ = k
+	}
+	_ = time.Now()     // want `wall-clock read in SPMD code`
+	_ = rand.Float64() // want `global math/rand source in SPMD code`
+	done := make(chan int)
+	select { // want `select in SPMD code`
+	case <-done:
+	}
+	go func() {}() // want `goroutine launched in SPMD code`
+	_ = c.ID()
+}
+
+// sumLocal is not SPMD code itself (no communicator), so its map range
+// is reported at SPMD call sites, not here.
+func sumLocal(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Transitive violations: reported at the call that reaches them, with
+// the chain in the message. dethelper is a different package — the facts
+// crossed a package boundary to get here.
+func badTransitive(c pcomm.Comm, m map[int]float64) {
+	_ = sumLocal(m)       // want `call to determinism.sumLocal reaches nondeterminism from SPMD code: it ranges over a map`
+	_ = dethelper.Keys(m) // want `call to dethelper.Keys reaches nondeterminism from SPMD code: it ranges over a map`
+	_ = dethelper.Stamp() // want `call to dethelper.Stamp reaches nondeterminism from SPMD code: it calls dethelper.now, which reads the wall clock`
+	c.Barrier()
+}
+
+// spmdHelper takes a communicator: it is SPMD code in its own right, so
+// the violation is reported at its definition and NOT re-reported at its
+// call sites.
+func spmdHelper(c pcomm.Comm, m map[int]bool) {
+	for k := range m { // want `map iteration in SPMD code`
+		_ = k
+	}
+}
+
+func callsSPMDHelper(c pcomm.Comm, m map[int]bool) {
+	spmdHelper(c, m) // no diagnostic here: flagged at the definition
+}
+
+// Clean SPMD code: sorted-key iteration, the communicator clock, a
+// rank-seeded generator, and fact-free helpers.
+func good(c pcomm.Comm, keys []int, m map[int]float64) {
+	s := 0.0
+	for _, k := range keys {
+		s += m[k]
+	}
+	_ = c.Time()
+	rng := rand.New(rand.NewSource(int64(c.ID())))
+	_ = rng.Float64()
+	_ = dethelper.Sum(keys)
+}
+
+// Waived: the deliberate exception wears an annotation.
+func waived(c pcomm.Comm, m map[int]bool) int {
+	n := 0
+	//pilutlint:ok determinism order-insensitive count over replicated map
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+// Package dethelper provides non-SPMD helpers for the determinism
+// golden test: none of these functions takes a communicator, so their
+// nondeterminism is only reachable — and only reportable — through the
+// facts layer, at call sites in SPMD code of an importing package.
+package dethelper
+
+import "time"
+
+// Keys ranges over a map: nondeterministic iteration order.
+func Keys(m map[int]float64) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// now reads the wall clock; Stamp reaches it one call deeper, so the
+// chain in the diagnostic has two hops.
+func now() time.Time { return time.Now() }
+
+// Stamp returns a wall-clock timestamp.
+func Stamp() float64 { return float64(now().UnixNano()) }
+
+// Sum is fact-free: calling it from SPMD code is fine.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Package errdrop exercises the errdrop analyzer: errors returned
+// across the comm/service boundary (pcomm.Guard above all) carry the
+// failure diagnosis and must not be dropped.
+package errdrop
+
+import (
+	"repro/internal/pcomm"
+)
+
+func bad(w pcomm.World, f func(pcomm.Comm)) {
+	pcomm.Guard(w, f) // want `error result of pcomm.Guard discarded .call used as a statement.`
+
+	_, _ = pcomm.Guard(w, f) // want `error result of pcomm.Guard assigned to _`
+
+	res, _ := pcomm.Guard(w, f) // want `error result of pcomm.Guard assigned to _`
+	_ = res
+
+	defer pcomm.Guard(w, f) // want `error result of pcomm.Guard discarded .deferred call.`
+}
+
+func good(w pcomm.World, f func(pcomm.Comm)) error {
+	res, err := pcomm.Guard(w, f)
+	if err != nil {
+		return err
+	}
+	_ = res.Elapsed
+	return nil
+}
+
+func waived(w pcomm.World, f func(pcomm.Comm)) {
+	_, _ = pcomm.Guard(w, f) //pilutlint:ok errdrop best-effort warmup, failure is retried cold
+}

@@ -1,0 +1,31 @@
+// Package genericpc instantiates generics with pcomm types. The loader
+// and fact store must handle instantiated *types.Func objects (facts are
+// keyed by Origin), and analyzers must see through the instantiation:
+// the generic helper keys ranges over a map, so calling it from SPMD
+// code is a determinism finding even though the call site names the
+// instantiation, not the generic declaration.
+package genericpc
+
+import "repro/internal/pcomm"
+
+// Box wraps any value, here a communicator.
+type Box[T any] struct{ v T }
+
+// Get returns the boxed value.
+func (b *Box[T]) Get() T { return b.v }
+
+// keys collects map keys in range order — nondeterministic.
+func keys[K comparable, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Use exercises instantiation with pcomm types from SPMD code.
+func Use(c pcomm.Comm, owners map[int]pcomm.Comm) int {
+	b := Box[pcomm.Comm]{v: c}
+	ks := keys(owners)
+	return b.Get().ID() + len(ks)
+}

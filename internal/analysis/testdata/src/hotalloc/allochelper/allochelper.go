@@ -1,0 +1,16 @@
+// Package allochelper provides an allocating helper for the hotalloc
+// golden test: it lives in a different package than its hot caller, so
+// the finding must travel through the facts layer.
+package allochelper
+
+// Grow allocates.
+func Grow(n int) int {
+	xs := make([]int, n)
+	return len(xs)
+}
+
+// Reach allocates one call deeper, to exercise the chain rendering.
+func Reach(n int) int { return Grow(n) }
+
+// Flat is allocation-free.
+func Flat(x int) int { return x * 2 }

@@ -1,0 +1,61 @@
+// Package hotalloc exercises the hotalloc analyzer: functions marked
+// //pilut:hotpath may not allocate, directly or through module-local
+// callees; tolerated allocations wear //pilutlint:ok annotations and
+// form the ratchet worklist for allocator-pressure work.
+package hotalloc
+
+import "repro/internal/analysis/testdata/src/hotalloc/allochelper"
+
+//pilut:hotpath
+func hotDirect(dst, src []float64, n int) []float64 {
+	tmp := make([]float64, n) // want `make in //pilut:hotpath function hotDirect`
+	copy(tmp, src)
+	dst = append(dst, tmp...)    // want `append .may grow the backing array. in //pilut:hotpath function hotDirect`
+	seen := map[int]bool{}       // want `map literal in //pilut:hotpath function hotDirect`
+	pair := &struct{ a, b int }{ // want `&composite literal in //pilut:hotpath function hotDirect`
+		a: 1, b: 2,
+	}
+	cmp := func(x float64) bool { return x > 0 } // want `closure creation in //pilut:hotpath function hotDirect`
+	_, _, _ = seen, pair, cmp
+	return dst
+}
+
+//pilut:hotpath
+func hotTransitive(n int) int {
+	a := allochelper.Grow(n)  // want `call from //pilut:hotpath function hotTransitive to allochelper.Grow, which allocates`
+	b := allochelper.Reach(n) // want `call from //pilut:hotpath function hotTransitive to allochelper.Reach, which calls allochelper.Grow, which allocates`
+	c := localGrow(n)         // want `call from //pilut:hotpath function hotTransitive to hotalloc.localGrow, which allocates`
+	return a + b + c + allochelper.Flat(n)
+}
+
+// localGrow allocates but is not hot: unconstrained at its definition,
+// reported at hot call sites.
+func localGrow(n int) int {
+	return len(make([]byte, n))
+}
+
+//pilut:hotpath
+func hotCallsHot(dst, src []float64, n int) []float64 {
+	// Calls to other hot functions are not re-reported: their allocations
+	// are audited (and annotated) at their own definition.
+	return hotScratch(dst, src)
+}
+
+//pilut:hotpath
+func hotScratch(dst, src []float64) []float64 {
+	for i := range src {
+		if i < len(dst) {
+			dst[i] = src[i]
+		}
+	}
+	return dst
+}
+
+// cold functions allocate freely.
+func cold(n int) []int { return make([]int, n) }
+
+//pilut:hotpath
+func hotWaived(n int) []float64 {
+	//pilutlint:ok hotalloc result buffer is retained by the caller
+	return make([]float64, n)
+}

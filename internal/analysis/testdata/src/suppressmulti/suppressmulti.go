@@ -1,0 +1,35 @@
+// Package suppressmulti is the regression test for suppression matching
+// on multi-line calls: a //pilutlint:ok comment on the line above a call
+// must suppress diagnostics reported at the call's *arguments*, which
+// land on later lines when the call is wrapped. Exercised with the
+// sendalias analyzer, which reports at the payload argument.
+package suppressmulti
+
+import "repro/internal/pcomm"
+
+func waivedMultiLine(c pcomm.Comm, xs []int) {
+	//pilutlint:ok sendalias xs is built fresh by the caller and never reused
+	c.Send(1, 0,
+		xs,
+		pcomm.BytesOfInts(len(xs)))
+}
+
+// Without the annotation the same shape is still flagged, on the
+// argument's own line.
+func stillFlagged(c pcomm.Comm, xs []int) {
+	c.Send(1, 0,
+		xs, // want `payload of Send may alias memory the sender retains`
+		pcomm.BytesOfInts(len(xs)))
+}
+
+// The annotation only covers the one call it precedes: a second
+// violating call right after is still flagged.
+func onlyFirstCallCovered(c pcomm.Comm, xs, ys []int) {
+	//pilutlint:ok sendalias xs is replicated input
+	c.Send(1, 0,
+		xs,
+		pcomm.BytesOfInts(len(xs)))
+	c.Send(1, 1,
+		ys, // want `payload of Send may alias memory the sender retains`
+		pcomm.BytesOfInts(len(ys)))
+}

@@ -1,0 +1,9 @@
+// Package typeerr does not type-check. The loader must surface the
+// checker's error, not panic, and never hand the package to analyzers.
+package typeerr
+
+import "repro/internal/pcomm"
+
+func mismatch(c pcomm.Comm) string {
+	return c.ID() + "not a string"
+}

@@ -361,8 +361,9 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 		// rows reference it, so the communication can be posted before
 		// any elimination (§4 of the paper).
 		pivotByNew := make(map[int]*ilu.URow)
-		for g, nid := range levelNew {
-			pivotByNew[nid] = ufinal[g]
+		for _, li := range members {
+			g := pc.owned[li]
+			pivotByNew[levelNew[g]] = ufinal[g]
 		}
 		for q := 0; q < lay.P; q++ {
 			if q == me || len(ex.NeedBy[q]) == 0 {

@@ -128,6 +128,8 @@ func FactorPivotRowPerturbed(i int, cols []int, vals []float64, tau float64, m i
 // inside [nl, nl1), so a single increasing sweep over the row's original
 // pivot-range entries suffices — the property the paper exploits to
 // pre-post all communication.
+//
+//pilut:hotpath
 func EliminateRow(
 	w *sparse.WorkRow,
 	i int,
@@ -210,6 +212,8 @@ func EliminateRow(
 // fill back inside the pivot range, so the sweep is driven by a heap that
 // picks up fill positions, exactly like the main ILUT loop. Dropping rules
 // and the L/reduced split are identical to EliminateRow.
+//
+//pilut:hotpath
 func EliminateRowSeq(
 	w *sparse.WorkRow,
 	i int,
@@ -225,7 +229,7 @@ func EliminateRowSeq(
 	var h colHeap
 	for _, k := range aCols {
 		if k >= nl && k < nl1 {
-			h = append(h, k)
+			h = append(h, k) //pilutlint:ok hotalloc the fill heap is bounded by the pivot-range nnz of one row; stack-escape only on deep fill
 		}
 	}
 	heapInit(&h)
@@ -286,6 +290,8 @@ func EliminateRowSeq(
 // Works for both sequential pivot blocks and independent sets, since
 // without fill the two traversals coincide. Returns the row's new L part
 // (columns < nl1) and its remaining static row (columns ≥ nl1).
+//
+//pilut:hotpath
 func EliminateRowStatic(
 	w *sparse.WorkRow,
 	i int,
@@ -330,6 +336,8 @@ func FactorPivotRowStatic(i int, cols []int, vals []float64, st *Stats) (URow, e
 
 // Small heap helpers shared with the ILUT driver (container/heap without
 // the interface boilerplate for the hot path).
+//
+//pilut:hotpath
 func heapInit(h *colHeap) {
 	n := h.Len()
 	for i := n/2 - 1; i >= 0; i-- {
@@ -337,8 +345,9 @@ func heapInit(h *colHeap) {
 	}
 }
 
+//pilut:hotpath
 func heapPush(h *colHeap, x int) {
-	*h = append(*h, x)
+	*h = append(*h, x) //pilutlint:ok hotalloc heap scratch is bounded by one row's fill and reused across pushes
 	i := len(*h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -350,6 +359,7 @@ func heapPush(h *colHeap, x int) {
 	}
 }
 
+//pilut:hotpath
 func heapPop(h *colHeap) int {
 	old := *h
 	n := len(old)
@@ -360,6 +370,7 @@ func heapPop(h *colHeap) int {
 	return x
 }
 
+//pilut:hotpath
 func heapDown(h colHeap, i, n int) {
 	for {
 		l, r := 2*i+1, 2*i+2

@@ -39,6 +39,8 @@ func (w *WorkRow) NNZ() int {
 
 // Scatter loads the sparse row (cols, vals) into the working row,
 // accumulating into any positions already present.
+//
+//pilut:hotpath
 func (w *WorkRow) Scatter(cols []int, vals []float64) {
 	for k, j := range cols {
 		w.Add(j, vals[k])
@@ -46,33 +48,43 @@ func (w *WorkRow) Scatter(cols []int, vals []float64) {
 }
 
 // Add accumulates v into position j, marking it if previously unset.
+//
+//pilut:hotpath
 func (w *WorkRow) Add(j int, v float64) {
 	w.mark[j] = true
 	if !w.inIdx[j] {
 		w.inIdx[j] = true
-		w.idx = append(w.idx, j)
+		w.idx = append(w.idx, j) //pilutlint:ok hotalloc index list grows to peak row nnz once, then is reused across rows
 	}
 	w.val[j] += v
 }
 
 // Set overwrites position j with v, marking it if previously unset.
+//
+//pilut:hotpath
 func (w *WorkRow) Set(j int, v float64) {
 	w.mark[j] = true
 	if !w.inIdx[j] {
 		w.inIdx[j] = true
-		w.idx = append(w.idx, j)
+		w.idx = append(w.idx, j) //pilutlint:ok hotalloc index list grows to peak row nnz once, then is reused across rows
 	}
 	w.val[j] = v
 }
 
 // Get returns the value at position j (0 when unset).
+//
+//pilut:hotpath
 func (w *WorkRow) Get(j int) float64 { return w.val[j] }
 
 // Has reports whether position j is currently marked.
+//
+//pilut:hotpath
 func (w *WorkRow) Has(j int) bool { return w.mark[j] }
 
 // Drop unmarks position j and zeroes its value. The companion index list
 // is compacted lazily by Indices/Gather, so Drop is O(1).
+//
+//pilut:hotpath
 func (w *WorkRow) Drop(j int) {
 	if w.mark[j] {
 		w.mark[j] = false
@@ -83,11 +95,13 @@ func (w *WorkRow) Drop(j int) {
 // Indices returns the sorted list of currently-marked positions. The
 // returned slice is freshly compacted and owned by the WorkRow; it is valid
 // until the next mutating call.
+//
+//pilut:hotpath
 func (w *WorkRow) Indices() []int {
 	out := w.idx[:0]
 	for _, j := range w.idx {
 		if w.mark[j] {
-			out = append(out, j)
+			out = append(out, j) //pilutlint:ok hotalloc compacts in place into idx's own backing array, never grows
 		} else {
 			w.inIdx[j] = false
 		}
@@ -99,6 +113,8 @@ func (w *WorkRow) Indices() []int {
 
 // Reset clears every marked position; an O(nnz) sparse operation
 // corresponding to "w = 0" in Algorithm 1.
+//
+//pilut:hotpath
 func (w *WorkRow) Reset() {
 	for _, j := range w.idx {
 		w.mark[j] = false
@@ -111,11 +127,13 @@ func (w *WorkRow) Reset() {
 // Gather appends the marked positions in [lo, hi) in increasing column
 // order to (cols, vals) and returns the extended slices. The working row
 // is left unchanged.
+//
+//pilut:hotpath
 func (w *WorkRow) Gather(lo, hi int, cols []int, vals []float64) ([]int, []float64) {
 	for _, j := range w.Indices() {
 		if j >= lo && j < hi {
-			cols = append(cols, j)
-			vals = append(vals, w.val[j])
+			cols = append(cols, j)        //pilutlint:ok hotalloc appends into the caller's slice, which owns the final row storage
+			vals = append(vals, w.val[j]) //pilutlint:ok hotalloc appends into the caller's slice, which owns the final row storage
 		}
 	}
 	return cols, vals
@@ -124,6 +142,8 @@ func (w *WorkRow) Gather(lo, hi int, cols []int, vals []float64) ([]int, []float
 // DropBelow unmarks every position in [lo, hi) whose magnitude is < tol,
 // except the protected position keep (pass −1 to protect nothing).
 // Returns the number of dropped entries.
+//
+//pilut:hotpath
 func (w *WorkRow) DropBelow(lo, hi int, tol float64, keep int) int {
 	dropped := 0
 	for _, j := range w.idx {
@@ -143,11 +163,13 @@ func (w *WorkRow) DropBelow(lo, hi int, tol float64, keep int) int {
 // is never dropped and does not count toward m (pass −1 for none).
 // Ties are broken toward smaller column index so the result is
 // deterministic. Returns the number of dropped entries.
+//
+//pilut:hotpath
 func (w *WorkRow) KeepLargest(lo, hi, m int, keep int) int {
 	cand := w.cand[:0]
 	for _, j := range w.idx {
 		if w.mark[j] && j >= lo && j < hi && j != keep {
-			cand = append(cand, j)
+			cand = append(cand, j) //pilutlint:ok hotalloc candidate scratch grows to peak row nnz once, then is reused across rows
 		}
 	}
 	w.cand = cand
@@ -156,6 +178,7 @@ func (w *WorkRow) KeepLargest(lo, hi, m int, keep int) int {
 	}
 	// Select the m largest by magnitude: sort descending by |value|,
 	// breaking ties by column index.
+	//pilutlint:ok hotalloc the comparator closure is the price of sort.Slice; it captures only w and cand
 	sort.Slice(cand, func(x, y int) bool {
 		ax, ay := math.Abs(w.val[cand[x]]), math.Abs(w.val[cand[y]])
 		if ax != ay {
