@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json test test-real race race-real chaos check serve-smoke bench-service bench-backend fuzz-smoke cover
+.PHONY: all build vet lint lint-json test test-real test-netcomm race race-real chaos check serve-smoke bench-service bench-backend bench-netcomm fuzz-smoke cover
 
 all: check
 
@@ -31,6 +31,18 @@ test:
 test-real:
 	PILUT_BACKEND=real $(GO) test ./...
 
+# The multi-process socket backend lane: the netcomm package's own
+# suite (frame codec, rendezvous, collectives, watchdog, spawn smoke),
+# the backend-equivalence pipeline re-run with each world's ranks spread
+# across two OS processes, and the sharded-pilutd cluster end-to-end
+# tests (peer fetch, peer death, -spawn-peers). Only netcomm-aware tests
+# run under the spawn spec: generic suites collect per-rank results into
+# shared slices, which no multi-process world can fill.
+test-netcomm:
+	$(GO) test ./internal/pcomm/netcomm -count=1
+	PILUT_BACKEND=netcomm:spawn=2 $(GO) test . -run TestBackendBitwiseEquivalence -count=1
+	$(GO) test ./cmd/pilutd -run TestCluster -count=1
+
 # Race-enabled run with reduced problem sizes; matches the CI race lane.
 race:
 	PILUT_TEST_FAST=1 $(GO) test -race ./...
@@ -43,14 +55,19 @@ race-real:
 
 # Chaos lane: the deterministic fault-injection suites (injected panics,
 # dropped messages, pivot breakdown, breaker/shedding) race-enabled on
-# both backends, then the full tier-1 suite replayed under a delay-only
-# fault spec — delays must leave every numerical assertion bitwise
-# intact (collectives fold in rank order regardless of arrival time).
+# both in-memory backends — the fault suite includes the netcomm drop
+# test that severs a real socket and the delay-inertness check over the
+# wire — then the full tier-1 suite replayed under a delay-only fault
+# spec (delays must leave every numerical assertion bitwise intact;
+# collectives fold in rank order regardless of arrival time), and
+# finally the socket backend's own sever/panic/watchdog paths under the
+# race detector.
 chaos:
 	PILUT_TEST_FAST=1 $(GO) test -race -count=1 ./internal/fault ./internal/service
 	PILUT_TEST_FAST=1 PILUT_BACKEND=real $(GO) test -race -count=1 ./internal/fault ./internal/service
 	PILUT_TEST_FAST=1 PILUT_FAULTS='seed=7,delay=0.05@1e-6' $(GO) test -count=1 ./internal/core ./internal/krylov ./internal/dist
 	PILUT_TEST_FAST=1 PILUT_FAULTS='seed=7,delay=0.05@1e-6' PILUT_BACKEND=real $(GO) test -count=1 ./internal/core ./internal/krylov ./internal/dist
+	PILUT_TEST_FAST=1 $(GO) test -race -count=1 ./internal/pcomm/netcomm -run 'TestGroupDropFaultReconnect|TestGroupPanicPropagation|TestGroupWatchdog'
 
 # End-to-end smoke of the solver daemon: builds pilutd, starts it, submits
 # the quickstart matrix over HTTP, solves it twice (asserting the second
@@ -68,6 +85,15 @@ bench-service:
 bench-backend:
 	PILUT_BENCH_OUT=$(CURDIR)/BENCH_backend.json \
 		$(GO) test . -run TestEmitBackendBench -count=1 -v
+
+# Wall-clock factorization time, shared-memory backend vs netcomm over
+# unix-socket loopback (two nodes) at p=16; writes BENCH_netcomm.json.
+# The overhead ratio is the price of real frames — the number to watch
+# when deciding whether a workload is big enough to shard across
+# machines.
+bench-netcomm:
+	PILUT_BENCH_NETCOMM_OUT=$(CURDIR)/BENCH_netcomm.json \
+		$(GO) test . -run TestEmitNetcommBench -count=1 -v
 
 # Short fuzzing pass over every fuzz target; matches the CI fuzz lane.
 # Override FUZZTIME for longer local runs, e.g. `make fuzz-smoke FUZZTIME=5m`.

@@ -59,6 +59,11 @@ func summarizeMs(samples []float64) backendDist {
 // PILUT_BENCH_OUT (the path to write) so ordinary test runs skip it;
 // `make bench-backend` sets it.
 func TestEmitBackendBench(t *testing.T) {
+	if netcommWorker() {
+		// Creates no netcomm worlds (skipping cannot desync generation
+		// numbers); only the parent process should write the report.
+		t.Skip("netcomm worker process")
+	}
 	out := os.Getenv("PILUT_BENCH_OUT")
 	if out == "" {
 		t.Skip("set PILUT_BENCH_OUT=<path> to emit BENCH_backend.json")

@@ -1,19 +1,30 @@
-// Backend bit-compatibility tests: the modelled machine and the
-// wall-clock shared-memory backend must produce bitwise-identical
-// numerical results. Collectives on both backends fold contributions in
-// processor-rank order (Dong & Cooperman, arXiv:0803.0048), so every
-// float along the pipeline — factor values, residual histories, solution
-// vectors — is a pure function of the input data, not of the scheduler.
-// Timing (virtual vs wall clock) is the only observable allowed to
-// differ; everything here compares through math.Float64bits, not
-// tolerances.
+// Backend bit-compatibility tests: the modelled machine, the wall-clock
+// shared-memory backend, and the multi-process netcomm backend must
+// produce bitwise-identical numerical results. Collectives on all three
+// backends fold contributions in processor-rank order (Dong & Cooperman,
+// arXiv:0803.0048), so every float along the pipeline — factor values,
+// residual histories, solution vectors — is a pure function of the input
+// data, not of the scheduler or the network. Timing (virtual vs wall
+// clock) is the only observable allowed to differ; everything here
+// compares through math.Float64bits, not tolerances.
+//
+// The netcomm leg runs the same pipeline across two OS processes: the
+// default spawn spec re-execs this test binary, and the worker child
+// runs the same test sequence so its world-creation order matches the
+// parent's (the SPMD-at-program-granularity contract). Because netcomm
+// processes host only their local ranks, the pipeline gathers every
+// observable with an AllGather so each process can assemble the full
+// picture — the gathers happen after the comm-counter snapshot, so the
+// counters still describe the pipeline alone.
 package repro_test
 
 import (
 	"context"
 	"math"
+	"os"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -25,10 +36,60 @@ import (
 	"repro/internal/partition"
 	"repro/internal/pcomm"
 	"repro/internal/pcomm/modelled"
+	"repro/internal/pcomm/netcomm"
 	"repro/internal/pcomm/realcomm"
 	"repro/internal/service"
 	"repro/internal/sparse"
 )
+
+// rankObs is one rank's contribution to the pipeline cross-check,
+// shipped through a single AllGather. All fields are exported because
+// the netcomm backend moves top-level payloads through encoding/gob.
+type rankObs struct {
+	Wire  core.WirePrecond
+	Comm  pcomm.Stats
+	Gmres krylov.Result
+	X     []float64
+}
+
+func init() {
+	// Spawned netcomm workers run this same binary, so the registration
+	// covers both sides of the wire.
+	pcomm.RegisterWire(rankObs{})
+}
+
+// netcommWorker reports whether this process is a spawned netcomm child:
+// the spawner rewrites PILUT_BACKEND to an explicit spec naming the
+// child's own listen address. Workers run the same world-creating tests
+// as the parent (generation numbers must line up), but skip tests that
+// create no netcomm worlds and whose results only the parent reads.
+func netcommWorker() bool {
+	spec := os.Getenv(netcomm.BackendEnvVar)
+	if !netcomm.IsSpec(spec) {
+		return false
+	}
+	s, err := netcomm.ParseSpec(spec)
+	return err == nil && s.Spawn == 0
+}
+
+// netcommWorld returns a P-rank world on the netcomm process group: the
+// explicit spec from the environment when this process is a spawned
+// worker (or a CI lane chose one), otherwise a fresh two-process group
+// spawned from this test binary.
+func netcommWorld(t *testing.T, p int) pcomm.World {
+	t.Helper()
+	spec := os.Getenv(netcomm.BackendEnvVar)
+	if !netcomm.IsSpec(spec) {
+		spec = "netcomm:spawn=2"
+	}
+	w, err := netcomm.WorldFor(spec, p)
+	if err != nil {
+		t.Fatalf("netcomm world (%s): %v", spec, err)
+	}
+	// Generous: a wedged spawn should fail loudly, not hang the suite.
+	w.SetWatchdog(120 * time.Second)
+	return w
+}
 
 // pipelineOut is everything observable from one factor+solve run that
 // must not depend on the communication backend.
@@ -43,7 +104,9 @@ type pipelineOut struct {
 
 // runPipeline factors a on w's processors, gathers the factors, then
 // solves A·x = A·1 with preconditioned GMRES, recording every
-// backend-independent observable.
+// backend-independent observable. The observables travel through an
+// AllGather rather than shared slices so the pipeline also works on
+// multi-process backends, where each process sees only its local ranks.
 func runPipeline(t *testing.T, w pcomm.World, a *sparse.CSR, lay *dist.Layout, plan *core.Plan, P int) pipelineOut {
 	t.Helper()
 	n := a.N
@@ -55,19 +118,11 @@ func runPipeline(t *testing.T, w pcomm.World, a *sparse.CSR, lay *dist.Layout, p
 	a.MulVec(b, e)
 	bParts := lay.Scatter(b)
 
-	out := pipelineOut{
-		stats: make([]core.Stats, P),
-		comm:  make([]pcomm.Stats, P),
-		gmres: make([]krylov.Result, P),
-	}
-	pcs := make([]*core.ProcPrecond, P)
-	xParts := make([][]float64, P)
+	views := make([][]rankObs, P)
 	opt := core.Options{Params: ilu.Params{M: 8, Tau: 1e-4, K: 2}, Seed: 7}
 	w.Run(func(p pcomm.Comm) {
 		id := p.ID()
 		pc := core.Factor(p, plan, opt)
-		pcs[id] = pc
-		out.stats[id] = pc.Stats
 
 		dm := dist.NewMatrix(p, lay, a)
 		x := make([]float64, lay.NLocal(id))
@@ -76,13 +131,52 @@ func runPipeline(t *testing.T, w pcomm.World, a *sparse.CSR, lay *dist.Layout, p
 		if err != nil {
 			panic(err)
 		}
-		out.gmres[id] = r
-		xParts[id] = x
 
+		// Snapshot the counters before the cross-check gather below adds
+		// its own traffic; the clocks (virtual vs wall seconds) are the
+		// one backend-dependent observable, so zero them here.
 		s := p.Stats()
 		s.Time, s.Busy = 0, 0
-		out.comm[id] = s
+
+		obs := p.AllGather(rankObs{Wire: pc.Wire(), Comm: s, Gmres: r, X: x},
+			pcomm.BytesOf[rankObs](1))
+		all := make([]rankObs, P)
+		for q, v := range obs {
+			all[q] = v.(rankObs)
+		}
+		views[id] = all
 	})
+
+	// Every rank assembled the same P observations; any local view works.
+	var obs []rankObs
+	for _, v := range views {
+		if v != nil {
+			obs = v
+			break
+		}
+	}
+	if obs == nil {
+		t.Fatal("run produced no local rank view")
+	}
+
+	out := pipelineOut{
+		stats: make([]core.Stats, P),
+		comm:  make([]pcomm.Stats, P),
+		gmres: make([]krylov.Result, P),
+	}
+	pcs := make([]*core.ProcPrecond, P)
+	xParts := make([][]float64, P)
+	for q := 0; q < P; q++ {
+		pc, err := core.FromWire(plan, obs[q].Wire)
+		if err != nil {
+			t.Fatalf("rank %d wire rebuild: %v", q, err)
+		}
+		pcs[q] = pc
+		out.stats[q] = obs[q].Wire.Stats
+		out.comm[q] = obs[q].Comm
+		out.gmres[q] = obs[q].Gmres
+		xParts[q] = obs[q].X
+	}
 	f, perm, err := core.GatherFactors(pcs)
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +185,7 @@ func runPipeline(t *testing.T, w pcomm.World, a *sparse.CSR, lay *dist.Layout, p
 	out.x = lay.Gather(xParts)
 	for q := range out.stats {
 		// The phase clocks read p.Time(): modelled seconds on one backend,
-		// wall seconds on the other. Everything else must match bitwise.
+		// wall seconds on the others. Everything else must match bitwise.
 		out.stats[q].Phase1InteriorSeconds = 0
 		out.stats[q].Phase1InterfaceSeconds = 0
 		out.stats[q].Phase2Seconds = 0
@@ -118,9 +212,53 @@ func csrBitwiseEqual(a, b *sparse.CSR) bool {
 		floatsBitwiseEqual(a.Vals, b.Vals)
 }
 
+// comparePipelines asserts every backend-independent observable matches
+// bitwise between two runs of the same problem.
+func comparePipelines(t *testing.T, name string, P int, refName, gotName string, ref, got pipelineOut) {
+	t.Helper()
+	if !csrBitwiseEqual(ref.factors.L, got.factors.L) {
+		t.Errorf("%s P=%d: L factor differs between %s and %s", name, P, refName, gotName)
+	}
+	if !csrBitwiseEqual(ref.factors.U, got.factors.U) {
+		t.Errorf("%s P=%d: U factor differs between %s and %s", name, P, refName, gotName)
+	}
+	if !reflect.DeepEqual(ref.perm, got.perm) {
+		t.Errorf("%s P=%d: elimination permutation differs between %s and %s", name, P, refName, gotName)
+	}
+	for q := 0; q < P; q++ {
+		if !reflect.DeepEqual(ref.stats[q], got.stats[q]) {
+			t.Errorf("%s P=%d proc %d: factor stats differ:\n%s %+v\n%s %+v",
+				name, P, q, refName, ref.stats[q], gotName, got.stats[q])
+		}
+		if !reflect.DeepEqual(ref.comm[q], got.comm[q]) {
+			t.Errorf("%s P=%d proc %d: comm counters differ:\n%s %+v\n%s %+v",
+				name, P, q, refName, ref.comm[q], gotName, got.comm[q])
+		}
+		rg, gg := ref.gmres[q], got.gmres[q]
+		if rg.Converged != gg.Converged || rg.NMatVec != gg.NMatVec || rg.Restarts != gg.Restarts {
+			t.Errorf("%s P=%d proc %d: GMRES outcome differs: %s %+v %s %+v",
+				name, P, q, refName, rg, gotName, gg)
+		}
+		if !floatsBitwiseEqual(rg.History, gg.History) {
+			t.Errorf("%s P=%d proc %d: GMRES residual history differs between %s and %s",
+				name, P, q, refName, gotName)
+		}
+		if len(rg.History) == 0 {
+			t.Errorf("%s P=%d proc %d: GMRES recorded no residual history", name, P, q)
+		}
+	}
+	if !floatsBitwiseEqual(ref.x, got.x) {
+		t.Errorf("%s P=%d: GMRES solution differs between %s and %s", name, P, refName, gotName)
+	}
+	if !ref.gmres[0].Converged {
+		t.Errorf("%s P=%d: solve did not converge; equivalence test is vacuous", name, P)
+	}
+}
+
 // TestBackendBitwiseEquivalence runs the full factor+GMRES pipeline on
-// the modelled machine and on the real shared-memory backend and demands
-// bitwise-identical factors, per-level statistics, communication
+// the modelled machine, the real shared-memory backend, and the
+// multi-process netcomm backend (two OS processes over loopback) and
+// demands bitwise-identical factors, per-level statistics, communication
 // counters, residual histories and solutions.
 func TestBackendBitwiseEquivalence(t *testing.T) {
 	problems := []struct {
@@ -146,45 +284,10 @@ func TestBackendBitwiseEquivalence(t *testing.T) {
 
 			mod := runPipeline(t, modelled.New(P, machine.T3D()), a, lay, plan, P)
 			real := runPipeline(t, realcomm.New(P), a, lay, plan, P)
+			net := runPipeline(t, netcommWorld(t, P), a, lay, plan, P)
 
-			name := prob.name
-			if !csrBitwiseEqual(mod.factors.L, real.factors.L) {
-				t.Errorf("%s P=%d: L factor differs between backends", name, P)
-			}
-			if !csrBitwiseEqual(mod.factors.U, real.factors.U) {
-				t.Errorf("%s P=%d: U factor differs between backends", name, P)
-			}
-			if !reflect.DeepEqual(mod.perm, real.perm) {
-				t.Errorf("%s P=%d: elimination permutation differs", name, P)
-			}
-			for q := 0; q < P; q++ {
-				if !reflect.DeepEqual(mod.stats[q], real.stats[q]) {
-					t.Errorf("%s P=%d proc %d: factor stats differ:\nmodelled %+v\nreal     %+v",
-						name, P, q, mod.stats[q], real.stats[q])
-				}
-				if !reflect.DeepEqual(mod.comm[q], real.comm[q]) {
-					t.Errorf("%s P=%d proc %d: comm counters differ:\nmodelled %+v\nreal     %+v",
-						name, P, q, mod.comm[q], real.comm[q])
-				}
-				mg, rg := mod.gmres[q], real.gmres[q]
-				if mg.Converged != rg.Converged || mg.NMatVec != rg.NMatVec || mg.Restarts != rg.Restarts {
-					t.Errorf("%s P=%d proc %d: GMRES outcome differs: modelled %+v real %+v",
-						name, P, q, mg, rg)
-				}
-				if !floatsBitwiseEqual(mg.History, rg.History) {
-					t.Errorf("%s P=%d proc %d: GMRES residual history differs between backends",
-						name, P, q)
-				}
-				if len(mg.History) == 0 {
-					t.Errorf("%s P=%d proc %d: GMRES recorded no residual history", name, P, q)
-				}
-			}
-			if !floatsBitwiseEqual(mod.x, real.x) {
-				t.Errorf("%s P=%d: GMRES solution differs between backends", name, P)
-			}
-			if !mod.gmres[0].Converged {
-				t.Errorf("%s P=%d: solve did not converge; equivalence test is vacuous", name, P)
-			}
+			comparePipelines(t, prob.name, P, "modelled", "real", mod, real)
+			comparePipelines(t, prob.name, P, "modelled", "netcomm", mod, net)
 		}
 	}
 }
@@ -193,6 +296,11 @@ func TestBackendBitwiseEquivalence(t *testing.T) {
 // service layer: two servers differing only in Backend return
 // bitwise-identical solutions for the same request.
 func TestServiceBackendEquivalence(t *testing.T) {
+	if netcommWorker() {
+		// Creates no netcomm worlds (skipping cannot desync generation
+		// numbers) and only the parent reads service results.
+		t.Skip("netcomm worker process")
+	}
 	a := matgen.Torso(10, 10, 10, 3)
 	b := make([]float64, a.N)
 	for i := range b {

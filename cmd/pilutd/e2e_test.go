@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/matgen"
+	"repro/internal/pcomm/netcomm"
 	"repro/internal/sparse"
 )
 
@@ -39,6 +40,12 @@ func TestEndToEnd(t *testing.T) {
 	backendKind := os.Getenv("PILUT_BACKEND")
 	if backendKind == "" {
 		backendKind = "modelled"
+	}
+	if netcomm.IsSpec(backendKind) {
+		// The daemon rejects multi-process backends (its request streams
+		// live in one process); run the netcomm CI lane's e2e pass on
+		// the wall-clock backend instead.
+		backendKind = "real"
 	}
 	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-procs", "4", "-backend", backendKind)
 	stderr, err := cmd.StderrPipe()

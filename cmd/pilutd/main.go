@@ -25,9 +25,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -174,13 +177,58 @@ func newMux(svc *service.Server, maxTimeoutMs int) *http.ServeMux {
 		}
 	})
 
+	// In a cluster, /healthz aggregates every peer's liveness; peers
+	// probe each other with ?scope=local, which answers this daemon's
+	// own health without recursing. A down peer degrades the status but
+	// keeps it 200 — the daemon still answers everything it can serve
+	// alone; only draining (this daemon going away) is a 503.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		h := svc.Health()
+		if !svc.ClusterEnabled() || r.URL.Query().Get("scope") == "local" {
+			h := svc.Health()
+			status := http.StatusOK
+			if h.Status != "ok" {
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, h)
+			return
+		}
+		h := svc.ClusterHealthCheck()
 		status := http.StatusOK
-		if h.Status != "ok" {
+		if h.Status != "ok" && h.Status != "degraded" {
 			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, h)
+	})
+
+	// Internal peer API: daemon-to-daemon factorization transfer and
+	// matrix replication (gob bodies, not part of the public surface).
+	mux.HandleFunc("GET /v1/peer/factor/{key}", func(w http.ResponseWriter, r *http.Request) {
+		data, err := svc.ExportFactor(r.PathValue("key"))
+		if err != nil {
+			status := http.StatusNotFound
+			if !errors.Is(err, service.ErrUnknownMatrix) && !errors.Is(err, service.ErrNotExportable) {
+				status = http.StatusUnprocessableEntity
+			}
+			writeError(w, status, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := w.Write(data); err != nil {
+			log.Printf("pilutd: writing peer factor response: %v", err)
+		}
+	})
+
+	mux.HandleFunc("POST /v1/peer/matrix", func(w http.ResponseWriter, r *http.Request) {
+		key, known, err := svc.ImportMatrix(http.MaxBytesReader(w, r.Body, maxMatrixBytes))
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, service.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"key": key, "known": known})
 	})
 
 	// Unknown paths get the same structured JSON error shape as every
@@ -190,6 +238,58 @@ func newMux(svc *service.Server, maxTimeoutMs int) *http.ServeMux {
 	})
 
 	return mux
+}
+
+// splitPeers parses the -peers list, trimming blanks.
+func splitPeers(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// launchPeers is the cluster launcher: it re-executes this binary once
+// per other -peers entry, with -self switched to that entry, -addr
+// derived from its URL, and -spawn-peers off (exactly one process
+// launches the cluster). Children inherit every other flag, so the
+// whole cluster shares one configuration — which ownership transfer
+// requires. Children die with the launcher (SIGKILL on parent death)
+// and are otherwise left to run; each drains independently on SIGTERM.
+func launchPeers(peerList []string, self string) error {
+	for _, peer := range peerList {
+		if peer == self {
+			continue
+		}
+		u, err := url.Parse(peer)
+		if err != nil || u.Host == "" {
+			return fmt.Errorf("peer %q is not a URL with a host", peer)
+		}
+		args := []string{"-addr", u.Host, "-self", peer, "-spawn-peers=false"}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "addr", "self", "spawn-peers":
+				return
+			}
+			args = append(args, "-"+f.Name+"="+f.Value.String())
+		})
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting daemon for %s: %w", peer, err)
+		}
+		log.Printf("pilutd: launched peer daemon %s (pid %d)", peer, cmd.Process.Pid)
+		go func(peer string) {
+			if err := cmd.Wait(); err != nil {
+				log.Printf("pilutd: peer daemon %s exited: %v", peer, err)
+			}
+		}(peer)
+	}
+	return nil
 }
 
 func main() {
@@ -203,6 +303,10 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 256, "factorization cache budget in MiB")
 	t3d := flag.Bool("t3d", false, "model Cray T3D communication costs instead of free communication")
 	backendKind := flag.String("backend", "modelled", "communication backend: modelled (virtual time) or real (wall-clock shared memory)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster daemon (including this one); empty runs standalone")
+	self := flag.String("self", "", "this daemon's base URL in -peers (e.g. http://127.0.0.1:8417)")
+	spawnPeers := flag.Bool("spawn-peers", false, "launch one child pilutd per other -peers entry, forming the whole cluster from one command")
+	peerTimeoutMs := flag.Int("peer-timeout-ms", 10000, "per-operation timeout for daemon-to-daemon calls (factor fetch, replication, health probes)")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace JSON file per machine run into this directory")
 	maxTimeoutMs := flag.Int("max-timeout-ms", 600000, "per-request deadline cap in milliseconds; requests without timeout_ms get this deadline (0 disables)")
 	maxQueue := flag.Int("max-queue", 1024, "queued solve requests beyond which the server sheds load with 429")
@@ -229,8 +333,31 @@ func main() {
 	if *t3d {
 		cost = machine.T3D()
 	}
-	if _, err := backend.New(*backendKind, *procs, cost); err != nil {
+	// Validate, don't build: constructing a netcomm world here would
+	// rendezvous a whole process group just to check a flag (the service
+	// rejects multi-process backends anyway — cluster distribution
+	// happens at this HTTP layer, via -peers).
+	if err := backend.Validate(*backendKind); err != nil {
 		log.Fatalf("pilutd: %v", err)
+	}
+	var clusterCfg *service.ClusterConfig
+	if *peers != "" {
+		peerList := splitPeers(*peers)
+		if *self == "" {
+			log.Fatalf("pilutd: -peers requires -self (this daemon's URL in the list)")
+		}
+		clusterCfg = &service.ClusterConfig{
+			Self:      *self,
+			Peers:     peerList,
+			OpTimeout: time.Duration(*peerTimeoutMs) * time.Millisecond,
+		}
+		if *spawnPeers {
+			if err := launchPeers(peerList, *self); err != nil {
+				log.Fatalf("pilutd: launching peers: %v", err)
+			}
+		}
+	} else if *spawnPeers {
+		log.Fatalf("pilutd: -spawn-peers requires -peers")
 	}
 	svc := service.New(service.Config{
 		Procs:      *procs,
@@ -243,6 +370,7 @@ func main() {
 		TraceDir:   *traceDir,
 		MaxQueue:   *maxQueue,
 		Faults:     spec,
+		Cluster:    clusterCfg,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -49,6 +49,13 @@ func TestErrDrop(t *testing.T) {
 	analysistest.Run(t, analysis.ErrDrop, testdata(t, "errdrop"))
 }
 
+// TestErrDropNetcomm covers the stricter boundary applied inside the
+// netcomm transport: stdlib net/io/bufio/gob/exec errors and the
+// package's own helpers must be handled, with Close excepted.
+func TestErrDropNetcomm(t *testing.T) {
+	analysistest.Run(t, analysis.ErrDrop, testdata(t, "netcomm"))
+}
+
 // TestSuppressMultiLineCall is the regression test for suppression
 // matching: an annotation above a multi-line call covers diagnostics
 // reported at the call's arguments on later lines.

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ErrDrop flags discarded errors on the comm and service boundaries: a
@@ -31,13 +32,29 @@ func errBoundaryPkg(path string) bool {
 	return exemptPkg(path) || path == ServicePath
 }
 
+// netBoundaryPkg is the boundary set applied *inside* the netcomm
+// transport (ordinary messaging-layer packages are exempt from errdrop;
+// netcomm is not): the stdlib layers its dial/accept/frame/spawn paths
+// are built on, plus its own helpers. A dropped error here does not
+// just lose a diagnosis — it turns a dead connection into a rank that
+// blocks forever, so the watchdog fires instead of the *RunError that
+// names the broken link.
+func netBoundaryPkg(path string) bool {
+	switch path {
+	case "net", "io", "bufio", "encoding/gob", "os/exec":
+		return true
+	}
+	return strings.HasSuffix(path, "/netcomm") || errBoundaryPkg(path)
+}
+
 var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
 
 // boundaryErrResults returns the indices of call's error-typed results
-// when the callee is a module-local function of a boundary package.
-func boundaryErrResults(info *types.Info, call *ast.CallExpr) (fn *types.Func, errIdx []int) {
+// when the callee is a function of a package the boundary predicate
+// accepts.
+func boundaryErrResults(info *types.Info, call *ast.CallExpr, boundary func(string) bool) (fn *types.Func, errIdx []int) {
 	callee := calleeOf(info, call)
-	if callee == nil || callee.Pkg() == nil || !errBoundaryPkg(callee.Pkg().Path()) {
+	if callee == nil || callee.Pkg() == nil || !boundary(callee.Pkg().Path()) {
 		return nil, nil
 	}
 	sig, ok := callee.Type().(*types.Signature)
@@ -56,7 +73,15 @@ func boundaryErrResults(info *types.Info, call *ast.CallExpr) (fn *types.Func, e
 }
 
 func runErrDrop(pass *Pass) error {
-	if exemptPkg(pass.Pkg.Path()) {
+	boundaryOf := func(fn *types.Func) bool { return true }
+	boundary := errBoundaryPkg
+	if strings.HasSuffix(pass.Pkg.Path(), "/netcomm") {
+		// The socket transport gets the stricter net-level boundary.
+		// Close is excepted: teardown paths drop Close errors
+		// deliberately (the interesting error already happened).
+		boundary = netBoundaryPkg
+		boundaryOf = func(fn *types.Func) bool { return fn.Name() != "Close" }
+	} else if exemptPkg(pass.Pkg.Path()) {
 		// The messaging layer's internal plumbing manages its own errors.
 		return nil
 	}
@@ -65,21 +90,28 @@ func runErrDrop(pass *Pass) error {
 		pass.Reportf(pos.Pos(),
 			"error result of %s %s; on a comm/service boundary the error carries the failure diagnosis (*pcomm.RunError rank, cause, blocked-state dump) — handle it", funcLabel(fn), how)
 	}
+	results := func(call *ast.CallExpr) (*types.Func, []int) {
+		fn, errIdx := boundaryErrResults(info, call, boundary)
+		if fn == nil || !boundaryOf(fn) {
+			return nil, nil
+		}
+		return fn, errIdx
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := n.X.(*ast.CallExpr); ok {
-					if fn, _ := boundaryErrResults(info, call); fn != nil {
+					if fn, _ := results(call); fn != nil {
 						report(n, fn, "discarded (call used as a statement)")
 					}
 				}
 			case *ast.DeferStmt:
-				if fn, _ := boundaryErrResults(info, n.Call); fn != nil {
+				if fn, _ := results(n.Call); fn != nil {
 					report(n, fn, "discarded (deferred call)")
 				}
 			case *ast.GoStmt:
-				if fn, _ := boundaryErrResults(info, n.Call); fn != nil {
+				if fn, _ := results(n.Call); fn != nil {
 					report(n, fn, "discarded (go statement)")
 				}
 			case *ast.AssignStmt:
@@ -91,7 +123,7 @@ func runErrDrop(pass *Pass) error {
 				if !ok || len(n.Lhs) < 2 {
 					return true
 				}
-				fn, errIdx := boundaryErrResults(info, call)
+				fn, errIdx := results(call)
 				if fn == nil {
 					return true
 				}

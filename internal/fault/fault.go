@@ -89,6 +89,12 @@ type Event struct {
 	Seq  int
 	Kind string // "delay", "drop", "panic"
 	Op   string // "send", "recv", "barrier", ...
+	// Detail names the transport the fault armed, when there was one: a
+	// drop on a networked backend severs a real connection and records
+	// which (e.g. "netcomm tcp 127.0.0.1:401→127.0.0.1:402 (rank 0→2)").
+	// Empty for in-memory backends, whose drop swallows the message with
+	// nothing to sever.
+	Detail string
 }
 
 // InjectedPanic is the panic value of a panic fault. It is an error, so
@@ -268,9 +274,37 @@ func (s *Spec) Events() []Event {
 }
 
 func (s *Spec) record(rank, seq int, kind, op string) {
+	s.recordDetail(rank, seq, kind, op, "")
+}
+
+func (s *Spec) recordDetail(rank, seq int, kind, op, detail string) {
 	s.mu.Lock()
-	s.events = append(s.events, Event{Rank: rank, Seq: seq, Kind: kind, Op: op})
+	s.events = append(s.events, Event{Rank: rank, Seq: seq, Kind: kind, Op: op, Detail: detail})
 	s.mu.Unlock()
+}
+
+// armedReport renders the destructive faults this spec has fired, with
+// the transport each one armed, for appending to a RunError's dump: when
+// a chaos run dies, the diagnosis says which injected fault killed it
+// and which connection (if any) was cut.
+func (s *Spec) armedReport() string {
+	var lines []string
+	for _, e := range s.Events() {
+		if e.Kind == "delay" {
+			continue
+		}
+		line := fmt.Sprintf("  rank %d, comm op %d: injected %s at %q", e.Rank, e.Seq, e.Kind, e.Op)
+		if e.Detail != "" {
+			line += " — transport armed: " + e.Detail
+		} else if e.Kind == "drop" {
+			line += " — in-memory transport, message swallowed with nothing to sever"
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return ""
+	}
+	return "fault injection active (spec " + s.String() + "):\n" + strings.Join(lines, "\n")
 }
 
 func (s *Spec) fireDrop() bool  { return s.dropFired.CompareAndSwap(false, true) }

@@ -26,7 +26,25 @@ type world struct {
 func (w *world) NumProcs() int                 { return w.inner.NumProcs() }
 func (w *world) SetWatchdog(d time.Duration)   { w.inner.SetWatchdog(d) }
 func (w *world) SetRecorder(r *trace.Recorder) { w.inner.SetRecorder(r) }
+
+// Run injects the spec into every rank. When the run dies, the
+// *pcomm.RunError's dump gains a report of the destructive faults that
+// fired — including which transport each drop severed — so a chaos
+// failure is diagnosable from the error alone.
 func (w *world) Run(f func(pcomm.Comm)) pcomm.Result {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*pcomm.RunError); ok {
+				if report := w.spec.armedReport(); report != "" {
+					if re.Dump != "" {
+						re.Dump += "\n"
+					}
+					re.Dump += report
+				}
+			}
+			panic(r)
+		}
+	}()
 	return w.inner.Run(func(c pcomm.Comm) { f(w.spec.wrap(c)) })
 }
 
@@ -85,12 +103,20 @@ func (in *injector) beforeOp(op string) {
 	}
 }
 
-// dropThis reports whether this send is the spec's dropped one.
-func (in *injector) dropThis() bool {
+// dropThis reports whether this send is the spec's dropped one. On a
+// backend with a real transport (netcomm), the drop also severs the
+// connection toward dst — exercising the receiver's half-close handling
+// and the sender's redial path — and records which transport it cut; on
+// in-memory backends the message is swallowed with nothing to sever.
+func (in *injector) dropThis(dst int) bool {
 	s := in.spec
 	in.sent++
 	if s.DropNth > 0 && s.DropRank == in.ID() && in.sent == s.DropNth && s.fireDrop() {
-		s.record(in.ID(), in.ops, "drop", "send")
+		detail := ""
+		if td, ok := in.Comm.(pcomm.TransportDropper); ok {
+			detail = td.DropTransport(dst)
+		}
+		s.recordDetail(in.ID(), in.ops, "drop", "send", detail)
 		return true
 	}
 	return false
@@ -98,7 +124,7 @@ func (in *injector) dropThis() bool {
 
 func (in *injector) Send(dst, tag int, payload any, bytes int) {
 	in.beforeOp("send")
-	if in.dropThis() {
+	if in.dropThis(dst) {
 		return
 	}
 	in.Comm.Send(dst, tag, payload, bytes)
@@ -139,7 +165,7 @@ type rawInjector struct {
 
 func (in *rawInjector) SendRaw(dst, tag int, h pcomm.RawSlice, bytes int) {
 	in.beforeOp("send")
-	if in.dropThis() {
+	if in.dropThis(dst) {
 		return
 	}
 	in.raw.SendRaw(dst, tag, h, bytes)

@@ -1,0 +1,177 @@
+// Chaos coverage for the fault layer over the socket backend: a drop
+// fault on netcomm must sever the real transport (not just swallow a
+// value in memory), the blocked receiver must surface as a watchdog
+// RunError, and the error's dump must name the armed transport — the
+// full diagnosis chain `make chaos` relies on when a distributed run
+// dies.
+package fault_test
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/netcomm"
+)
+
+// netcommGroup builds an n-node netcomm group over unix sockets in a
+// temp dir. Rendezvous blocks until every node is up, so nodes are
+// created concurrently.
+func netcommGroup(t *testing.T, n int) []*netcomm.Node {
+	t.Helper()
+	dir := t.TempDir()
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = filepath.Join(dir, "fault"+string(rune('0'+i))+".sock")
+	}
+	nodes := make([]*netcomm.Node, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			nodes[i], errs[i] = netcomm.NewNode(&netcomm.Spec{
+				Raw: "fault:" + dir, Listen: peers[i], Peers: peers, Self: i,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			if err := nd.Close(); err != nil {
+				t.Logf("closing node: %v", err)
+			}
+		}
+	})
+	return nodes
+}
+
+// TestDropFaultSeversNetcommTransport: the injected drop on a
+// cross-process send cuts the socket toward the receiver and swallows
+// the message; the receiver's hang trips the watchdog, the failure
+// unwinds both processes' worlds as *pcomm.RunError, and the dump names
+// the severed transport so the chaos failure is diagnosable from the
+// error alone.
+func TestDropFaultSeversNetcommTransport(t *testing.T) {
+	nodes := netcommGroup(t, 2)
+	spec, err := fault.Parse("seed=1,drop=0@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const P = 2
+	worlds := make([]pcomm.World, len(nodes))
+	for i, nd := range nodes {
+		w, err := nd.NewWorld(P)
+		if err != nil {
+			t.Fatalf("node %d NewWorld: %v", i, err)
+		}
+		w.SetWatchdog(time.Second)
+		worlds[i] = spec.World(w)
+	}
+	runErrs := make([]error, len(worlds))
+	var wg sync.WaitGroup
+	wg.Add(len(worlds))
+	for i, w := range worlds {
+		go func(i int, w pcomm.World) {
+			defer wg.Done()
+			_, runErrs[i] = pcomm.Guard(w, func(p pcomm.Comm) {
+				if p.ID() == 0 {
+					p.Send(1, 7, 3.14, 8)
+				} else {
+					p.Recv(0, 7)
+				}
+			})
+		}(i, w)
+	}
+	wg.Wait()
+
+	events := spec.Events()
+	if len(events) != 1 || events[0].Kind != "drop" {
+		t.Fatalf("events = %+v, want exactly one drop", events)
+	}
+	if d := events[0].Detail; !strings.Contains(d, "netcomm") || !strings.Contains(d, "rank 0→1") {
+		t.Errorf("drop event detail %q does not name the severed transport", d)
+	}
+	for i, err := range runErrs {
+		if err == nil {
+			t.Fatalf("process %d: dropped send did not fail the run", i)
+		}
+		var re *pcomm.RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("process %d: error %v (%T) is not a *pcomm.RunError", i, err, err)
+		}
+		if !strings.Contains(re.Dump, "transport armed") || !strings.Contains(re.Dump, "netcomm") {
+			t.Errorf("process %d: dump does not report the armed transport:\n%s", i, re.Dump)
+		}
+	}
+}
+
+// TestDelayFaultsBitwiseInertOverNetcomm: delay-only specs perturb
+// arrival timing through real sockets; rank-order folds must keep the
+// reduction bitwise identical to the clean run.
+func TestDelayFaultsBitwiseInertOverNetcomm(t *testing.T) {
+	nodes := netcommGroup(t, 2)
+	const P = 4
+	sum := func(w pcomm.World, out *float64) error {
+		_, err := pcomm.Guard(w, func(p pcomm.Comm) {
+			v := 1.0 / float64(3*p.ID()+1)
+			got := p.AllReduceFloat64(v, pcomm.OpSum)
+			if p.ID() == 0 {
+				*out = got
+			}
+		})
+		return err
+	}
+	run := func(spec *fault.Spec) float64 {
+		t.Helper()
+		var out float64
+		worlds := make([]pcomm.World, len(nodes))
+		for i, nd := range nodes {
+			w, err := nd.NewWorld(P)
+			if err != nil {
+				t.Fatalf("node %d NewWorld: %v", i, err)
+			}
+			w.SetWatchdog(time.Minute)
+			worlds[i] = spec.World(w)
+		}
+		errs := make([]error, len(worlds))
+		var wg sync.WaitGroup
+		wg.Add(len(worlds))
+		for i, w := range worlds {
+			go func(i int, w pcomm.World) {
+				defer wg.Done()
+				errs[i] = sum(w, &out)
+			}(i, w)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("process %d: %v", i, err)
+			}
+		}
+		return out
+	}
+	clean := run(&fault.Spec{})
+	spec, err := fault.Parse("seed=5,delay=0.9@1e-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed := run(spec)
+	if len(spec.Events()) == 0 {
+		t.Fatal("delay spec injected nothing; test is vacuous")
+	}
+	if clean != delayed {
+		t.Fatalf("delay-only faults changed the fold: %v vs %v", clean, delayed)
+	}
+}

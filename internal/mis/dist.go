@@ -21,6 +21,10 @@ type stateMsg struct {
 	Active []bool
 }
 
+// stateMsg crosses the communicator, so the multi-process backend must
+// be able to serialize it.
+func init() { pcomm.RegisterWire(stateMsg{}) }
+
 // Exchange describes the communication plan the setup phase derived and
 // the global activity count observed in the first round. The parallel
 // factorization reuses the plan to push pivot rows: the processors that

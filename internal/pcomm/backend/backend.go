@@ -1,6 +1,7 @@
 // Package backend selects a pcomm.World implementation by name. This is
 // the single point where the service, CLIs, and tests choose between the
-// modelled simulator and the wall-clock shared-memory backend.
+// modelled simulator, the wall-clock shared-memory backend, and the
+// multi-process netcomm backend.
 package backend
 
 import (
@@ -10,30 +11,52 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pcomm"
 	"repro/internal/pcomm/modelled"
+	"repro/internal/pcomm/netcomm"
 	"repro/internal/pcomm/realcomm"
 )
 
-// Kinds accepted by New. The empty string means Modelled.
+// Kinds accepted by New. The empty string means Modelled. Netcomm specs
+// carry configuration in the kind itself — "netcomm", "netcomm:spawn=N"
+// or "netcomm:<listen>;<peer,peer,...>" — and are validated here, at
+// selection time, so a typo fails at startup rather than at first send.
 const (
 	Modelled = "modelled"
 	Real     = "real"
+	Netcomm  = netcomm.Kind
 )
 
 // EnvVar is the environment variable FromEnv and the test harness read
-// to pick a backend ("modelled" or "real").
+// to pick a backend ("modelled", "real", or a netcomm spec).
 const EnvVar = "PILUT_BACKEND"
 
 // New creates a world of the given kind with p processors. cost applies
-// only to the modelled backend; the real backend runs at hardware speed
-// and ignores it.
+// only to the modelled backend; the wall-clock backends run at hardware
+// speed and ignore it.
 func New(kind string, p int, cost machine.CostModel) (pcomm.World, error) {
-	switch kind {
-	case "", Modelled:
+	switch {
+	case kind == "" || kind == Modelled:
 		return modelled.New(p, cost), nil
-	case Real:
+	case kind == Real:
 		return realcomm.New(p), nil
+	case netcomm.IsSpec(kind):
+		return netcomm.WorldFor(kind, p)
 	default:
-		return nil, fmt.Errorf("backend: unknown kind %q (want %q or %q)", kind, Modelled, Real)
+		return nil, fmt.Errorf("backend: unknown kind %q (want %q, %q or a %q spec)", kind, Modelled, Real, Netcomm)
+	}
+}
+
+// Validate checks a backend kind without creating a world (netcomm specs
+// parse fully), so flag handling can reject a bad spec before any
+// listener or subprocess exists.
+func Validate(kind string) error {
+	switch {
+	case kind == "" || kind == Modelled || kind == Real:
+		return nil
+	case netcomm.IsSpec(kind):
+		_, err := netcomm.ParseSpec(kind)
+		return err
+	default:
+		return fmt.Errorf("backend: unknown kind %q (want %q, %q or a %q spec)", kind, Modelled, Real, Netcomm)
 	}
 }
 

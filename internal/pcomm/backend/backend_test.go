@@ -1,0 +1,44 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pcomm/netcomm"
+)
+
+// netcomm cannot import this package (it would cycle through the
+// registry), so it duplicates the environment-variable name; this pins
+// the two constants together.
+func TestNetcommEnvVarMatches(t *testing.T) {
+	if netcomm.BackendEnvVar != EnvVar {
+		t.Fatalf("netcomm.BackendEnvVar = %q, backend.EnvVar = %q", netcomm.BackendEnvVar, EnvVar)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, kind := range []string{"", Modelled, Real, "netcomm", "netcomm:spawn=4", "netcomm:/tmp/a.sock;/tmp/a.sock,/tmp/b.sock"} {
+		if err := Validate(kind); err != nil {
+			t.Errorf("Validate(%q) = %v, want nil", kind, err)
+		}
+	}
+	bad := map[string]string{
+		"mpi":               "unknown kind",
+		"netcomm:spawn=0":   "spawn",
+		"netcomm:spawn=999": "spawn",
+		"netcomm:/tmp/a.sock;/tmp/b.sock,/tmp/c.sock": "listen address",
+	}
+	for kind, want := range bad {
+		err := Validate(kind)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("Validate(%q) = %v, want error containing %q", kind, err, want)
+		}
+	}
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New("mpi", 2, machine.CostModel{}); err == nil {
+		t.Fatal("New accepted an unknown backend kind")
+	}
+}

@@ -1,0 +1,165 @@
+// Package netcomm is the multi-process pcomm backend: ranks live in
+// separate OS processes connected over TCP or unix-domain sockets. It is
+// the third backend next to the modelled simulator and the shared-memory
+// realcomm, and keeps their bit-compatibility contract: every collective
+// folds contributions in rank order, so factors, statistics and GMRES
+// histories are bitwise identical across all three (the backend
+// equivalence tests assert this across process boundaries).
+//
+// # Model
+//
+// A netcomm run is SPMD at program granularity: N processes execute the
+// same binary, each hosting a contiguous block of the P ranks. World
+// creation order is the generation counter — because every process runs
+// the same program, the k-th world created on one process corresponds to
+// the k-th world on every other, and all frames carry the generation so
+// no cross-run traffic can alias.
+//
+// Process 0 is the coordinator: at node creation every other process
+// dials it once (the rendezvous) and keeps that control connection for
+// collective deposits, abort propagation and result broadcast. Data
+// messages flow on lazily dialed per-(src, dst) connections carrying
+// length-prefixed frames; co-located ranks short-circuit through
+// in-memory mailboxes and never touch a socket.
+//
+// # Spec grammar
+//
+// A backend spec selects the process group:
+//
+//	netcomm                          spawn mode, two processes (default)
+//	netcomm:spawn=N                  this process re-executes itself N-1
+//	                                 times over unix sockets in a temp dir
+//	netcomm:<listen>;<peer,peer,...> explicit peer list; <listen> must
+//	                                 appear in the list and identifies
+//	                                 this process. Addresses containing
+//	                                 "/" are unix socket paths, everything
+//	                                 else dials TCP.
+//
+// Specs are validated at parse time so a misconfigured daemon or test
+// run fails at startup, not at first send.
+package netcomm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind is the backend-registry prefix of every netcomm spec.
+const Kind = "netcomm"
+
+// maxSpawn bounds spawn mode: re-executing the whole binary per process
+// makes large N an accident, not a capability.
+const maxSpawn = 64
+
+// Spec is a parsed netcomm backend spec.
+type Spec struct {
+	// Raw is the spec text as given, the node-registry key.
+	Raw string
+	// Spawn is the process count of spawn mode; 0 selects explicit mode.
+	Spawn int
+	// Listen is this process's listen address (explicit mode).
+	Listen string
+	// Peers lists every process's listen address in rank-block order
+	// (explicit mode). Self is the index of Listen in Peers.
+	Peers []string
+	Self  int
+}
+
+// N returns the number of processes in the group.
+func (s *Spec) N() int {
+	if s.Spawn > 0 {
+		return s.Spawn
+	}
+	return len(s.Peers)
+}
+
+// IsSpec reports whether kind looks like a netcomm backend spec (exact
+// kind or "netcomm:..."). It does not validate; ParseSpec does.
+func IsSpec(kind string) bool {
+	return kind == Kind || strings.HasPrefix(kind, Kind+":")
+}
+
+// ParseSpec validates and decodes a netcomm backend spec.
+func ParseSpec(kind string) (*Spec, error) {
+	if !IsSpec(kind) {
+		return nil, fmt.Errorf("netcomm: %q is not a netcomm spec", kind)
+	}
+	s := &Spec{Raw: kind}
+	body := strings.TrimPrefix(kind, Kind)
+	body = strings.TrimPrefix(body, ":")
+	if body == "" {
+		s.Spawn = 2
+		return s, nil
+	}
+	if n, ok := strings.CutPrefix(body, "spawn="); ok {
+		v, err := strconv.Atoi(n)
+		if err != nil {
+			return nil, fmt.Errorf("netcomm: spawn count %q is not an integer", n)
+		}
+		if v < 1 || v > maxSpawn {
+			return nil, fmt.Errorf("netcomm: spawn count %d out of range [1, %d]", v, maxSpawn)
+		}
+		s.Spawn = v
+		return s, nil
+	}
+	listen, peers, ok := strings.Cut(body, ";")
+	if !ok {
+		return nil, fmt.Errorf("netcomm: spec %q: want %q, %q or %q", kind,
+			Kind, Kind+":spawn=N", Kind+":<listen>;<peer,peer,...>")
+	}
+	s.Listen = strings.TrimSpace(listen)
+	if s.Listen == "" {
+		return nil, fmt.Errorf("netcomm: spec %q has an empty listen address", kind)
+	}
+	s.Self = -1
+	for _, p := range strings.Split(peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("netcomm: spec %q has an empty peer address", kind)
+		}
+		if p == s.Listen {
+			if s.Self >= 0 {
+				return nil, fmt.Errorf("netcomm: spec %q lists %q twice", kind, p)
+			}
+			s.Self = len(s.Peers)
+		}
+		s.Peers = append(s.Peers, p)
+	}
+	if s.Self < 0 {
+		return nil, fmt.Errorf("netcomm: listen address %q is not in the peer list %v", s.Listen, s.Peers)
+	}
+	return s, nil
+}
+
+// network maps an address to its net package network name: addresses
+// containing a path separator are unix-domain sockets, the rest is TCP.
+func network(addr string) string {
+	if strings.Contains(addr, "/") {
+		return "unix"
+	}
+	return "tcp"
+}
+
+// rankRange returns the half-open global-rank interval process i hosts
+// in a P-rank world over n processes: earlier processes take the extra
+// ranks, so rank 0 always lives on process 0.
+func rankRange(p, n, i int) (lo, hi int) {
+	base, rem := p/n, p%n
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// rankProc returns the process index hosting global rank r.
+func rankProc(p, n, r int) int {
+	for i := 0; i < n; i++ {
+		if lo, hi := rankRange(p, n, i); r >= lo && r < hi {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("netcomm: rank %d out of range for P=%d", r, p))
+}

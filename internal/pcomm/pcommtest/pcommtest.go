@@ -1,10 +1,12 @@
 // Package pcommtest builds worlds for tests. New honors $PILUT_BACKEND
-// so the whole tier-1 suite can run against either backend (CI runs the
-// matrix), and $PILUT_FAULTS so the chaos lane can replay the entire
-// suite under deterministic fault injection (delay-only specs keep every
-// numerical assertion valid — see internal/fault). Tests that assert
-// modelled virtual-time numbers should call machine.New directly
-// instead.
+// so the whole tier-1 suite can run against any backend — the modelled
+// simulator, the shared-memory realcomm, or a netcomm process group
+// ("netcomm:spawn=2" re-executes the test binary and spreads each
+// world's ranks across OS processes) — and $PILUT_FAULTS so the chaos
+// lane can replay the entire suite under deterministic fault injection
+// (delay-only specs keep every numerical assertion valid — see
+// internal/fault). Tests that assert modelled virtual-time numbers
+// should call machine.New directly instead.
 package pcommtest
 
 import (
@@ -15,15 +17,24 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pcomm"
 	"repro/internal/pcomm/backend"
+	"repro/internal/pcomm/netcomm"
 )
 
 // Backend reports the backend kind tests run under ("modelled" unless
-// $PILUT_BACKEND says otherwise).
+// $PILUT_BACKEND says otherwise). Netcomm kinds are full specs.
 func Backend() string {
 	if k := os.Getenv(backend.EnvVar); k != "" {
 		return k
 	}
 	return backend.Modelled
+}
+
+// Netcomm reports whether tests run over the multi-process backend.
+// Tests whose harness cannot span OS processes (anything driving a
+// service request stream, which only exists in one process) skip under
+// it.
+func Netcomm() bool {
+	return netcomm.IsSpec(Backend())
 }
 
 // New creates a world with p processors using the backend selected by

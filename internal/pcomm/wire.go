@@ -1,0 +1,46 @@
+package pcomm
+
+import "encoding/gob"
+
+// RegisterWire registers a concrete payload type with the wire codec the
+// multi-process backend (pcomm/netcomm) uses to move Send/AllGather
+// payloads between OS processes. The in-process backends pass payloads
+// by reference and need no registration; a package whose payload types
+// cross the communicator seam calls RegisterWire from an init function
+// so the types serialize under netcomm too. Registration is keyed by the
+// concrete type's name inside one binary — SPMD runs execute the same
+// binary in every process, so sender and receiver always agree.
+//
+// Unexported types work: gob encodes the exported fields of a registered
+// concrete type regardless of the type name's visibility.
+func RegisterWire(v any) { gob.Register(v) }
+
+// Common scalar and slice payloads the SPMD stack sends or gathers. The
+// netcomm fast path encodes float64 and int without gob; everything else
+// round-trips through the gob registry.
+func init() {
+	RegisterWire(int(0))
+	RegisterWire(int64(0))
+	RegisterWire(float64(0))
+	RegisterWire(uint64(0))
+	RegisterWire(false)
+	RegisterWire("")
+	RegisterWire([]int(nil))
+	RegisterWire([]int64(nil))
+	RegisterWire([]float64(nil))
+	RegisterWire([]uint64(nil))
+	RegisterWire([]bool(nil))
+	RegisterWire([]byte(nil))
+	RegisterWire(Stats{})
+}
+
+// TransportDropper is an optional Comm capability of backends whose
+// messages cross a real transport. DropTransport severs the underlying
+// connection from this rank toward dst — the network-level analogue of
+// the fault layer's message drop — and returns a human-readable
+// description of the transport it cut, for the RunError diagnosis.
+// In-process backends do not implement it (there is no transport to
+// cut); the fault injector falls back to silently swallowing the send.
+type TransportDropper interface {
+	DropTransport(dst int) string
+}

@@ -110,6 +110,17 @@ func (c *factorCache) lookup(key string) (*entry, bool) {
 	return ent, true
 }
 
+// peek is lookup without the hit/miss accounting, for resolution paths
+// that already counted the top-level lookup (or, like peer serves,
+// should not perturb the local counters at all).
+func (c *factorCache) peek(key string) (*entry, bool) {
+	ent, ok := c.entries[key]
+	if ok {
+		c.lru.MoveToFront(ent.elem)
+	}
+	return ent, ok
+}
+
 // insert publishes a freshly built entry and evicts least-recently-used
 // entries until the budget is met again. The new entry itself is never
 // evicted (a single oversized factorization is allowed to live alone).
@@ -122,7 +133,6 @@ func (c *factorCache) insert(ent *entry) {
 	ent.elem = c.lru.PushFront(ent)
 	c.entries[ent.key] = ent
 	c.bytes += ent.bytes
-	c.factorizations++
 	for c.bytes > c.budget && c.lru.Len() > 1 {
 		victim := c.lru.Back().Value.(*entry)
 		c.removeLocked(victim)

@@ -1,0 +1,576 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/pcomm"
+	"repro/internal/pcomm/realcomm"
+	"repro/internal/sparse"
+)
+
+// ClusterConfig makes a server one member of a static pilutd cluster.
+// Every daemon runs the same peer list (and the same Procs, Seed and
+// Params — ownership transfers factorizations, and a piece factored
+// under one layout cannot be applied under another). Matrix fingerprints
+// are routed across the peers by rendezvous (highest-random-weight)
+// hashing: each key has exactly one owning daemon, every daemon computes
+// the same owner with no coordination, and removing a peer only reassigns
+// the keys it owned.
+type ClusterConfig struct {
+	// Self is this daemon's advertised base URL; it must appear in Peers.
+	Self string
+	// Peers lists every daemon's base URL, e.g.
+	// ["http://10.0.0.1:8417", "http://10.0.0.2:8417"]. Order does not
+	// matter (ownership hashes the URL strings, not the positions), but
+	// the *set* must be identical on every daemon or routing loops are
+	// possible; the peer-serve endpoints therefore never fetch from a
+	// peer in turn.
+	Peers []string
+	// OpTimeout bounds each peer HTTP operation (factor fetch, matrix
+	// replication, health probe). Default 10s.
+	OpTimeout time.Duration
+}
+
+func (c *ClusterConfig) withDefaults() (*ClusterConfig, error) {
+	if c == nil {
+		return nil, nil
+	}
+	out := *c
+	if out.OpTimeout <= 0 {
+		out.OpTimeout = 10 * time.Second
+	}
+	if len(out.Peers) < 2 {
+		return nil, fmt.Errorf("service: cluster needs at least 2 peers, got %d", len(out.Peers))
+	}
+	seen := make(map[string]bool, len(out.Peers))
+	selfFound := false
+	for _, p := range out.Peers {
+		if p == "" {
+			return nil, errors.New("service: cluster peer list contains an empty URL")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("service: duplicate cluster peer %q", p)
+		}
+		seen[p] = true
+		if p == out.Self {
+			selfFound = true
+		}
+	}
+	if !selfFound {
+		return nil, fmt.Errorf("service: cluster self %q is not in the peer list", out.Self)
+	}
+	return &out, nil
+}
+
+// ClusterStats counts cross-daemon traffic for the stats endpoint.
+type ClusterStats struct {
+	Peers             int    `json:"peers"`
+	Self              string `json:"self"`
+	PeerFetches       int64  `json:"peer_fetches"`        // factor fetches attempted
+	PeerFetchHits     int64  `json:"peer_fetch_hits"`     // answered from the owner's cache
+	PeerFetchMisses   int64  `json:"peer_fetch_misses"`   // owner did not have it (built locally)
+	PeerFetchFailures int64  `json:"peer_fetch_failures"` // transport/decode failures (built locally)
+	PeerServes        int64  `json:"peer_serves"`         // factor exports served to peers
+	ReplicationsSent  int64  `json:"replications_sent"`   // matrices pushed to their owner
+	ReplicationsLost  int64  `json:"replications_lost"`   // pushes that failed (owner down)
+}
+
+// cluster is the server's runtime view of its peer group: the routing
+// hash, one HTTP client, and a per-peer circuit breaker (the same state
+// machine that guards matrix keys) so a dead daemon stops costing a
+// timeout per request long before anyone restarts it.
+type cluster struct {
+	self    string
+	peers   []string
+	client  *http.Client
+	timeout time.Duration
+
+	mu  sync.Mutex
+	brk *breaker
+
+	fetches, fetchHits, fetchMisses, fetchFailures atomic.Int64
+	serves, replSent, replLost                     atomic.Int64
+}
+
+func newCluster(cfg *ClusterConfig, brkFailures int, brkCooldown time.Duration) *cluster {
+	return &cluster{
+		self:    cfg.Self,
+		peers:   append([]string(nil), cfg.Peers...),
+		client:  &http.Client{Timeout: cfg.OpTimeout},
+		timeout: cfg.OpTimeout,
+		brk:     newBreaker(brkFailures, brkCooldown),
+	}
+}
+
+// owner returns the daemon that owns key under rendezvous hashing: the
+// peer whose hash(peer, key) is largest. Every daemon computes the same
+// owner from the same peer set, and a peer's death moves only its own
+// keys.
+func (cl *cluster) owner(key string) string {
+	best := ""
+	var bestSum [sha256.Size]byte
+	h := sha256.New()
+	for _, peer := range cl.peers {
+		h.Reset()
+		io.WriteString(h, peer)
+		h.Write([]byte{0})
+		io.WriteString(h, key)
+		var sum [sha256.Size]byte
+		h.Sum(sum[:0])
+		if best == "" || bytes.Compare(sum[:], bestSum[:]) > 0 {
+			best, bestSum = peer, sum
+		}
+	}
+	return best
+}
+
+// allow asks the peer's circuit breaker whether an operation may
+// proceed; peerUp/peerDown report the outcome back.
+func (cl *cluster) allow(peer string) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	_, ok := cl.brk.allow(peer)
+	return ok
+}
+
+func (cl *cluster) peerUp(peer string) {
+	cl.mu.Lock()
+	cl.brk.success(peer)
+	cl.mu.Unlock()
+}
+
+func (cl *cluster) peerDown(peer string) {
+	cl.mu.Lock()
+	cl.brk.failure(peer)
+	cl.mu.Unlock()
+}
+
+func (cl *cluster) breakerOpen(peer string) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, k := range cl.brk.openKeys() {
+		if k == peer {
+			return true
+		}
+	}
+	return false
+}
+
+func (cl *cluster) snapshot() *ClusterStats {
+	return &ClusterStats{
+		Peers:             len(cl.peers),
+		Self:              cl.self,
+		PeerFetches:       cl.fetches.Load(),
+		PeerFetchHits:     cl.fetchHits.Load(),
+		PeerFetchMisses:   cl.fetchMisses.Load(),
+		PeerFetchFailures: cl.fetchFailures.Load(),
+		PeerServes:        cl.serves.Load(),
+		ReplicationsSent:  cl.replSent.Load(),
+		ReplicationsLost:  cl.replLost.Load(),
+	}
+}
+
+// errPeerMiss reports the owner answered cleanly but had nothing to
+// serve (unknown matrix or an unexportable block-Jacobi entry): the
+// peer is healthy, the fetcher just builds locally.
+var errPeerMiss = errors.New("service: peer does not have the factorization")
+
+// getFactor fetches key's encoded factorization from peer.
+func (cl *cluster) getFactor(peer, key string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), cl.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/peer/factor/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(io.LimitReader(resp.Body, maxMatrixWireBytes))
+	case http.StatusNotFound:
+		return nil, errPeerMiss
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("service: peer %s answered %d to factor fetch: %s", peer, resp.StatusCode, bytes.TrimSpace(body))
+	}
+}
+
+// putMatrix replicates a matrix body to its owner.
+func (cl *cluster) putMatrix(peer string, body []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cl.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/peer/matrix", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := cl.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service: peer %s answered %d to matrix replication", peer, resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// probeHealth asks one peer for its local (non-aggregated) health.
+func (cl *cluster) probeHealth(peer string) (status string, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), cl.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz?scope=local", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := cl.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return "", err
+	}
+	if h.Status == "" {
+		return "", fmt.Errorf("peer answered %d with no status", resp.StatusCode)
+	}
+	return h.Status, nil
+}
+
+// maxMatrixWireBytes bounds peer transfer bodies (a factorization of a
+// cached matrix, or the matrix itself) the same way the public matrix
+// endpoint bounds MatrixMarket bodies.
+const maxMatrixWireBytes = 1 << 30
+
+// wireCSR is the gob form of a sparse matrix for peer replication.
+type wireCSR struct {
+	N, M   int
+	RowPtr []int
+	Cols   []int
+	Vals   []float64
+}
+
+func csrToWire(a *sparse.CSR) wireCSR {
+	return wireCSR{N: a.N, M: a.M, RowPtr: a.RowPtr, Cols: a.Cols, Vals: a.Vals}
+}
+
+func csrFromWire(w wireCSR) *sparse.CSR {
+	return &sparse.CSR{N: w.N, M: w.M, RowPtr: w.RowPtr, Cols: w.Cols, Vals: w.Vals}
+}
+
+// wireFactor is the gob body of /v1/peer/factor/{key}: the factored
+// matrix plus every processor's preconditioner piece, and the exact
+// configuration the factorization ran under. The importer rebuilds the
+// partition, layout and elimination plan deterministically from the
+// matrix — those are pure functions of (matrix, procs, seed) — and
+// rehydrates the pieces, so the factors never get recomputed and stay
+// bitwise identical to the owner's.
+type wireFactor struct {
+	Key           string
+	Matrix        wireCSR
+	Procs         int
+	Seed          int64
+	LadderStep    string
+	Degraded      bool
+	Levels        int
+	FactorSeconds float64
+	Pieces        []core.WirePrecond
+}
+
+// ErrNotExportable marks entries whose pieces are not ProcPrecond rows
+// (the block-Jacobi containment floor): those are cheap to rebuild and
+// not worth a wire format.
+var ErrNotExportable = errors.New("service: factorization entry is not exportable")
+
+func wireOfEntry(ent *entry, cfg Config) (*wireFactor, error) {
+	wf := &wireFactor{
+		Key:           ent.key,
+		Matrix:        csrToWire(ent.a),
+		Procs:         cfg.Procs,
+		Seed:          cfg.Seed,
+		LadderStep:    ent.ladderStep,
+		Degraded:      ent.degraded,
+		Levels:        ent.levels,
+		FactorSeconds: ent.factorSeconds,
+		Pieces:        make([]core.WirePrecond, len(ent.pcs)),
+	}
+	for q, pc := range ent.pcs {
+		pp, ok := pc.(*core.ProcPrecond)
+		if !ok {
+			return nil, fmt.Errorf("%w: processor %d holds a %T piece", ErrNotExportable, q, pc)
+		}
+		wf.Pieces[q] = pp.Wire()
+	}
+	return wf, nil
+}
+
+// ExportFactor encodes key's factorization for a peer daemon. The entry
+// is resolved strictly locally — cache hit or local build, never a
+// fetch from another peer — so daemons with disagreeing peer lists
+// cannot route a fetch in a cycle. Unknown keys surface
+// ErrUnknownMatrix (the peer endpoint answers 404 and the fetcher
+// builds locally).
+func (s *Server) ExportFactor(key string) ([]byte, error) {
+	ent, _, err := s.entryForLocal(key)
+	if err != nil {
+		return nil, err
+	}
+	wf, err := wireOfEntry(ent, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wf); err != nil {
+		return nil, fmt.Errorf("service: encoding factorization %s: %w", key, err)
+	}
+	if s.cluster != nil {
+		s.cluster.serves.Add(1)
+	}
+	return buf.Bytes(), nil
+}
+
+// importFactor decodes a peer's factorization and rebuilds a cache
+// entry around it: the matrix, layout and plan are reconstructed
+// locally (deterministic given the wire's procs and seed, which must
+// match this daemon's), the preconditioner rows come straight off the
+// wire, and the ghost-exchange plans are rebuilt in a local
+// shared-memory run — the only part that needs a communicator, and it
+// moves no floating-point data.
+func (s *Server) importFactor(key string, data []byte) (ent *entry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ent, err = nil, fmt.Errorf("service: importing factorization %s: %v", key, r)
+		}
+	}()
+	var wf wireFactor
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wf); err != nil {
+		return nil, fmt.Errorf("service: decoding factorization %s: %w", key, err)
+	}
+	if wf.Key != key {
+		return nil, fmt.Errorf("service: peer served factorization %s for requested key %s", wf.Key, key)
+	}
+	if wf.Procs != s.cfg.Procs || wf.Seed != s.cfg.Seed {
+		return nil, fmt.Errorf("service: peer factored %s with procs=%d seed=%d, this daemon runs procs=%d seed=%d — cluster members must share configuration",
+			key, wf.Procs, wf.Seed, s.cfg.Procs, s.cfg.Seed)
+	}
+	if len(wf.Pieces) != wf.Procs {
+		return nil, fmt.Errorf("service: factorization %s carries %d pieces for %d processors", key, len(wf.Pieces), wf.Procs)
+	}
+	a := csrFromWire(wf.Matrix)
+	if got := sparse.Fingerprint(a); got != key {
+		return nil, fmt.Errorf("service: peer-served matrix fingerprints to %s, want %s", got, key)
+	}
+
+	g := graph.FromMatrix(a)
+	part := partition.KWay(g, s.cfg.Procs, partition.Options{Seed: s.cfg.Seed})
+	lay, err := dist.NewLayout(a.N, s.cfg.Procs, part)
+	if err != nil {
+		return nil, fmt.Errorf("service: layout for imported %s: %w", key, err)
+	}
+	prem := a
+	if wf.LadderStep == "shift" {
+		prem = shiftDiagonal(a, shiftAlpha(a))
+	}
+	plan, err := core.NewPlan(prem, lay)
+	if err != nil {
+		return nil, fmt.Errorf("service: plan for imported %s: %w", key, err)
+	}
+
+	ent = &entry{
+		key:           key,
+		a:             a,
+		lay:           lay,
+		pcs:           make([]precPiece, wf.Procs),
+		mats:          make([]*dist.Matrix, wf.Procs),
+		levels:        wf.Levels,
+		factorSeconds: wf.FactorSeconds,
+		degraded:      wf.Degraded,
+		ladderStep:    wf.LadderStep,
+	}
+	for q := range wf.Pieces {
+		pp, perr := core.FromWire(plan, wf.Pieces[q])
+		if perr != nil {
+			return nil, perr
+		}
+		ent.pcs[q] = pp
+	}
+	if _, rerr := pcomm.Guard(realcomm.New(wf.Procs), func(c pcomm.Comm) {
+		ent.mats[c.ID()] = dist.NewMatrix(c, lay, a)
+	}); rerr != nil {
+		return nil, fmt.Errorf("service: ghost plans for imported %s: %w", key, rerr)
+	}
+
+	ent.bytes = a.SizeBytes()
+	for q := 0; q < wf.Procs; q++ {
+		ent.bytes += ent.pcs[q].SizeBytes()
+		ent.bytes += ent.mats[q].SizeBytes()
+	}
+	// The importing daemon now knows the matrix too: a later cache
+	// eviction can rebuild locally without resubmission.
+	s.mu.Lock()
+	s.matrices.put(a)
+	s.mu.Unlock()
+	return ent, nil
+}
+
+// ImportMatrix ingests a replicated matrix from a peer (the gob wireCSR
+// body of POST /v1/peer/matrix).
+func (s *Server) ImportMatrix(r io.Reader) (key string, known bool, err error) {
+	var w wireCSR
+	if err := gob.NewDecoder(io.LimitReader(r, maxMatrixWireBytes)).Decode(&w); err != nil {
+		return "", false, fmt.Errorf("service: decoding replicated matrix: %w", err)
+	}
+	return s.Submit(csrFromWire(w))
+}
+
+// peerFetch tries to satisfy a cache miss from key's owning daemon.
+// Failure of any kind — breaker open, owner down, owner miss, decode
+// mismatch — returns false and the caller builds locally, so no peer
+// death can fail a request that this daemon could answer alone.
+func (s *Server) peerFetch(key string) (*entry, bool) {
+	cl := s.cluster
+	if cl == nil {
+		return nil, false
+	}
+	owner := cl.owner(key)
+	if owner == cl.self || !cl.allow(owner) {
+		return nil, false
+	}
+	cl.fetches.Add(1)
+	data, err := cl.getFactor(owner, key)
+	if err != nil {
+		if errors.Is(err, errPeerMiss) {
+			// A clean miss is a healthy answer.
+			cl.fetchMisses.Add(1)
+			cl.peerUp(owner)
+		} else {
+			cl.fetchFailures.Add(1)
+			cl.peerDown(owner)
+		}
+		return nil, false
+	}
+	cl.peerUp(owner)
+	ent, err := s.importFactor(key, data)
+	if err != nil {
+		cl.fetchFailures.Add(1)
+		return nil, false
+	}
+	cl.fetchHits.Add(1)
+	return ent, true
+}
+
+// replicateMatrix pushes a freshly submitted matrix to its owning
+// daemon so ownership works in the submit-anywhere flow: the owner can
+// then build (and serve) the factorization even though the client never
+// talked to it. Best-effort — a dead owner costs one gated attempt and
+// the submit still succeeds locally.
+func (s *Server) replicateMatrix(key string, a *sparse.CSR) {
+	cl := s.cluster
+	if cl == nil {
+		return
+	}
+	owner := cl.owner(key)
+	if owner == cl.self || !cl.allow(owner) {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(csrToWire(a)); err != nil {
+		cl.replLost.Add(1)
+		return
+	}
+	if err := cl.putMatrix(owner, buf.Bytes()); err != nil {
+		cl.replLost.Add(1)
+		cl.peerDown(owner)
+		return
+	}
+	cl.replSent.Add(1)
+	cl.peerUp(owner)
+}
+
+// PeerHealth is one peer's row in the aggregated cluster health.
+type PeerHealth struct {
+	URL string `json:"url"`
+	// Status: the peer's own reported status ("ok", "draining"), or
+	// "down" when it cannot be reached, or "self" for this daemon.
+	Status string `json:"status"`
+	// BreakerOpen reports this daemon's circuit breaker for the peer;
+	// an open breaker means recent operations kept failing and fetches
+	// are currently being skipped.
+	BreakerOpen bool   `json:"breaker_open"`
+	Error       string `json:"error,omitempty"`
+}
+
+// ClusterHealth is the cluster-wide health answer: this daemon's local
+// health plus one row per peer. Status degrades to "degraded" when any
+// peer is unreachable — the cluster still answers everything this
+// daemon can serve alone, so degradation is a warning, not an outage.
+type ClusterHealth struct {
+	Health
+	Cluster []PeerHealth `json:"cluster,omitempty"`
+}
+
+// ClusterEnabled reports whether this server is a cluster member.
+func (s *Server) ClusterEnabled() bool { return s.cluster != nil }
+
+// ClusterHealthCheck probes every peer's local health and aggregates.
+// Probes run concurrently; a dead peer costs one OpTimeout, not one per
+// peer.
+func (s *Server) ClusterHealthCheck() ClusterHealth {
+	out := ClusterHealth{Health: s.Health()}
+	cl := s.cluster
+	if cl == nil {
+		return out
+	}
+	rows := make([]PeerHealth, len(cl.peers))
+	var wg sync.WaitGroup
+	for i, peer := range cl.peers {
+		rows[i] = PeerHealth{URL: peer, BreakerOpen: cl.breakerOpen(peer)}
+		if peer == cl.self {
+			rows[i].Status = "self"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			status, err := cl.probeHealth(peer)
+			if err != nil {
+				rows[i].Status = "down"
+				rows[i].Error = err.Error()
+				return
+			}
+			rows[i].Status = status
+		}(i, peer)
+	}
+	wg.Wait()
+	for i := range rows {
+		if rows[i].Status != "self" && rows[i].Status != "ok" && out.Status == "ok" {
+			out.Status = "degraded"
+		}
+	}
+	out.Cluster = rows
+	return out
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pcomm"
 	"repro/internal/pcomm/backend"
+	"repro/internal/pcomm/netcomm"
 	"repro/internal/sparse"
 )
 
@@ -87,7 +88,11 @@ type Config struct {
 	// Backend picks the communication backend every run uses: "" or
 	// "modelled" for the simulated machine, "real" for wall-clock shared
 	// memory. Both produce bitwise-identical factors and solutions;
-	// ModelledSeconds becomes wall time under the real backend.
+	// ModelledSeconds becomes wall time under the real backend. The
+	// multi-process "netcomm" backend is rejected: a server's request
+	// streams live in one process, so distribution happens at the HTTP
+	// layer (a pilutd cluster of single-process daemons), not inside a
+	// run's world.
 	Backend string
 	// Workers is the number of concurrent batch executors. Default 2.
 	Workers int
@@ -118,6 +123,14 @@ type Config struct {
 	// open before one probe request is admitted. Defaults 3 and 30s.
 	BreakerFailures int
 	BreakerCooldown time.Duration
+	// Cluster, when non-nil, makes this server one member of a static
+	// pilutd cluster: matrix fingerprints are routed across the peer
+	// list by rendezvous hashing, cache misses for keys another daemon
+	// owns are satisfied by fetching its factorization over the
+	// /v1/peer/ API (falling back to a local build when the peer is
+	// down), and new matrices are replicated to their owner. All peers
+	// must run identical Procs, Seed and Params.
+	Cluster *ClusterConfig
 	// MaxRepairRate is the global pivot-repair rate above which a
 	// factorization is declared broken down (see core.Options). Default
 	// 0.25; negative disables breakdown detection.
@@ -231,6 +244,7 @@ type Server struct {
 	matrices  *matrixStore
 	cache     *factorCache
 	breaker   *breaker
+	cluster   *cluster // nil outside a cluster
 	pending   map[string][]*request // per key, FIFO
 	scheduled map[string]bool       // key is queued or being run
 	keyq      []string
@@ -245,11 +259,20 @@ type Server struct {
 }
 
 // New starts a Server with cfg.Workers executor goroutines. It panics on
-// an unknown cfg.Backend so a misconfigured daemon fails at startup
-// instead of on its first request.
+// an unknown or unusable cfg.Backend so a misconfigured daemon fails at
+// startup instead of on its first request. Validation must not build a
+// world: constructing a netcomm world would rendezvous a whole process
+// group just to be told no.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	if _, err := backend.New(cfg.Backend, cfg.Procs, cfg.Cost); err != nil {
+	if netcomm.IsSpec(cfg.Backend) {
+		panic(fmt.Errorf("service: backend %q is multi-process; a server runs in one process — shard work across daemons with pilutd -peers instead", cfg.Backend))
+	}
+	if err := backend.Validate(cfg.Backend); err != nil {
+		panic(err)
+	}
+	clusterCfg, err := cfg.Cluster.withDefaults()
+	if err != nil {
 		panic(err)
 	}
 	s := &Server{
@@ -260,6 +283,9 @@ func New(cfg Config) *Server {
 		breaker:   newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
 		pending:   make(map[string][]*request),
 		scheduled: make(map[string]bool),
+	}
+	if clusterCfg != nil {
+		s.cluster = newCluster(clusterCfg, cfg.BreakerFailures, cfg.BreakerCooldown)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.workerWG.Add(cfg.Workers)
@@ -284,11 +310,17 @@ func (s *Server) Submit(a *sparse.CSR) (key string, known bool, err error) {
 		return "", false, fmt.Errorf("service: matrix has %d rows, need at least one per processor (%d)", a.N, s.cfg.Procs)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return "", false, ErrClosed
 	}
 	key, known = s.matrices.put(a)
+	s.mu.Unlock()
+	if !known {
+		// In a cluster, push new matrices to their owning daemon so
+		// ownership works in the submit-anywhere flow (no-op otherwise).
+		s.replicateMatrix(key, a)
+	}
 	return key, known, nil
 }
 
@@ -397,13 +429,17 @@ func (s *Server) StatsSnapshot() Stats {
 	for _, q := range s.pending {
 		depth += len(q)
 	}
-	return Stats{
+	st := Stats{
 		Matrices:   s.matrices.len(),
 		QueueDepth: depth,
 		Running:    s.running,
 		Cache:      s.cache.snapshot(),
 		Solves:     s.stats.snapshot(),
 	}
+	if s.cluster != nil {
+		st.Cluster = s.cluster.snapshot()
+	}
+	return st
 }
 
 // Shutdown stops the service gracefully: new Submit/Solve calls are
@@ -521,12 +557,36 @@ func (s *Server) failBatch(batch []*request, err error) {
 	}
 }
 
-// entryFor returns the cached factorization for key, building and
-// inserting it on a miss. The build runs without the server lock;
-// per-key exclusive dispatch guarantees no duplicate concurrent build.
+// entryFor returns the cached factorization for key. On a miss, a
+// cluster member first asks the key's owning daemon for its cached
+// factorization (bitwise identical rows, no recomputation); any peer
+// failure — or no cluster at all — falls through to a local build. The
+// expensive paths run without the server lock; per-key exclusive
+// dispatch guarantees no duplicate concurrent build.
 func (s *Server) entryFor(key string) (*entry, bool, error) {
 	s.mu.Lock()
 	ent, ok := s.cache.lookup(key)
+	s.mu.Unlock()
+	if ok {
+		return ent, true, nil
+	}
+	if ent, ok := s.peerFetch(key); ok {
+		s.mu.Lock()
+		s.cache.insert(ent)
+		s.mu.Unlock()
+		return ent, false, nil
+	}
+	return s.entryForLocal(key)
+}
+
+// entryForLocal resolves key strictly on this daemon: cache hit or
+// local build, never a peer fetch. The peer-serve path uses it so two
+// daemons with disagreeing peer lists cannot route a fetch in a cycle.
+func (s *Server) entryForLocal(key string) (*entry, bool, error) {
+	s.mu.Lock()
+	// Uncounted: the caller either already recorded the miss (entryFor)
+	// or is a peer serve, which must not perturb local cache counters.
+	ent, ok := s.cache.peek(key)
 	if ok {
 		s.mu.Unlock()
 		return ent, true, nil
@@ -542,6 +602,9 @@ func (s *Server) entryFor(key string) (*entry, bool, error) {
 	}
 	s.mu.Lock()
 	s.cache.insert(ent)
+	// Only locally built entries count as factorizations; peer-imported
+	// ones are visible in ClusterStats.PeerFetchHits instead.
+	s.cache.factorizations++
 	s.mu.Unlock()
 	return ent, false, nil
 }

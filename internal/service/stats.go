@@ -97,6 +97,9 @@ type Stats struct {
 	Running    int        `json:"running_batches"`
 	Cache      CacheStats `json:"cache"`
 	Solves     SolveStats `json:"solves"`
+	// Cluster carries cross-daemon traffic counters; nil outside a
+	// cluster.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 var (
