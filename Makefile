@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json test test-real test-netcomm race race-real chaos check serve-smoke bench-service bench-backend bench-netcomm fuzz-smoke cover
+.PHONY: all build vet lint lint-json test test-real test-netcomm race race-real chaos check serve-smoke bench-service bench-backend bench-netcomm bench-speedup fuzz-smoke cover
 
 all: check
 
@@ -94,6 +94,15 @@ bench-backend:
 bench-netcomm:
 	PILUT_BENCH_NETCOMM_OUT=$(CURDIR)/BENCH_netcomm.json \
 		$(GO) test . -run TestEmitNetcommBench -count=1 -v
+
+# Real-backend wall-clock speedup curves (factorization and GMRES solve)
+# at p in {1,2,4,8,16}; writes BENCH_speedup.json. On hosts with at least
+# 8 CPUs the factor curve must show speedup > 1 at p=8 over p=1; on
+# smaller hosts the curve is report-only (goroutines timeslice the same
+# cores, so only the overhead is visible).
+bench-speedup:
+	PILUT_BENCH_SPEEDUP_OUT=$(CURDIR)/BENCH_speedup.json \
+		$(GO) test . -run TestEmitSpeedupBench -count=1 -v
 
 # Short fuzzing pass over every fuzz target; matches the CI fuzz lane.
 # Override FUZZTIME for longer local runs, e.g. `make fuzz-smoke FUZZTIME=5m`.

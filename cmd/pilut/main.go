@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -48,7 +50,44 @@ func main() {
 	maxMV := flag.Int("maxmv", 0, "matrix-vector budget (0 = 10n)")
 	seed := flag.Int64("seed", 1, "random seed (partitioning, MIS)")
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON file (factorization + solve) to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
+
+	// Profiles are written by deferred closers, so they cover the normal
+	// return path only; the os.Exit error paths below bypass them — an
+	// aborted run has no profile worth keeping.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile: wrote %s (inspect with `go tool pprof -top`)\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+			fmt.Printf("heap profile: wrote %s (inspect with `go tool pprof -top`)\n", *memProfile)
+		}()
+	}
 
 	a, name, err := loadMatrix(*matrixPath, *gen, *size, *seed)
 	if err != nil {

@@ -7,7 +7,6 @@ import (
 	"repro/internal/ilu"
 	"repro/internal/mis"
 	"repro/internal/pcomm"
-	"repro/internal/sparse"
 	"repro/internal/trace"
 )
 
@@ -154,7 +153,12 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 	}
 
 	st := &pc.Stats.ILU
-	w := sparse.NewWorkRow(2 * n)
+	// The scratch comes from the per-process pool: after the first few
+	// factorizations every kernel call runs allocation-free, and the
+	// factored rows themselves are carved from the scratch's output arena
+	// (detached to the ProcPrecond when the scratch is returned).
+	s := getScratch(2 * n)
+	defer putScratch(s)
 	intBase := plan.IntBase[me]
 	nInt := plan.NIntLocal[me]
 
@@ -177,9 +181,16 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 
 	// ---- Phase 1a: factor the interior rows (local ILUT) ---------------
 	// localU[nid-intBase] is the U row of interior pivot nid, kernel form.
-	localU := make([]*ilu.URow, nInt)
+	// A value slice, not []*URow: storing a pivot is a copy into
+	// preallocated memory instead of a per-row heap escape, and the looked-
+	// up pointers stay valid because the slice is never regrown.
+	localU := make([]ilu.URow, nInt)
+	localUSet := make([]bool, nInt)
 	pivotLookup := func(k int) *ilu.URow {
-		return localU[k-intBase]
+		if !localUSet[k-intBase] {
+			return nil
+		}
+		return &localU[k-intBase]
 	}
 	encCols := make([]int, 0, 64)
 	encVals := make([]float64, 0, 64)
@@ -204,18 +215,19 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 
 		// The interior block is sequential: use the heap-driven kernel
 		// with the pivot range covering my already-factored interiors.
-		lC, lV, rC, rV := ilu.EliminateRowSeq(w, myNew, encCols, encVals,
+		lC, lV, rC, rV := s.EliminateRowSeq(myNew, encCols, encVals,
 			pivotLookup, intBase, myNew, tau, par.M, 0, st)
 		// For an interior row the "reduced" part is its U row: everything
 		// at or after the diagonal in elimination order, i.e. combined
 		// indices ≥ myNew. EliminateRowSeq split at myNew, so rC holds
 		// diag + later interiors + interface columns. Cap it to M like the
 		// standard 2nd dropping rule (diagonal excluded from the cap).
-		urow, err := ilu.FactorPivotRowPerturbed(myNew, rC, rV, tau, par.M, par.PivotPerturb, st)
+		urow, err := s.FactorPivotRow(myNew, rC, rV, tau, par.M, par.PivotPerturb, st)
 		if err != nil {
 			panic(err)
 		}
-		localU[myNew-intBase] = &urow
+		localU[myNew-intBase] = urow
+		localUSet[myNew-intBase] = true
 		pc.lCols[li], pc.lVals[li] = lC, lV
 		pc.uCols[li], pc.uVals[li] = urow.Cols, urow.Vals
 		pc.uDiag[li] = urow.Diag
@@ -247,7 +259,7 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 			encVals = append(encVals, vals[k])
 		}
 		sortPair(encCols, encVals)
-		lC, lV, rC, rV := ilu.EliminateRowSeq(w, n+g, encCols, encVals,
+		lC, lV, rC, rV := s.EliminateRowSeq(n+g, encCols, encVals,
 			pivotLookup, intBase, intBase+nInt, tau, par.M, par.K, st)
 		pc.lCols[li], pc.lVals[li] = lC, lV
 		reduced[li] = redRow{rC, rV}
@@ -266,7 +278,25 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 	// ---- Phase 2: level-by-level interface factorization ---------------
 	nl := plan.TotInterior
 	ownerOf := func(g int) int { return lay.PartOf[g] }
-	ufinal := make(map[int]*ilu.URow) // my interface pivots, by global id
+	// My factored interface pivots, by local index: value storage with a
+	// presence mask, so storing a pivot never heap-escapes and &uF[li]
+	// stays valid for the level's pivot lookups.
+	uF := make([]ilu.URow, nLocal)
+	uFSet := make([]bool, nLocal)
+	// Per-level structures, allocated once and recycled each level: the
+	// adjacency of the reduced matrix as one flat buffer plus offsets, the
+	// id-translation buffer, and the two pivot maps (cleared, not remade —
+	// their buckets are reused, so steady-state inserts don't allocate).
+	var (
+		ownedIDs []int
+		adj      [][]int
+		adjFlat  []int
+		adjOff   []int
+		tBuf     []int
+	)
+	levelNew := make(map[int]int)
+	pivotByNew := make(map[int]*ilu.URow)
+	pivotGet := func(k int) *ilu.URow { return pivotByNew[k] }
 
 	for {
 		charge()
@@ -275,29 +305,38 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 
 		if opt.Schur {
 			var factored bool
-			remaining, factored = pc.schurBlockRound(p, w, remaining, reduced, &nl, ufinal, par, st)
+			remaining, factored = pc.schurBlockRound(p, s, remaining, reduced, &nl, uF, uFSet, par, st)
 			if factored {
 				continue
 			}
 		}
 
 		// Adjacency of the current reduced matrix (original ids, with all
-		// fill included — the paper's dynamic dependency structure).
+		// fill included — the paper's dynamic dependency structure). Built
+		// in the recycled flat buffer: neighbour lists are slices of
+		// adjFlat cut at the recorded offsets, so a level's adjacency costs
+		// no allocation once the buffers have grown to the high-water mark.
+		// DistributedPlan does not retain adj past its return.
 		rowsIn := len(remaining)
 		nnzIn := 0
-		ownedIDs := make([]int, len(remaining))
-		adj := make([][]int, len(remaining))
-		for k, li := range remaining {
+		ownedIDs = ownedIDs[:0]
+		adjFlat = adjFlat[:0]
+		adjOff = adjOff[:0]
+		for _, li := range remaining {
 			g := pc.owned[li]
-			ownedIDs[k] = g
+			ownedIDs = append(ownedIDs, g)
 			nnzIn += len(reduced[li].cols)
-			var nbrs []int
+			adjOff = append(adjOff, len(adjFlat))
 			for _, c := range reduced[li].cols {
 				if o := c - n; o != g {
-					nbrs = append(nbrs, o)
+					adjFlat = append(adjFlat, o)
 				}
 			}
-			adj[k] = nbrs
+		}
+		adjOff = append(adjOff, len(adjFlat))
+		adj = adj[:0]
+		for k := range remaining {
+			adj = append(adj, adjFlat[adjOff[k]:adjOff[k+1]:adjOff[k+1]])
 		}
 		sel, ex := mis.DistributedPlan(p, ownedIDs, adj, nil, ownerOf,
 			opt.MISRounds, opt.Seed+int64(len(pc.levels))*7919)
@@ -329,7 +368,8 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 		// rows need no elimination), 2nd dropping rule applied.
 		// levelNew maps original id → new id for the pivots this
 		// processor can see (its own plus every pushed row).
-		levelNew := make(map[int]int, mineCount)
+		clear(levelNew)
+		clear(pivotByNew)
 		var members []int
 		rank := 0
 		for k, li := range remaining {
@@ -338,15 +378,17 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 			}
 			g := pc.owned[li]
 			tau := par.Tau * plan.RowTau[g]
-			urow, err := ilu.FactorPivotRowPerturbed(n+g, reduced[li].cols, reduced[li].vals, tau, par.M, par.PivotPerturb, st)
+			urow, err := s.FactorPivotRow(n+g, reduced[li].cols, reduced[li].vals, tau, par.M, par.PivotPerturb, st)
 			if err != nil {
 				panic(err)
 			}
 			urow.Col = myOffset + rank
 			urow.Orig = g
 			rank++
-			ufinal[g] = &urow
+			uF[li] = urow
+			uFSet[li] = true
 			levelNew[g] = urow.Col
+			pivotByNew[urow.Col] = &uF[li]
 			pc.newOf[li] = urow.Col
 			pc.uCols[li], pc.uVals[li] = urow.Cols, urow.Vals
 			pc.uDiag[li] = urow.Diag
@@ -360,11 +402,6 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 		// that requested a vertex's MIS state are exactly those whose
 		// rows reference it, so the communication can be posted before
 		// any elimination (§4 of the paper).
-		pivotByNew := make(map[int]*ilu.URow)
-		for _, li := range members {
-			g := pc.owned[li]
-			pivotByNew[levelNew[g]] = ufinal[g]
-		}
 		for q := 0; q < lay.P; q++ {
 			if q == me || len(ex.NeedBy[q]) == 0 {
 				continue
@@ -374,7 +411,7 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 				if !sel[k] {
 					continue
 				}
-				rows = append(rows, *ufinal[ownedIDs[k]])
+				rows = append(rows, uF[remaining[k]])
 			}
 			p.Send(q, tagPivotRows, rows, ilu.BytesOfURows(rows))
 		}
@@ -398,20 +435,21 @@ func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 			}
 			g := pc.owned[li]
 			tau := par.Tau * plan.RowTau[g]
-			// Translate this level's pivot columns to their new ids.
+			// Translate this level's pivot columns to their new ids, in
+			// the recycled translation buffer (the kernel does not retain
+			// its column input).
 			rc := reduced[li].cols
 			rv := reduced[li].vals
-			tC := make([]int, len(rc))
-			copy(tC, rc)
+			tC := append(tBuf[:0], rc...)
+			tBuf = tC
 			for idx, c := range rc {
 				if nid, ok := levelNew[c-n]; ok {
 					tC[idx] = nid
 				}
 			}
 			sortPair(tC, rv)
-			lC, lV, nrC, nrV := ilu.EliminateRow(w, n+g, tC, rv,
-				pc.lCols[li], pc.lVals[li],
-				func(k int) *ilu.URow { return pivotByNew[k] },
+			lC, lV, nrC, nrV := s.EliminateRow(n+g, tC, rv,
+				pc.lCols[li], pc.lVals[li], pivotGet,
 				nl, nl1, tau, par.M, par.K, st)
 			pc.lCols[li], pc.lVals[li] = lC, lV
 			reduced[li] = redRow{nrC, nrV}

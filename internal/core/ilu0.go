@@ -6,7 +6,6 @@ import (
 	"repro/internal/ilu"
 	"repro/internal/mis"
 	"repro/internal/pcomm"
-	"repro/internal/sparse"
 )
 
 // FactorILU0 is the parallel zero-fill factorization the paper contrasts
@@ -53,21 +52,32 @@ func FactorILU0(p pcomm.Comm, plan *Plan, misRounds int, seed int64) *ProcPrecon
 		return n + j
 	}
 	st := &pc.Stats.ILU
-	w := sparse.NewWorkRow(2 * n)
+	s := getScratch(2 * n)
+	defer putScratch(s)
 	intBase := plan.IntBase[me]
 	nInt := plan.NIntLocal[me]
 
 	// ---- Phase 1: interiors, then interface rows, pattern-restricted ---
-	localU := make([]*ilu.URow, nInt)
-	pivotLookup := func(k int) *ilu.URow { return localU[k-intBase] }
+	localU := make([]ilu.URow, nInt)
+	localUSet := make([]bool, nInt)
+	pivotLookup := func(k int) *ilu.URow {
+		if !localUSet[k-intBase] {
+			return nil
+		}
+		return &localU[k-intBase]
+	}
+	encCols := make([]int, 0, 64)
+	encVals := make([]float64, 0, 64)
 	encRow := func(g int) ([]int, []float64) {
 		cols, vals := plan.A.Row(g)
-		ec := make([]int, len(cols))
-		ev := append([]float64(nil), vals...)
+		ec := encCols[:0]
+		ev := encVals[:0]
 		for k, j := range cols {
-			ec[k] = enc(j)
+			ec = append(ec, enc(j))
+			ev = append(ev, vals[k])
 		}
 		sortPair(ec, ev)
+		encCols, encVals = ec, ev
 		return ec, ev
 	}
 	for _, g := range pc.owned {
@@ -79,13 +89,14 @@ func FactorILU0(p pcomm.Comm, plan *Plan, misRounds int, seed int64) *ProcPrecon
 		pc.newOf[li] = myNew
 		pc.interiorLocal = append(pc.interiorLocal, li)
 		ec, ev := encRow(g)
-		lC, lV, rC, rV := ilu.EliminateRowStatic(w, myNew, ec, ev, nil, nil,
+		lC, lV, rC, rV := s.EliminateRowStatic(myNew, ec, ev, nil, nil,
 			pivotLookup, intBase, myNew, st)
-		urow, err := ilu.FactorPivotRowStatic(myNew, rC, rV, st)
+		urow, err := s.FactorPivotRow(myNew, rC, rV, 0, 0, 0, st)
 		if err != nil {
 			panic(err)
 		}
-		localU[myNew-intBase] = &urow
+		localU[myNew-intBase] = urow
+		localUSet[myNew-intBase] = true
 		pc.lCols[li], pc.lVals[li] = lC, lV
 		pc.uCols[li], pc.uVals[li] = urow.Cols, urow.Vals
 		pc.uDiag[li] = urow.Diag
@@ -98,7 +109,7 @@ func FactorILU0(p pcomm.Comm, plan *Plan, misRounds int, seed int64) *ProcPrecon
 		}
 		li := localIdx[g]
 		ec, ev := encRow(g)
-		lC, lV, rC, rV := ilu.EliminateRowStatic(w, n+g, ec, ev, nil, nil,
+		lC, lV, rC, rV := s.EliminateRowStatic(n+g, ec, ev, nil, nil,
 			pivotLookup, intBase, intBase+nInt, st)
 		pc.lCols[li], pc.lVals[li] = lC, lV
 		reduced[li] = redRow{rC, rV}
@@ -247,7 +258,7 @@ func FactorILU0(p pcomm.Comm, plan *Plan, misRounds int, seed int64) *ProcPrecon
 				}
 			}
 			sortPair(tC, rv)
-			lC, lV, nrC, nrV := ilu.EliminateRowStatic(w, n+g, tC, rv,
+			lC, lV, nrC, nrV := s.EliminateRowStatic(n+g, tC, rv,
 				pc.lCols[li], pc.lVals[li],
 				func(k int) *ilu.URow { return pivotByNew[k] },
 				nl, nl1, st)

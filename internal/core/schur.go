@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/ilu"
 	"repro/internal/pcomm"
-	"repro/internal/sparse"
 )
 
 // redRow is the current reduced-matrix row of an unfactored interface
@@ -25,11 +24,12 @@ type redRow struct {
 // falls back to an independent-set level).
 func (pc *ProcPrecond) schurBlockRound(
 	p pcomm.Comm,
-	w *sparse.WorkRow,
+	s *ilu.Scratch,
 	remaining []int,
 	reduced []redRow,
 	nl *int,
-	ufinal map[int]*ilu.URow,
+	uF []ilu.URow,
+	uFSet []bool,
 	par ilu.Params,
 	st *ilu.Stats,
 ) ([]int, bool) {
@@ -105,14 +105,23 @@ func (pc *ProcPrecond) schurBlockRound(
 	for r, li := range block {
 		blockNew[pc.owned[li]] = myOffset + r
 	}
-	blockU := make([]*ilu.URow, len(block))
-	pivotFn := func(k int) *ilu.URow { return blockU[k-myOffset] }
+	pivotFn := func(k int) *ilu.URow {
+		li := block[k-myOffset]
+		if !uFSet[li] {
+			return nil
+		}
+		return &uF[li]
+	}
 
+	// Recycled translation buffers: the kernel does not retain its inputs,
+	// so one pair of buffers serves every row of the round.
+	var tcBuf []int
+	var tvBuf []float64
 	translate := func(li int) ([]int, []float64) {
 		rc := reduced[li].cols
 		rv := reduced[li].vals
-		tC := make([]int, 0, len(rc)+len(pc.lCols[li]))
-		tV := make([]float64, 0, len(rv)+len(pc.lVals[li]))
+		tC := tcBuf[:0]
+		tV := tvBuf[:0]
 		// Prior L entries (already final ids < *nl) ride along so the 3rd
 		// dropping rule sees the whole factored part.
 		tC = append(tC, pc.lCols[li]...)
@@ -126,6 +135,7 @@ func (pc *ProcPrecond) schurBlockRound(
 			tV = append(tV, rv[idx])
 		}
 		sortPair(tC, tV)
+		tcBuf, tvBuf = tC, tV
 		return tC, tV
 	}
 
@@ -138,16 +148,16 @@ func (pc *ProcPrecond) schurBlockRound(
 		tau := par.Tau * plan.RowTau[g]
 		myNew := myOffset + r
 		tC, tV := translate(li)
-		lC, lV, rC, rV := ilu.EliminateRowSeq(w, myNew, tC, tV,
+		lC, lV, rC, rV := s.EliminateRowSeq(myNew, tC, tV,
 			pivotFn, myOffset, myNew, tau, par.M, 0, st)
-		urow, err := ilu.FactorPivotRowPerturbed(myNew, rC, rV, tau, par.M, par.PivotPerturb, st)
+		urow, err := s.FactorPivotRow(myNew, rC, rV, tau, par.M, par.PivotPerturb, st)
 		if err != nil {
 			panic(err)
 		}
 		urow.Col = myNew
 		urow.Orig = g
-		blockU[r] = &urow
-		ufinal[g] = &urow
+		uF[li] = urow
+		uFSet[li] = true
 		pc.newOf[li] = myNew
 		pc.lCols[li], pc.lVals[li] = lC, lV
 		pc.uCols[li], pc.uVals[li] = urow.Cols, urow.Vals
@@ -167,7 +177,7 @@ func (pc *ProcPrecond) schurBlockRound(
 		g := pc.owned[li]
 		tau := par.Tau * plan.RowTau[g]
 		tC, tV := translate(li)
-		lC, lV, nrC, nrV := ilu.EliminateRowSeq(w, n+g, tC, tV,
+		lC, lV, nrC, nrV := s.EliminateRowSeq(n+g, tC, tV,
 			pivotFn, myOffset, myOffset+len(block), tau, par.M, par.K, st)
 		pc.lCols[li], pc.lVals[li] = lC, lV
 		reduced[li] = redRow{nrC, nrV}

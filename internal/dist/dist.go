@@ -93,10 +93,24 @@ type Matrix struct {
 
 	me        int
 	ghostIDs  []int       // remote global columns, grouped by owner
-	ghostSlot map[int]int // global id → index into ghost arrays
+	ghostSlot map[int]int // global id → index into ghost arrays (setup only)
 	recvFrom  [][]int     // per proc: count prefix into ghostIDs (via ranges)
 	sendTo    [][]int     // per proc: local indices of owned values to ship
 	ghost     []float64   // ghost value buffer reused across products
+
+	// Pre-resolved column references for the product loops, one int32 per
+	// local nonzero: r ≥ 0 reads x[r] (owned), r < 0 reads ghost[^r]. One
+	// flat array plus offsets replaces a layout-map and a ghost-map lookup
+	// per nonzero per product — the dominant cost of MulVec once the
+	// exchange is pooled.
+	refFlat []int32
+	refOff  []int
+
+	// Batch product scratch, owned by the matrix and reused: the
+	// deinterleaved ghost values of every vector in a batch, and the
+	// per-vector views into them.
+	batchGhost []float64
+	batchViews [][]float64
 }
 
 // Message tags used by this package.
@@ -138,6 +152,23 @@ func NewMatrix(p pcomm.Comm, lay *Layout, a *sparse.CSR) *Matrix {
 	}
 	m.recvFrom = need
 	m.ghost = make([]float64, len(m.ghostIDs))
+	if lay.N >= 1<<31 {
+		panic("dist: matrix too large for int32 column references")
+	}
+	rows := lay.Rows[p.ID()]
+	m.refOff = make([]int, len(rows)+1)
+	for k, g := range rows {
+		m.refOff[k] = len(m.refFlat)
+		cols, _ := a.Row(g)
+		for _, j := range cols {
+			if lay.PartOf[j] == p.ID() {
+				m.refFlat = append(m.refFlat, int32(lay.LocalIndex(p.ID(), j)))
+			} else {
+				m.refFlat = append(m.refFlat, int32(^m.ghostSlot[j]))
+			}
+		}
+	}
+	m.refOff[len(rows)] = len(m.refFlat)
 
 	// Exchange request lists so owners learn what to send.
 	var flat []int
@@ -175,33 +206,44 @@ func NewMatrix(p pcomm.Comm, lay *Layout, a *sparse.CSR) *Matrix {
 func (m *Matrix) NGhost() int { return len(m.ghostIDs) }
 
 // exchangeGhosts ships owned x values to neighbours and fills the ghost
-// buffer from theirs.
+// buffer from theirs: one coalesced message per neighbour per round.
+// Send buffers come from the shared pcomm.Floats pool and the borrowed-
+// buffer receive path recycles them, so a steady-state exchange touches
+// the allocator not at all.
+//
+//pilut:hotpath
 func (m *Matrix) exchangeGhosts(p pcomm.Comm, x []float64) {
 	P := m.Lay.P
 	for q := 0; q < P; q++ {
 		if q == m.me || len(m.sendTo[q]) == 0 {
 			continue
 		}
-		msg := make([]float64, len(m.sendTo[q]))
+		msg := pcomm.Floats.Get(len(m.sendTo[q]))
 		for k, li := range m.sendTo[q] {
 			msg[k] = x[li]
 		}
-		p.Send(q, tagGhost, msg, pcomm.BytesOfFloats(len(msg)))
+		pcomm.SendSlice(p, q, tagGhost, msg)
 	}
 	pos := 0
 	for q := 0; q < P; q++ {
 		if q == m.me || len(m.recvFrom[q]) == 0 {
 			continue
 		}
-		msg := p.Recv(q, tagGhost).([]float64)
-		copy(m.ghost[pos:pos+len(msg)], msg)
-		pos += len(msg)
+		cnt := len(m.recvFrom[q])
+		got := pcomm.RecvSliceInto(p, q, tagGhost, m.ghost[pos:pos+cnt], &pcomm.Floats)
+		if got != cnt {
+			panic("dist: ghost message length mismatch")
+		}
+		pos += cnt
 	}
 }
 
 // MulVec computes the local rows of y = A·x. x and y hold the owned
 // values in Rows[p] order. The ghost exchange and the 2·nnz flops are
-// charged to the virtual clock.
+// charged to the virtual clock. The inner loop walks the pre-resolved
+// refFlat references instead of chasing layout and ghost maps.
+//
+//pilut:hotpath
 func (m *Matrix) MulVec(p pcomm.Comm, y, x []float64) {
 	rows := m.Lay.Rows[m.me]
 	if len(x) != len(rows) || len(y) != len(rows) {
@@ -210,17 +252,17 @@ func (m *Matrix) MulVec(p pcomm.Comm, y, x []float64) {
 	m.exchangeGhosts(p, x)
 	flops := 0
 	for k, g := range rows {
-		cols, vals := m.A.Row(g)
+		_, vals := m.A.Row(g)
+		refs := m.refFlat[m.refOff[k]:m.refOff[k+1]]
 		var s float64
-		for idx, j := range cols {
-			q := m.Lay.PartOf[j]
-			if q == m.me {
-				s += vals[idx] * x[m.Lay.LocalIndex(m.me, j)]
+		for idx, r := range refs {
+			if r >= 0 {
+				s += vals[idx] * x[r]
 			} else {
-				s += vals[idx] * m.ghost[m.ghostSlot[j]]
+				s += vals[idx] * m.ghost[^r]
 			}
-			flops += 2
 		}
+		flops += 2 * len(refs)
 		y[k] = s
 	}
 	p.Work(float64(flops))
@@ -232,6 +274,8 @@ func (m *Matrix) MulVec(p pcomm.Comm, y, x []float64) {
 // per-message latency is paid once per neighbour instead of once per
 // vector. The arithmetic is identical to repeated MulVec calls.
 // Collective: every processor must call it with the same batch size.
+//
+//pilut:hotpath
 func (m *Matrix) MulVecBatch(p pcomm.Comm, ys, xs [][]float64) {
 	if len(ys) != len(xs) {
 		panic("dist: MulVecBatch batch size mismatch")
@@ -255,28 +299,42 @@ func (m *Matrix) MulVecBatch(p pcomm.Comm, ys, xs [][]float64) {
 		if q == m.me || len(m.sendTo[q]) == 0 {
 			continue
 		}
-		msg := make([]float64, 0, B*len(m.sendTo[q]))
+		msg := pcomm.Floats.Get(B * len(m.sendTo[q]))
+		off := 0
 		for _, x := range xs {
 			for _, li := range m.sendTo[q] {
-				msg = append(msg, x[li])
+				msg[off] = x[li]
+				off++
 			}
 		}
-		p.Send(q, tagGhost, msg, pcomm.BytesOfFloats(len(msg)))
+		pcomm.SendSlice(p, q, tagGhost, msg)
 	}
-	ghosts := make([][]float64, B)
+	ng := len(m.ghostIDs)
+	if cap(m.batchGhost) < B*ng {
+		m.batchGhost = make([]float64, B*ng) //pilutlint:ok hotalloc grow-only scratch owned by the matrix; steady-state batches reuse it
+	}
+	if cap(m.batchViews) < B {
+		m.batchViews = make([][]float64, B) //pilutlint:ok hotalloc grow-only scratch owned by the matrix; steady-state batches reuse it
+	}
+	bg := m.batchGhost[:B*ng]
+	ghosts := m.batchViews[:B]
 	for bi := range ghosts {
-		ghosts[bi] = make([]float64, len(m.ghostIDs))
+		ghosts[bi] = bg[bi*ng : (bi+1)*ng]
 	}
 	pos := 0
 	for q := 0; q < P; q++ {
 		if q == m.me || len(m.recvFrom[q]) == 0 {
 			continue
 		}
-		msg := p.Recv(q, tagGhost).([]float64)
-		cnt := len(msg) / B
+		cnt := len(m.recvFrom[q])
+		msg := pcomm.RecvSlice[float64](p, q, tagGhost)
+		if len(msg) != B*cnt {
+			panic("dist: MulVecBatch ghost message length mismatch")
+		}
 		for bi := 0; bi < B; bi++ {
 			copy(ghosts[bi][pos:pos+cnt], msg[bi*cnt:(bi+1)*cnt])
 		}
+		pcomm.Floats.Put(msg)
 		pos += cnt
 	}
 	flops := 0
@@ -285,17 +343,17 @@ func (m *Matrix) MulVecBatch(p pcomm.Comm, ys, xs [][]float64) {
 		y := ys[bi]
 		ghost := ghosts[bi]
 		for k, g := range rows {
-			cols, vals := m.A.Row(g)
+			_, vals := m.A.Row(g)
+			refs := m.refFlat[m.refOff[k]:m.refOff[k+1]]
 			var s float64
-			for idx, j := range cols {
-				q := m.Lay.PartOf[j]
-				if q == m.me {
-					s += vals[idx] * x[m.Lay.LocalIndex(m.me, j)]
+			for idx, r := range refs {
+				if r >= 0 {
+					s += vals[idx] * x[r]
 				} else {
-					s += vals[idx] * ghost[m.ghostSlot[j]]
+					s += vals[idx] * ghost[^r]
 				}
-				flops += 2
 			}
+			flops += 2 * len(refs)
 			y[k] = s
 		}
 	}

@@ -1,0 +1,102 @@
+package ilu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Scratch-poisoning property tests (ISSUE 8): a reused Scratch must be
+// indistinguishable from a fresh one. Between factorization passes the
+// poison pass overwrites every byte a correct kernel may not read with
+// NaN and sentinel garbage; a kernel that consumes stale scratch state
+// then produces NaNs (which reflect.DeepEqual never matches) or absurd
+// column indices, so a bitwise run-to-run comparison catches the leak.
+
+type poisonRowOut struct {
+	lC []int
+	lV []float64
+	u  URow
+}
+
+// runPoisonRows eliminates and factors a deterministic pseudo-random row
+// set against a fixed pivot panel, returning every output for bitwise
+// comparison.
+func runPoisonRows(t *testing.T, s *Scratch) []poisonRowOut {
+	t.Helper()
+	const n = 96
+	pivots := make([]URow, 8)
+	for k := range pivots {
+		pivots[k] = URow{
+			Col:  k,
+			Diag: 2 + float64(k)*0.125,
+			Cols: []int{8 + 2*k, 32 + k, 64 + 3*k},
+			Vals: []float64{0.5, -0.25, 1.0 / float64(k+2)},
+		}
+	}
+	pivot := func(k int) *URow { return &pivots[k] }
+	rng := rand.New(rand.NewSource(42))
+	st := &Stats{}
+	var out []poisonRowOut
+	for r := 0; r < 60; r++ {
+		i := 8 + rng.Intn(n-8)
+		var cols []int
+		var vals []float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				cols = append(cols, j)
+				vals = append(vals, 6+rng.Float64())
+			} else if rng.Float64() < 0.15 {
+				cols = append(cols, j)
+				vals = append(vals, rng.NormFloat64())
+			}
+		}
+		var o poisonRowOut
+		if r%2 == 0 {
+			o.lC, o.lV, _, _ = s.EliminateRowSeq(i, cols, vals, pivot, 0, 8, 1e-3, 5, 2, st)
+		} else {
+			o.lC, o.lV, _, _ = s.EliminateRow(i, cols, vals, nil, nil, pivot, 0, 8, 1e-3, 5, 2, st)
+		}
+		_, _, rC, rV := s.EliminateRowStatic(i, cols, vals, nil, nil, pivot, 0, 8, st)
+		u, err := s.FactorPivotRow(i, rC, rV, 1e-3, 5, 0, st)
+		if err != nil {
+			t.Fatalf("row %d: FactorPivotRow: %v", r, err)
+		}
+		o.u = u
+		out = append(out, o)
+	}
+	return out
+}
+
+// TestScratchPoisonBitwise factors the same row set with a fresh Scratch
+// and with one reused Scratch that is poisoned between passes, and
+// demands bitwise-identical outputs every time.
+func TestScratchPoisonBitwise(t *testing.T) {
+	base := runPoisonRows(t, NewScratch(96))
+
+	s := NewScratch(96)
+	for pass := 0; pass < 3; pass++ {
+		got := runPoisonRows(t, s)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("pass %d on a reused+poisoned scratch differs bitwise from a fresh scratch", pass)
+		}
+		// Simulate the pool's reuse protocol, then scribble.
+		s.Sanitize()
+		s.DetachOutputs()
+		s.Poison()
+	}
+}
+
+// TestScratchPoisonPanicsOnLiveState pins the other half of the Poison
+// contract: poisoning a scratch whose working row still holds live data
+// must panic rather than silently corrupt it.
+func TestScratchPoisonPanicsOnLiveState(t *testing.T) {
+	s := NewScratch(16)
+	s.W().Scatter([]int{3}, []float64{1.5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poison on a dirty working row did not panic")
+		}
+	}()
+	s.Poison()
+}

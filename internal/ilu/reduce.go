@@ -3,7 +3,6 @@ package ilu
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/sparse"
 )
@@ -36,6 +35,14 @@ func BytesOfURows(rows []URow) int {
 	return b
 }
 
+// emptyRowCols/emptyRowVals back the Cols/Vals of a pivot row with no
+// off-diagonal survivors: non-nil (matching the historical exact-fit
+// make) and shared — zero-length, so no write can ever land in them.
+var (
+	emptyRowCols = make([]int, 0)
+	emptyRowVals = make([]float64, 0)
+)
+
 // FactorPivotRow turns the current reduced row of an independent-set
 // pivot into its U row (the paper's phase-2 step "factoring the nodes of
 // I_l only requires creating the rows of U"): entries below the relative
@@ -48,15 +55,23 @@ func FactorPivotRow(i int, cols []int, vals []float64, tau float64, m int, st *S
 // FactorPivotRowPerturbed is FactorPivotRow with the fault-injection
 // pivot perturbation of Params.PivotPerturb applied before the tiny-pivot
 // repair check; perturb 0 disables it and is bitwise identical to
-// FactorPivotRow.
+// FactorPivotRow. It is the transient-scratch wrapper around
+// Scratch.FactorPivotRow; hot callers hold a Scratch instead.
 func FactorPivotRowPerturbed(i int, cols []int, vals []float64, tau float64, m int, perturb float64, st *Stats) (URow, error) {
+	s := Scratch{fresh: true}
+	return s.FactorPivotRow(i, cols, vals, tau, m, perturb, st)
+}
+
+// FactorPivotRow is the zero-alloc kernel behind the free function of the
+// same name: the surviving-entry buffer is the scratch's reusable
+// selection buffer, selection and ordering run on closure-free insertion
+// sorts, and the U row's storage is carved from the output arena.
+//
+//pilut:hotpath
+func (s *Scratch) FactorPivotRow(i int, cols []int, vals []float64, tau float64, m int, perturb float64, st *Stats) (URow, error) {
 	r := URow{Col: i}
 	found := false
-	type ent struct {
-		col int
-		val float64
-	}
-	var keep []ent
+	keep := s.ents[:0]
 	for k, j := range cols {
 		if j == i {
 			r.Diag = vals[k]
@@ -68,8 +83,9 @@ func FactorPivotRowPerturbed(i int, cols []int, vals []float64, tau float64, m i
 			st.DroppedRule2++
 			continue
 		}
-		keep = append(keep, ent{j, vals[k]})
+		keep = append(keep, pivEnt{j, vals[k]}) //pilutlint:ok hotalloc selection buffer grows to peak row nnz once, then is reused across rows
 	}
+	s.ents = keep
 	if !found {
 		return r, fmt.Errorf("ilu: pivot row %d has no diagonal entry", i)
 	}
@@ -85,20 +101,24 @@ func FactorPivotRowPerturbed(i int, cols []int, vals []float64, tau float64, m i
 		st.FixedPivot++
 	}
 	if m > 0 && len(keep) > m {
-		sort.Slice(keep, func(a, b int) bool {
-			av, bv := math.Abs(keep[a].val), math.Abs(keep[b].val)
-			if av != bv {
-				return av > bv
-			}
-			return keep[a].col < keep[b].col
-		})
+		sortEntsByMag(keep)
 		st.Dropped += len(keep) - m
 		st.DroppedRule2 += len(keep) - m
 		keep = keep[:m]
+		s.ents = keep
 	}
-	sort.Slice(keep, func(a, b int) bool { return keep[a].col < keep[b].col })
-	r.Cols = make([]int, len(keep))
-	r.Vals = make([]float64, len(keep))
+	sortEntsByCol(keep)
+	if len(keep) == 0 {
+		r.Cols, r.Vals = emptyRowCols, emptyRowVals
+		return r, nil
+	}
+	if s.fresh {
+		r.Cols = make([]int, len(keep))     //pilutlint:ok hotalloc legacy exact-fit mode used by the free-function wrapper only
+		r.Vals = make([]float64, len(keep)) //pilutlint:ok hotalloc legacy exact-fit mode used by the free-function wrapper only
+	} else {
+		r.Cols = s.out.carveInts(len(keep))
+		r.Vals = s.out.carveFloats(len(keep))
+	}
 	for k, e := range keep {
 		r.Cols[k] = e.col
 		r.Vals[k] = e.val
@@ -129,7 +149,8 @@ func FactorPivotRowPerturbed(i int, cols []int, vals []float64, tau float64, m i
 // pivot-range entries suffices — the property the paper exploits to
 // pre-post all communication.
 //
-//pilut:hotpath
+// This free function is the transient-scratch wrapper; hot callers hold
+// a Scratch and call the method, whose returned slices are arena-carved.
 func EliminateRow(
 	w *sparse.WorkRow,
 	i int,
@@ -140,7 +161,25 @@ func EliminateRow(
 	tau float64, m, kcap int,
 	st *Stats,
 ) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
-	n := w.Len()
+	s := Scratch{w: w, fresh: true}
+	return s.EliminateRow(i, aCols, aVals, lCols, lVals, pivot, nl, nl1, tau, m, kcap, st)
+}
+
+// EliminateRow is the zero-alloc kernel: every intermediate lives in the
+// scratch and the returned row halves are carved from the output arena
+// (or exact-fit copies in fresh mode).
+//
+//pilut:hotpath
+func (s *Scratch) EliminateRow(
+	i int,
+	aCols []int, aVals []float64,
+	lCols []int, lVals []float64,
+	pivot func(k int) *URow,
+	nl, nl1 int,
+	tau float64, m, kcap int,
+	st *Stats,
+) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
+	w := s.w
 	w.Scatter(aCols, aVals)
 
 	// Eliminate pivot-range unknowns in increasing column order. aCols is
@@ -177,33 +216,7 @@ func EliminateRow(
 
 	// Merge the accumulated L row (line 13 of Algorithm 2).
 	w.Scatter(lCols, lVals)
-
-	// 3rd dropping rule: threshold-and-cap the factored part; threshold
-	// (and, for ILUT*, cap at kcap·m) the reduced part. The diagonal of
-	// the reduced row is always preserved.
-	d2 := w.DropBelow(0, nl1, tau, -1)
-	if m > 0 {
-		d2 += w.KeepLargest(0, nl1, m, -1)
-	}
-	d3 := w.DropBelow(nl1, n, tau, i)
-	if kcap > 0 && m > 0 {
-		d3 += w.KeepLargest(nl1, n, kcap*m, i)
-	}
-	st.Dropped += d2 + d3
-	st.DroppedRule2 += d2
-	st.DroppedRule3 += d3
-	if !w.Has(i) {
-		// The reduced diagonal must exist for the row to be factorable
-		// later; recreate it at the pivot floor if elimination cancelled
-		// it exactly.
-		w.Set(i, pivotFloor(tau))
-		st.FixedPivot++
-	}
-
-	newLCols, newLVals = w.Gather(0, nl1, nil, nil)
-	redCols, redVals = w.Gather(nl1, n, nil, nil)
-	w.Reset()
-	return newLCols, newLVals, redCols, redVals
+	return s.finishRow(i, nl1, tau, m, kcap, st)
 }
 
 // EliminateRowSeq is the phase-1 variant of EliminateRow used when the
@@ -212,8 +225,6 @@ func EliminateRow(
 // fill back inside the pivot range, so the sweep is driven by a heap that
 // picks up fill positions, exactly like the main ILUT loop. Dropping rules
 // and the L/reduced split are identical to EliminateRow.
-//
-//pilut:hotpath
 func EliminateRowSeq(
 	w *sparse.WorkRow,
 	i int,
@@ -223,13 +234,29 @@ func EliminateRowSeq(
 	tau float64, m, kcap int,
 	st *Stats,
 ) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
-	n := w.Len()
+	s := Scratch{w: w, fresh: true}
+	return s.EliminateRowSeq(i, aCols, aVals, pivot, nl, nl1, tau, m, kcap, st)
+}
+
+// EliminateRowSeq is the zero-alloc kernel: the fill-selection heap is
+// the scratch's reusable heap rather than a per-call allocation.
+//
+//pilut:hotpath
+func (s *Scratch) EliminateRowSeq(
+	i int,
+	aCols []int, aVals []float64,
+	pivot func(k int) *URow,
+	nl, nl1 int,
+	tau float64, m, kcap int,
+	st *Stats,
+) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
+	w := s.w
 	w.Scatter(aCols, aVals)
 
-	var h colHeap
+	h := s.h[:0]
 	for _, k := range aCols {
 		if k >= nl && k < nl1 {
-			h = append(h, k) //pilutlint:ok hotalloc the fill heap is bounded by the pivot-range nnz of one row; stack-escape only on deep fill
+			h = append(h, k) //pilutlint:ok hotalloc the fill heap grows to one row's peak pivot-range nnz once, then is reused across rows
 		}
 	}
 	heapInit(&h)
@@ -259,7 +286,20 @@ func EliminateRowSeq(
 			st.Flops += 2
 		}
 	}
+	s.h = h
+	return s.finishRow(i, nl1, tau, m, kcap, st)
+}
 
+// finishRow is the shared tail of EliminateRow and EliminateRowSeq: the
+// 3rd dropping rule — threshold-and-cap the factored part; threshold
+// (and, for ILUT*, cap at kcap·m) the reduced part, always preserving
+// the reduced diagonal — then the L/reduced gather, the working-row
+// reset, and the carve (or exact-fit copy) of the four result slices.
+//
+//pilut:hotpath
+func (s *Scratch) finishRow(i, nl1 int, tau float64, m, kcap int, st *Stats) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
+	w := s.w
+	n := w.Len()
 	d2 := w.DropBelow(0, nl1, tau, -1)
 	if m > 0 {
 		d2 += w.KeepLargest(0, nl1, m, -1)
@@ -272,14 +312,17 @@ func EliminateRowSeq(
 	st.DroppedRule2 += d2
 	st.DroppedRule3 += d3
 	if !w.Has(i) {
+		// The reduced diagonal must exist for the row to be factorable
+		// later; recreate it at the pivot floor if elimination cancelled
+		// it exactly.
 		w.Set(i, pivotFloor(tau))
 		st.FixedPivot++
 	}
 
-	newLCols, newLVals = w.Gather(0, nl1, nil, nil)
-	redCols, redVals = w.Gather(nl1, n, nil, nil)
+	s.lc, s.lv = w.Gather(0, nl1, s.lc[:0], s.lv[:0])
+	s.rc, s.rv = w.Gather(nl1, n, s.rc[:0], s.rv[:0])
 	w.Reset()
-	return newLCols, newLVals, redCols, redVals
+	return s.takeInts(s.lc), s.takeFloats(s.lv), s.takeInts(s.rc), s.takeFloats(s.rv)
 }
 
 // EliminateRowStatic is the zero-fill (ILU(0)) counterpart of
@@ -290,8 +333,6 @@ func EliminateRowSeq(
 // Works for both sequential pivot blocks and independent sets, since
 // without fill the two traversals coincide. Returns the row's new L part
 // (columns < nl1) and its remaining static row (columns ≥ nl1).
-//
-//pilut:hotpath
 func EliminateRowStatic(
 	w *sparse.WorkRow,
 	i int,
@@ -301,6 +342,22 @@ func EliminateRowStatic(
 	nl, nl1 int,
 	st *Stats,
 ) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
+	s := Scratch{w: w, fresh: true}
+	return s.EliminateRowStatic(i, aCols, aVals, lCols, lVals, pivot, nl, nl1, st)
+}
+
+// EliminateRowStatic is the zero-alloc kernel for the static pattern.
+//
+//pilut:hotpath
+func (s *Scratch) EliminateRowStatic(
+	i int,
+	aCols []int, aVals []float64,
+	lCols []int, lVals []float64,
+	pivot func(k int) *URow,
+	nl, nl1 int,
+	st *Stats,
+) (newLCols []int, newLVals []float64, redCols []int, redVals []float64) {
+	w := s.w
 	n := w.Len()
 	w.Scatter(aCols, aVals)
 	for _, k := range aCols {
@@ -322,10 +379,10 @@ func EliminateRowStatic(
 		}
 	}
 	w.Scatter(lCols, lVals)
-	newLCols, newLVals = w.Gather(0, nl1, nil, nil)
-	redCols, redVals = w.Gather(nl1, n, nil, nil)
+	s.lc, s.lv = w.Gather(0, nl1, s.lc[:0], s.lv[:0])
+	s.rc, s.rv = w.Gather(nl1, n, s.rc[:0], s.rv[:0])
 	w.Reset()
-	return newLCols, newLVals, redCols, redVals
+	return s.takeInts(s.lc), s.takeFloats(s.lv), s.takeInts(s.rc), s.takeFloats(s.rv)
 }
 
 // FactorPivotRowStatic builds a pivot's U row keeping the full static

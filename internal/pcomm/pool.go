@@ -1,0 +1,106 @@
+package pcomm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SlicePool is a mutex-guarded free list of message buffers. Like the
+// core scratch pool (DESIGN.md §13) it is a free list rather than a
+// sync.Pool on purpose: buffers survive GC so steady-state exchanges
+// stay allocation-free, and tests can reason about exactly which buffers
+// exist. The intended protocol is ownership transfer: the sender Gets a
+// buffer, fills it, and SendSlices it — relinquishing it — and the
+// receiver copies the payload out with RecvSliceInto, which returns the
+// transport buffer to the pool. Both in-process backends deliver the
+// sender's buffer zero-copy, so the protocol must only be used where the
+// sender genuinely lets go (the sendalias analyzer's rule, made load-
+// bearing).
+type SlicePool[T any] struct {
+	mu   sync.Mutex
+	free [][]T
+}
+
+// maxPooledSlices caps a pool's free list; beyond it, Put drops the
+// buffer for the GC. The cap bounds pinned memory after a burst — one
+// exchange needs at most one buffer in flight per (neighbor, direction).
+const maxPooledSlices = 64
+
+// Get returns a length-n buffer: a pooled one when any has the capacity,
+// a fresh allocation otherwise. Contents are unspecified — callers
+// overwrite every element.
+//
+//pilut:hotpath
+func (p *SlicePool[T]) Get(n int) []T {
+	p.mu.Lock()
+	for k := len(p.free) - 1; k >= 0; k-- {
+		if cap(p.free[k]) >= n {
+			b := p.free[k]
+			last := len(p.free) - 1
+			p.free[k] = p.free[last]
+			p.free[last] = nil
+			p.free = p.free[:last]
+			p.mu.Unlock()
+			return b[:n]
+		}
+	}
+	p.mu.Unlock()
+	return make([]T, n) //pilutlint:ok hotalloc cold path: pool empty or all buffers too small; steady state always hits the list
+}
+
+// Put returns a buffer to the pool. Zero-capacity buffers are dropped
+// (nothing to reuse), as is everything past the pool cap.
+//
+//pilut:hotpath
+func (p *SlicePool[T]) Put(b []T) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < maxPooledSlices {
+		p.free = append(p.free, b[:0]) //pilutlint:ok hotalloc free list grows to the pool cap once, then appends reuse its backing array
+	}
+	p.mu.Unlock()
+}
+
+// Process-wide buffer pools for the common message element types. Shared
+// across worlds deliberately: ownership transfer moves a buffer from a
+// sending rank to a receiving rank, and a single pool is where both ends
+// meet regardless of which world they belong to.
+var (
+	// Floats pools []float64 message buffers (ghost exchanges, vectors).
+	Floats SlicePool[float64]
+	// Ints pools []int message buffers (index exchanges).
+	Ints SlicePool[int]
+)
+
+// RecvSliceInto is the borrowed-buffer receive path: it receives a []T
+// sent by SendSlice (or a plain Send of a []T) from src under tag,
+// copies the payload into dst, recycles the transport buffer into pool
+// (when non-nil), and returns the payload length. dst must be at least
+// payload-sized. Use only under the ownership-transfer protocol — the
+// recycled buffer is the *sender's* slice on the in-process backends, so
+// the sender must have obtained it from the same pool and let it go.
+//
+//pilut:hotpath
+func RecvSliceInto[T any](c Comm, src, tag int, dst []T, pool *SlicePool[T]) int {
+	var payload []T
+	if rc, ok := c.(RawComm); ok {
+		h, boxed, isRaw := rc.RecvRaw(src, tag)
+		if isRaw {
+			payload = sliceOf[T](h)
+		} else if boxed != nil {
+			payload = boxed.([]T)
+		}
+	} else if v := c.Recv(src, tag); v != nil {
+		payload = v.([]T)
+	}
+	if len(payload) > len(dst) {
+		panic(fmt.Sprintf("pcomm: RecvSliceInto: payload length %d exceeds destination length %d", len(payload), len(dst)))
+	}
+	copy(dst, payload)
+	if pool != nil {
+		pool.Put(payload)
+	}
+	return len(payload)
+}

@@ -1,0 +1,81 @@
+//go:build !race
+
+package realcomm
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/pcomm"
+)
+
+// Alloc-regression guard for the mailbox fast path (ISSUE 8): a steady-
+// state SendSlice/RecvSliceInto ping-pong under the ownership-transfer
+// protocol must not touch the allocator — the raw path boxes nothing,
+// blocking receives select on pre-existing channels, and the transport
+// buffers circulate through pcomm.Floats. AllocsPerRun cannot see across
+// goroutines, so the guard reads the global malloc counter around a
+// quiesced measurement window instead; the generous budget absorbs the
+// barrier generations that delimit the window and incidental runtime
+// housekeeping, while a real per-message regression would show up as
+// thousands. Excluded under the race detector, whose instrumentation
+// allocates.
+func TestMailboxSteadyStateAllocs(t *testing.T) {
+	const (
+		tag    = 4242
+		msgLen = 64
+		warm   = 300
+		meas   = 2000
+		budget = 100
+	)
+	w := New(2)
+	var delta uint64
+	w.Run(func(c pcomm.Comm) {
+		dst := make([]float64, msgLen)
+		round := func(peer int, sendFirst bool) {
+			send := func() {
+				buf := pcomm.Floats.Get(msgLen)
+				for k := range buf {
+					buf[k] = float64(k)
+				}
+				pcomm.SendSlice(c, peer, tag, buf)
+			}
+			recv := func() {
+				if n := pcomm.RecvSliceInto(c, peer, tag, dst, &pcomm.Floats); n != msgLen {
+					panic("short ghost message in alloc guard")
+				}
+			}
+			if sendFirst {
+				send()
+				recv()
+			} else {
+				recv()
+				send()
+			}
+		}
+		peer := 1 - c.ID()
+		for i := 0; i < warm; i++ {
+			round(peer, c.ID() == 0)
+		}
+		c.Barrier()
+		var m1, m2 runtime.MemStats
+		if c.ID() == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&m1)
+		}
+		c.Barrier()
+		for i := 0; i < meas; i++ {
+			round(peer, c.ID() == 0)
+		}
+		c.Barrier()
+		if c.ID() == 0 {
+			runtime.ReadMemStats(&m2)
+			delta = m2.Mallocs - m1.Mallocs
+		}
+		c.Barrier()
+	})
+	t.Logf("mallocs over %d ping-pong rounds: %d (budget %d)", meas, delta, budget)
+	if delta > budget {
+		t.Errorf("mailbox fast path allocated %d objects over %d rounds, budget %d", delta, meas, budget)
+	}
+}

@@ -53,10 +53,24 @@ type mailbox struct {
 	wake    chan struct{} // cap 1; pinged after an overflow append
 	spilled atomic.Bool
 	mu      sync.Mutex
-	over    []message
+	// over is the pooled spill buffer, held by pointer so returning it to
+	// overflowPool re-uses the same header (no boxing on Put). nil when
+	// nothing has spilled since the last drain.
+	over *[]message
 }
 
+// overflowPool recycles spill buffers across mailboxes and worlds. A
+// sync.Pool, not a free list (DESIGN.md §13): spills are bursty — a
+// phase that outruns the channel depth fills a buffer once, the consumer
+// drains it, and the buffer may not be needed again for the rest of the
+// run — so letting the GC reclaim idle buffers is the right policy, and
+// (unlike the scratch pools) nothing here needs deterministic
+// enumeration. Items are *[]message so Put never boxes a fresh header.
+var overflowPool = sync.Pool{New: func() any { return new([]message) }}
+
 // put delivers m; producer side only (the src goroutine).
+//
+//pilut:hotpath
 func (b *mailbox) put(m message) {
 	if !b.spilled.Load() {
 		select {
@@ -67,7 +81,10 @@ func (b *mailbox) put(m message) {
 	}
 	b.mu.Lock()
 	b.spilled.Store(true)
-	b.over = append(b.over, m)
+	if b.over == nil {
+		b.over = overflowPool.Get().(*[]message)
+	}
+	*b.over = append(*b.over, m) //pilutlint:ok hotalloc overflow spill path is cold; the buffer comes from overflowPool and grows to burst size once
 	b.mu.Unlock()
 	select {
 	case b.wake <- struct{}{}:
@@ -77,11 +94,13 @@ func (b *mailbox) put(m message) {
 
 // drainInto moves every currently delivered message into stash in
 // arrival order; consumer side only (the dst goroutine).
+//
+//pilut:hotpath
 func (b *mailbox) drainInto(stash *[]message) {
 	for {
 		select {
 		case m := <-b.ch:
-			*stash = append(*stash, m)
+			*stash = append(*stash, m) //pilutlint:ok hotalloc stash grows to the peak out-of-order depth once, then is reused
 			continue
 		default:
 		}
@@ -89,10 +108,18 @@ func (b *mailbox) drainInto(stash *[]message) {
 	}
 	if b.spilled.Load() {
 		b.mu.Lock()
-		*stash = append(*stash, b.over...)
-		b.over = b.over[:0]
+		ov := b.over
+		b.over = nil
 		b.spilled.Store(false)
 		b.mu.Unlock()
+		*stash = append(*stash, *ov...) //pilutlint:ok hotalloc stash grows to the peak out-of-order depth once, then is reused
+		// Clear payload references before recycling the spill buffer so a
+		// pooled buffer cannot pin delivered payloads, then hand it back.
+		for i := range *ov {
+			(*ov)[i] = message{}
+		}
+		*ov = (*ov)[:0]
+		overflowPool.Put(ov)
 	}
 }
 
@@ -103,6 +130,51 @@ type barrier struct {
 	size    int32
 	count   atomic.Int32
 	release [2]chan struct{}
+}
+
+// Collective op codes. The rendezvous deposits and compares these bytes
+// instead of strings; opNames renders them for mismatch panics and the
+// watchdog dump, byte-identical to the historical messages.
+const (
+	opBarrier uint8 = iota
+	opAllReduceF64
+	opAllReduceInt
+	opAllGather
+)
+
+var opNames = [...]string{"barrier", "allreduce_f64", "allreduce_int", "allgather"}
+
+// Blocked-state encoding: publishing a wait state on the receive and
+// collective hot paths is one atomic uint64 store instead of an
+// fmt.Sprintf plus a string-into-interface heap escape. Layout: bits
+// [0,3) kind, [3,8) collective op code, [8,24) source rank, [24,64) tag.
+// dump decodes back to the historical human-readable strings.
+const (
+	stateNone uint64 = iota
+	stateRecv
+	stateCollWait
+	stateCollLeave
+)
+
+func packRecvState(src, tag int) uint64 {
+	return stateRecv | uint64(src)<<8 | uint64(tag)<<24
+}
+
+func packCollState(kind uint64, op uint8) uint64 {
+	return kind | uint64(op)<<3
+}
+
+// renderBlocked decodes a packed blocked state for the watchdog dump.
+func renderBlocked(s uint64) string {
+	switch s & 7 {
+	case stateRecv:
+		return fmt.Sprintf("blocked in Recv(src=%d, tag=%d)", (s>>8)&0xFFFF, s>>24)
+	case stateCollWait:
+		return fmt.Sprintf("waiting in collective %q", opNames[(s>>3)&31])
+	case stateCollLeave:
+		return fmt.Sprintf("leaving collective %q", opNames[(s>>3)&31])
+	}
+	return ""
 }
 
 // DeadlockError is the failure a watchdog-armed Run panics with when the
@@ -123,8 +195,14 @@ type World struct {
 	p     int
 	boxes []mailbox // index src*p + dst
 	bar   barrier
-	ops   []string // rendezvous deposits, indexed by rank
+	// Rendezvous deposit slots, indexed by rank. Scalar reductions use
+	// the unboxed fvals/ivals arrays — depositing a float64 or int there
+	// is a plain store, where boxing into vals would heap-allocate on
+	// every collective — and the generic AllGather keeps the boxed slots.
+	opIdx []uint8
 	vals  []any
+	fvals []float64
+	ivals []int
 
 	failMu    sync.Mutex
 	failCause any
@@ -150,8 +228,10 @@ func New(p int) *World {
 	w := &World{
 		p:      p,
 		boxes:  make([]mailbox, p*p),
-		ops:    make([]string, p),
+		opIdx:  make([]uint8, p),
 		vals:   make([]any, p),
+		fvals:  make([]float64, p),
+		ivals:  make([]int, p),
 		failCh: make(chan struct{}),
 	}
 	for i := range w.boxes {
@@ -313,7 +393,7 @@ func (w *World) dump() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "P=%d processors:\n", w.p)
 	for _, p := range w.procs {
-		state, _ := p.blocked.Load().(string)
+		state := renderBlocked(p.blocked.Load())
 		if state == "" {
 			state = "not blocked in the communicator (computing or finished)"
 		}
@@ -322,20 +402,22 @@ func (w *World) dump() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
-// await passes the sense-reversing barrier; blocked describes the wait
-// for the watchdog dump.
-func (w *World) await(p *Proc, blocked string) {
+// await passes the sense-reversing barrier; blocked is the packed wait
+// state published for the watchdog dump.
+//
+//pilut:hotpath
+func (w *World) await(p *Proc, blocked uint64) {
 	s := p.sense
 	ch := w.bar.release[s]
 	p.sense = 1 - s
 	if w.bar.count.Add(1) == w.bar.size {
 		w.bar.count.Store(0)
-		w.bar.release[1-s] = make(chan struct{})
+		w.bar.release[1-s] = make(chan struct{}) //pilutlint:ok hotalloc one channel per barrier generation is the sense-reversing protocol
 		close(ch)
 		return
 	}
 	p.blocked.Store(blocked)
-	defer p.blocked.Store("")
+	defer p.blocked.Store(stateNone)
 	select {
 	case <-ch:
 	case <-w.failCh:
@@ -355,8 +437,9 @@ type Proc struct {
 	// different tag, in arrival order, indexed by src. Owned by this
 	// processor's goroutine.
 	stash [][]message
-	// blocked publishes a human-readable wait state for the watchdog.
-	blocked atomic.Value
+	// blocked publishes the packed wait state (see renderBlocked) for the
+	// watchdog.
+	blocked atomic.Uint64
 }
 
 // ID returns this processor's rank.
@@ -438,6 +521,7 @@ func (p *Proc) RecvRaw(src, tag int) (pcomm.RawSlice, any, bool) {
 	return m.raw, m.payload, m.isRaw
 }
 
+//pilut:hotpath
 func (p *Proc) recvMessage(src, tag int) message {
 	w := p.w
 	if src < 0 || src >= w.p {
@@ -454,18 +538,18 @@ func (p *Proc) recvMessage(src, tag int) message {
 		if m, ok := takeByTagFrom(stash, tag, n); ok {
 			return m
 		}
-		p.blocked.Store(fmt.Sprintf("blocked in Recv(src=%d, tag=%d)", src, tag))
+		p.blocked.Store(packRecvState(src, tag))
 		select {
 		case m := <-b.ch:
-			p.blocked.Store("")
+			p.blocked.Store(stateNone)
 			// m is newer than everything stashed, so if it matches it is
 			// the FIFO-correct next message of this tag.
 			if m.tag == tag {
 				return m
 			}
-			*stash = append(*stash, m)
+			*stash = append(*stash, m) //pilutlint:ok hotalloc stash grows to the peak out-of-order depth once, then is reused
 		case <-b.wake:
-			p.blocked.Store("")
+			p.blocked.Store(stateNone)
 		case <-w.failCh:
 			p.abort()
 		}
@@ -491,46 +575,55 @@ func takeByTagFrom(stash *[]message, tag, from int) (message, bool) {
 	return message{}, false
 }
 
-// collect is the rendezvous underlying every collective: all P
-// processors deposit a value, phase-1 barrier, everyone snapshots the
-// deposits (and checks the collective ops match), phase-2 barrier so the
-// next collective may overwrite the slots.
-func (p *Proc) collect(op string, val any) []any {
+// enter is the first half of every collective rendezvous: deposit the op
+// code, pass the phase-1 barrier, and verify all processors entered the
+// same collective. Between enter and leave every deposit slot is stable
+// and readable by everyone; leave (the phase-2 barrier) releases the
+// slots for the next collective.
+//
+//pilut:hotpath
+func (p *Proc) enter(op uint8) {
 	w := p.w
 	p.stats.Collectives++
-	w.ops[p.id] = op
-	w.vals[p.id] = val
-	w.await(p, fmt.Sprintf("waiting in collective %q", op))
+	w.opIdx[p.id] = op
+	w.await(p, packCollState(stateCollWait, op))
 	for q := 0; q < w.p; q++ {
-		if w.ops[q] != op {
-			panic(fmt.Sprintf("realcomm: collective mismatch: %q vs %q", w.ops[q], op))
+		if w.opIdx[q] != op {
+			panic(fmt.Sprintf("realcomm: collective mismatch: %q vs %q", opNames[w.opIdx[q]], opNames[op]))
 		}
 	}
-	vals := append([]any(nil), w.vals...)
-	w.await(p, fmt.Sprintf("leaving collective %q", op))
-	return vals
+}
+
+//pilut:hotpath
+func (p *Proc) leave(op uint8) {
+	p.w.await(p, packCollState(stateCollLeave, op))
 }
 
 // Barrier synchronizes all processors.
+//
+//pilut:hotpath
 func (p *Proc) Barrier() {
 	t0 := p.Time()
-	p.collect("barrier", nil)
+	p.enter(opBarrier)
+	p.leave(opBarrier)
 	if p.tr != nil {
 		p.tr.Span("machine", "barrier", t0, p.Time(), trace.I("bytes", 0))
 	}
 }
 
 // AllReduceFloat64 combines one float64 per processor with op. The fold
-// runs in rank order — bitwise identical to the modelled backend.
+// runs in rank order — bitwise identical to the modelled backend — over
+// the unboxed deposit array, so the steady-state reduction allocates
+// nothing.
+//
+//pilut:hotpath
 func (p *Proc) AllReduceFloat64(v float64, op pcomm.ReduceOp) float64 {
 	t0 := p.Time()
-	vals := p.collect("allreduce_f64", v)
-	if p.tr != nil {
-		p.tr.Span("machine", "allreduce_f64", t0, p.Time(), trace.I("bytes", 8))
-	}
-	out := vals[0].(float64)
-	for _, a := range vals[1:] {
-		x := a.(float64)
+	w := p.w
+	w.fvals[p.id] = v
+	p.enter(opAllReduceF64)
+	out := w.fvals[0]
+	for _, x := range w.fvals[1:] {
 		switch op {
 		case pcomm.OpSum:
 			out += x
@@ -543,20 +636,24 @@ func (p *Proc) AllReduceFloat64(v float64, op pcomm.ReduceOp) float64 {
 				out = x
 			}
 		}
+	}
+	p.leave(opAllReduceF64)
+	if p.tr != nil {
+		p.tr.Span("machine", "allreduce_f64", t0, p.Time(), trace.I("bytes", 8))
 	}
 	return out
 }
 
 // AllReduceInt combines one int per processor with op.
+//
+//pilut:hotpath
 func (p *Proc) AllReduceInt(v int, op pcomm.ReduceOp) int {
 	t0 := p.Time()
-	vals := p.collect("allreduce_int", v)
-	if p.tr != nil {
-		p.tr.Span("machine", "allreduce_int", t0, p.Time(), trace.I("bytes", 8))
-	}
-	out := vals[0].(int)
-	for _, a := range vals[1:] {
-		x := a.(int)
+	w := p.w
+	w.ivals[p.id] = v
+	p.enter(opAllReduceInt)
+	out := w.ivals[0]
+	for _, x := range w.ivals[1:] {
 		switch op {
 		case pcomm.OpSum:
 			out += x
@@ -570,14 +667,23 @@ func (p *Proc) AllReduceInt(v int, op pcomm.ReduceOp) int {
 			}
 		}
 	}
+	p.leave(opAllReduceInt)
+	if p.tr != nil {
+		p.tr.Span("machine", "allreduce_int", t0, p.Time(), trace.I("bytes", 8))
+	}
 	return out
 }
 
 // AllGather deposits one value per processor and returns the slice
-// indexed by processor rank.
+// indexed by processor rank. The result is inherently per-call storage,
+// so this path keeps the boxed deposit slots.
 func (p *Proc) AllGather(v any, bytes int) []any {
 	t0 := p.Time()
-	vals := p.collect("allgather", v)
+	w := p.w
+	w.vals[p.id] = v
+	p.enter(opAllGather)
+	vals := append([]any(nil), w.vals...)
+	p.leave(opAllGather)
 	if p.tr != nil {
 		p.tr.Span("machine", "allgather", t0, p.Time(), trace.I("bytes", bytes))
 	}

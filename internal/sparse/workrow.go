@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -24,6 +25,49 @@ func NewWorkRow(n int) *WorkRow {
 
 // Len reports the full (dense) length of the row.
 func (w *WorkRow) Len() int { return len(w.val) }
+
+// Resize grows the dense arrays to length n; it never shrinks, so a
+// pooled WorkRow serves factorizations of any size it has ever seen.
+// The row must be reset (Resize preserves no marked state).
+func (w *WorkRow) Resize(n int) {
+	if n <= len(w.val) {
+		return
+	}
+	w.val = make([]float64, n)
+	w.mark = make([]bool, n)
+	w.inIdx = make([]bool, n)
+	w.idx = w.idx[:0]
+	w.cand = w.cand[:0]
+}
+
+// PoisonClean verifies the row is fully reset — no marks, no live
+// indices, every value zero — and then scribbles sentinel garbage over
+// the spare capacity of the index and candidate lists, the only storage
+// a correct kernel may not read. It panics if the row is dirty. This is
+// the stale-scratch tripwire of the poisoning property tests: a kernel
+// that consumes leftover state from a previous factorization either
+// trips the clean check here or reads a sentinel and corrupts its output
+// in a way the bitwise run-to-run comparison catches.
+func (w *WorkRow) PoisonClean() {
+	for j := range w.val {
+		if w.val[j] != 0 || w.mark[j] || w.inIdx[j] {
+			panic("sparse: WorkRow not clean: stale state survived a Reset")
+		}
+	}
+	if len(w.idx) != 0 {
+		panic("sparse: WorkRow not clean: index list non-empty")
+	}
+	const sentinel = -0x5A5A5A5A
+	spare := w.idx[:cap(w.idx)]
+	for k := range spare {
+		spare[k] = sentinel
+	}
+	spare = w.cand[:cap(w.cand)]
+	for k := range spare {
+		spare[k] = sentinel
+	}
+	w.cand = w.cand[:0]
+}
 
 // NNZ reports the number of positions currently marked (explicit zeros
 // that were Set remain counted until dropped or reset).
@@ -177,14 +221,22 @@ func (w *WorkRow) KeepLargest(lo, hi, m int, keep int) int {
 		return 0
 	}
 	// Select the m largest by magnitude: sort descending by |value|,
-	// breaking ties by column index.
-	//pilutlint:ok hotalloc the comparator closure is the price of sort.Slice; it captures only w and cand
-	sort.Slice(cand, func(x, y int) bool {
-		ax, ay := math.Abs(w.val[cand[x]]), math.Abs(w.val[cand[y]])
-		if ax != ay {
-			return ax > ay
+	// breaking ties by column index. slices.SortFunc, not sort.Slice: the
+	// generic form boxes nothing and the comparator stays on the stack, so
+	// the 2nd dropping rule costs zero allocations. The comparator is a
+	// total order (columns are distinct), so the kept set is identical to
+	// any other correct sort.
+	//pilutlint:ok hotalloc the comparator closure does not escape slices.SortFunc; no boxing, no heap allocation
+	slices.SortFunc(cand, func(x, y int) int {
+		ax, ay := math.Abs(w.val[x]), math.Abs(w.val[y])
+		switch {
+		case ax > ay:
+			return -1
+		case ax < ay:
+			return 1
+		default:
+			return x - y
 		}
-		return cand[x] < cand[y]
 	})
 	dropped := 0
 	for _, j := range cand[m:] {
