@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json test test-real test-netcomm race race-real chaos check serve-smoke bench-service bench-backend bench-netcomm bench-speedup fuzz-smoke cover
+.PHONY: all build vet lint lint-json test test-real test-netcomm race race-real chaos check serve-smoke bench-service bench-backend bench-netcomm bench-speedup bench-sequence fuzz-smoke cover
 
 all: check
 
@@ -40,7 +40,7 @@ test-real:
 # shared slices, which no multi-process world can fill.
 test-netcomm:
 	$(GO) test ./internal/pcomm/netcomm -count=1
-	PILUT_BACKEND=netcomm:spawn=2 $(GO) test . -run TestBackendBitwiseEquivalence -count=1
+	PILUT_BACKEND=netcomm:spawn=2 $(GO) test . -run 'TestBackendBitwiseEquivalence|TestAnalyzeRefactorEquivalence' -count=1
 	$(GO) test ./cmd/pilutd -run TestCluster -count=1
 
 # Race-enabled run with reduced problem sizes; matches the CI race lane.
@@ -103,6 +103,14 @@ bench-netcomm:
 bench-speedup:
 	PILUT_BENCH_SPEEDUP_OUT=$(CURDIR)/BENCH_speedup.json \
 		$(GO) test . -run TestEmitSpeedupBench -count=1 -v
+
+# Matrix-sequence amortization: a 16-step fixed-pattern sequence solved
+# warm (one server: symbolic reuse + warm-started GMRES) vs 16 cold
+# solves (fresh server per step); writes BENCH_sequence.json. The warm
+# amortized per-step latency must be at least 2x faster.
+bench-sequence:
+	PILUT_BENCH_SEQUENCE_OUT=$(CURDIR)/BENCH_sequence.json \
+		$(GO) test ./internal/service -run TestEmitSequenceBench -count=1 -v
 
 # Short fuzzing pass over every fuzz target; matches the CI fuzz lane.
 # Override FUZZTIME for longer local runs, e.g. `make fuzz-smoke FUZZTIME=5m`.

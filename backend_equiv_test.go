@@ -292,6 +292,49 @@ func TestBackendBitwiseEquivalence(t *testing.T) {
 	}
 }
 
+// TestAnalyzeRefactorEquivalence pins the symbolic/numeric split against
+// the one-shot path on every backend: a plan obtained by analyzing a
+// base matrix and rebinding its pattern to a same-pattern perturbed
+// matrix (core.Analyze + Symbolic.Bind, the sequence-reuse path) must
+// drive the full factor+GMRES pipeline to bitwise-identical results as a
+// plan built from scratch for the perturbed matrix (core.NewPlan), on
+// the modelled, real and netcomm backends alike. core.Factor and
+// core.Refactor are the same numeric phase by construction; what this
+// test guards is that the reused analysis feeds it identical inputs.
+func TestAnalyzeRefactorEquivalence(t *testing.T) {
+	base := matgen.Grid2D(16, 16)
+	next := matgen.Evolve(base, 1, 2e-2, 11)[0]
+	for _, P := range []int{2, 4} {
+		g := graph.FromMatrix(base)
+		part := partition.KWay(g, P, partition.Options{Seed: 5})
+		lay, err := dist.NewLayout(base.N, P, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sym, err := core.Analyze(base, lay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebound, err := sym.Bind(next)
+		if err != nil {
+			t.Fatalf("P=%d: Bind rejected a same-pattern matrix: %v", P, err)
+		}
+		fresh, err := core.NewPlan(next, lay)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		freshMod := runPipeline(t, modelled.New(P, machine.T3D()), next, lay, fresh, P)
+		reboundMod := runPipeline(t, modelled.New(P, machine.T3D()), next, lay, rebound, P)
+		reboundReal := runPipeline(t, realcomm.New(P), next, lay, rebound, P)
+		reboundNet := runPipeline(t, netcommWorld(t, P), next, lay, rebound, P)
+
+		comparePipelines(t, "analyze-refactor", P, "fresh-plan", "rebound-plan", freshMod, reboundMod)
+		comparePipelines(t, "analyze-refactor", P, "rebound-modelled", "rebound-real", reboundMod, reboundReal)
+		comparePipelines(t, "analyze-refactor", P, "rebound-modelled", "rebound-netcomm", reboundMod, reboundNet)
+	}
+}
+
 // TestServiceBackendEquivalence checks the user-facing contract at the
 // service layer: two servers differing only in Backend return
 // bitwise-identical solutions for the same request.

@@ -4,25 +4,67 @@
 // Example:
 //
 //	matgen -gen torso -size 28 -o torso28.mtx
+//
+// With -evolve N it writes a deterministic fixed-pattern matrix sequence
+// (the base plus N value-perturbed steps) for the sequence workflow:
+// every step shares the base's sparsity pattern, so a solver service
+// reuses one symbolic analysis across the whole family.
+//
+//	matgen -gen grid2d -size 48 -evolve 8 -amp 1e-2 -o seq.mtx
+//
+// writes seq.mtx (the base) and seq-step01.mtx … seq-step08.mtx; with
+// -o unset the base and every step stream to stdout in order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/matgen"
 	"repro/internal/sparse"
 )
 
+// writeMatrix writes a to path, or to stdout when path is empty.
+func writeMatrix(path string, a *sparse.CSR) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return sparse.WriteMatrixMarket(w, a)
+}
+
+// stepPath derives the per-step output name: base.mtx → base-step03.mtx.
+// An empty base (stdout) stays empty.
+func stepPath(out string, step int) string {
+	if out == "" {
+		return ""
+	}
+	ext := ""
+	stem := out
+	if i := strings.LastIndex(out, "."); i > 0 {
+		stem, ext = out[:i], out[i:]
+	}
+	return fmt.Sprintf("%s-step%02d%s", stem, step, ext)
+}
+
 func main() {
 	gen := flag.String("gen", "grid2d", "generator: grid2d, grid3d, torso, convdiff, anisotropic")
 	size := flag.Int("size", 64, "grid side / cube side")
 	out := flag.String("o", "", "output file (default stdout)")
-	seed := flag.Int64("seed", 1, "random seed (torso ordering)")
+	seed := flag.Int64("seed", 1, "random seed (torso ordering, -evolve perturbations)")
 	eps := flag.Float64("eps", 0.01, "anisotropy ratio (anisotropic)")
 	px := flag.Float64("px", 30, "x-convection (convdiff)")
 	py := flag.Float64("py", 20, "y-convection (convdiff)")
+	evolve := flag.Int("evolve", 0, "also write this many fixed-pattern value-perturbed steps (a matrix sequence)")
+	amp := flag.Float64("amp", 1e-2, "relative perturbation amplitude per -evolve step")
 	flag.Parse()
 
 	var a *sparse.CSR
@@ -41,20 +83,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown generator %q\n", *gen)
 		os.Exit(2)
 	}
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	if *evolve < 0 {
+		fmt.Fprintf(os.Stderr, "-evolve must be non-negative, got %d\n", *evolve)
+		os.Exit(2)
 	}
-	if err := sparse.WriteMatrixMarket(w, a); err != nil {
+
+	if err := writeMatrix(*out, a); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "%s: n=%d nnz=%d\n", *gen, a.N, a.NNZ())
+
+	if *evolve > 0 {
+		for i, step := range matgen.Evolve(a, *evolve, *amp, *seed) {
+			path := stepPath(*out, i+1)
+			if err := writeMatrix(path, step); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			name := path
+			if name == "" {
+				name = fmt.Sprintf("step %d", i+1)
+			}
+			fmt.Fprintf(os.Stderr, "%s: pattern fixed, values perturbed (amp=%g)\n", name, *amp)
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
@@ -9,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/matgen"
 	"repro/internal/service"
+	"repro/internal/sparse"
 )
 
 // newTestServer spins up the real mux over an in-process service with a
@@ -130,6 +133,85 @@ func TestUnknownEndpointIsJSON404(t *testing.T) {
 	if !strings.Contains(msg, "/no/such/path") {
 		t.Fatalf("error %q does not name the path", msg)
 	}
+}
+
+// TestSequencesEndpoint drives the matrix-sequence workflow end to end
+// over HTTP: submit a fixed-pattern evolving family, solve it as one
+// sequence, and check every step after the first reused the cached
+// symbolic analysis and warm-started from its predecessor.
+func TestSequencesEndpoint(t *testing.T) {
+	svc := service.New(service.Config{Procs: 2, Workers: 1})
+	ts := httptest.NewServer(newMux(svc, 600000))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	})
+
+	base := matgen.Grid2D(8, 8)
+	seq := append([]*sparse.CSR{base}, matgen.Evolve(base, 2, 1e-3, 21)...)
+	keys := make([]string, 0, len(seq))
+	for i, a := range seq {
+		var buf bytes.Buffer
+		if err := sparse.WriteMatrixMarket(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/matrices", "text/plain", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub struct {
+			Key string `json:"key"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil || sub.Key == "" {
+			t.Fatalf("submit %d: err=%v key=%q", i, err, sub.Key)
+		}
+		keys = append(keys, sub.Key)
+	}
+
+	b := make([]float64, base.N)
+	for i := range b {
+		b[i] = 1
+	}
+	body, _ := json.Marshal(map[string]any{"keys": keys, "b": b, "tol": 1e-9})
+	resp, err := http.Post(ts.URL+"/v1/sequences", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var reply sequenceReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Steps) != len(keys) {
+		t.Fatalf("got %d steps, want %d", len(reply.Steps), len(keys))
+	}
+	for i, res := range reply.Steps {
+		if !res.Converged {
+			t.Fatalf("step %d did not converge: %+v", i, res)
+		}
+		if wantSym := i > 0; res.SymbolicHit != wantSym {
+			t.Fatalf("step %d: symbolic_hit=%v, want %v", i, res.SymbolicHit, wantSym)
+		}
+		if wantWarm := i > 0; res.WarmStarted != wantWarm {
+			t.Fatalf("step %d: warm_started=%v, want %v", i, res.WarmStarted, wantWarm)
+		}
+	}
+	if reply.PatternHits != len(keys)-1 || reply.WarmStarted != len(keys)-1 || reply.CacheHits != 0 {
+		t.Fatalf("aggregates = %+v, want pattern_hits=%d warm_started=%d cache_hits=0",
+			reply, len(keys)-1, len(keys)-1)
+	}
+
+	// An empty key list is a client error.
+	resp, err = http.Post(ts.URL+"/v1/sequences", "application/json", strings.NewReader(`{"keys":[],"b":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusBadRequest)
 }
 
 func TestSolveStatusMapping(t *testing.T) {

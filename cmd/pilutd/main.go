@@ -6,6 +6,9 @@
 //
 //	POST /v1/matrices   MatrixMarket body      → {"key", "n", "nnz", "known"}
 //	POST /v1/solve      {"key", "b", ...}      → solution + solver stats
+//	POST /v1/sequences  {"keys", "b", ...}     → per-step solutions; same-pattern
+//	                                             steps reuse the symbolic analysis
+//	                                             and warm-start from the previous step
 //	GET  /v1/stats                             → service counters
 //	GET  /metrics                              → Prometheus text metrics
 //	GET  /healthz                              → {"status", "queue_depth", ...}; 503 while draining
@@ -54,6 +57,29 @@ type solveRequest struct {
 	// TimeoutMs, when positive, bounds the request: an exceeded deadline
 	// cancels the solve collectively and answers 504.
 	TimeoutMs int `json:"timeout_ms"`
+}
+
+type sequenceRequest struct {
+	// Keys are the registered matrix keys solved in order against the one
+	// right-hand side B — the matrix-sequence workflow. Same-pattern steps
+	// reuse the cached symbolic analysis; WarmStart (default true, use a
+	// pointer-less false via "warm_start": false) seeds each step with the
+	// previous step's solution.
+	Keys      []string  `json:"keys"`
+	B         []float64 `json:"b"`
+	Restart   int       `json:"restart"`
+	Tol       float64   `json:"tol"`
+	MaxMatVec int       `json:"max_matvec"`
+	TimeoutMs int       `json:"timeout_ms"`
+	WarmStart *bool     `json:"warm_start"`
+}
+
+type sequenceReply struct {
+	Steps []service.SolveResult `json:"steps"`
+	// Aggregates over the steps, for clients that only want the headline.
+	PatternHits int `json:"pattern_hits"`
+	CacheHits   int `json:"cache_hits"`
+	WarmStarted int `json:"warm_started"`
 }
 
 type errorReply struct {
@@ -164,6 +190,54 @@ func newMux(svc *service.Server, maxTimeoutMs int) *http.ServeMux {
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("POST /v1/sequences", func(w http.ResponseWriter, r *http.Request) {
+		var req sequenceRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMatrixBytes)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing sequence request: %w", err))
+			return
+		}
+		if len(req.Keys) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("sequence needs at least one key"))
+			return
+		}
+		if req.TimeoutMs < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("timeout_ms must be non-negative, got %d", req.TimeoutMs))
+			return
+		}
+		// The deadline covers the whole sequence, capped like /v1/solve.
+		timeout := req.TimeoutMs
+		if maxTimeoutMs > 0 && (timeout == 0 || timeout > maxTimeoutMs) {
+			timeout = maxTimeoutMs
+		}
+		ctx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(timeout)*time.Millisecond)
+			defer cancel()
+		}
+		warm := req.WarmStart == nil || *req.WarmStart
+		steps, err := svc.SolveSequence(ctx, req.Keys, req.B, service.SolveOptions{
+			Restart: req.Restart, Tol: req.Tol, MaxMatVec: req.MaxMatVec,
+		}, warm)
+		if err != nil {
+			writeError(w, solveStatus(err), err)
+			return
+		}
+		reply := sequenceReply{Steps: steps}
+		for _, res := range steps {
+			if res.SymbolicHit {
+				reply.PatternHits++
+			}
+			if res.CacheHit {
+				reply.CacheHits++
+			}
+			if res.WarmStarted {
+				reply.WarmStarted++
+			}
+		}
+		writeJSON(w, http.StatusOK, reply)
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {

@@ -112,11 +112,32 @@ type ProcPrecond struct {
 	Stats Stats
 }
 
-// Factor runs the two-phase parallel ILUT/ILUT* factorization. It is an
-// SPMD collective: every processor of the machine must call it with the
-// same plan and options. The returned piece belongs to the calling
-// processor.
+// Factor runs the two-phase parallel ILUT/ILUT* factorization from
+// scratch-built preprocessing: it is the composition Analyze + Bind +
+// numeric kernels, kept as the entry point for one-off factorizations.
+// It is an SPMD collective: every processor of the machine must call it
+// with the same plan and options. The returned piece belongs to the
+// calling processor.
 func Factor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
+	return Refactor(p, plan, opt)
+}
+
+// Refactor runs ONLY the numeric phase of the factorization: the
+// value-dependent ILUT/Schur kernels against a prebuilt symbolic
+// analysis. The plan is a Symbolic (pattern-only, typically reused
+// across a matrix sequence) bound to the current value set via
+// Symbolic.Bind — so "refactor for new values" is spelled
+//
+//	plan, err := sym.Bind(a2)        // cheap: row norms + pattern guard
+//	pc := core.Refactor(p, plan, opt)
+//
+// The MIS level schedule is recomputed here, not read from the symbolic
+// artifact: the reduced matrix's adjacency depends on threshold dropping
+// and therefore on the values, and the schedule is interleaved with the
+// elimination level by level. That choice is what keeps Refactor on a
+// rebound plan bitwise identical to a one-shot Factor on the same
+// values (see DESIGN.md §14). Like Factor it is an SPMD collective.
+func Refactor(p pcomm.Comm, plan *Plan, opt Options) *ProcPrecond {
 	if opt.MISRounds <= 0 {
 		opt.MISRounds = mis.DefaultRounds
 	}

@@ -26,6 +26,13 @@
 // ("new id" < n), not-yet-factored unknowns use n + original id. This lets
 // the elimination kernels work with contiguous pivot ranges while the
 // final order of interface unknowns is still being discovered.
+//
+// The preprocessing is split into a pattern-only Symbolic phase
+// (Analyze) and a cheap value binding (Symbolic.Bind); Factor composes
+// them with the numeric kernels, while Refactor reuses a previous
+// Symbolic across a matrix sequence whose values evolve on a fixed
+// sparsity pattern. See DESIGN.md §14 for what is — and deliberately is
+// not — part of the symbolic artifact.
 package core
 
 import (
@@ -36,11 +43,21 @@ import (
 	"repro/internal/sparse"
 )
 
-// Plan is the immutable shared preprocessing of a parallel factorization:
-// the row classification (interior vs interface) and the static numbering
-// of interior unknowns. Build it once; every processor reads it.
-type Plan struct {
-	A   *sparse.CSR
+// Symbolic is the pattern-only preprocessing of a parallel factorization:
+// everything derivable from the sparsity structure and the layout alone —
+// the row classification (interior vs interface), the static numbering of
+// interior unknowns, and scratch sizing. It contains no matrix values, so
+// it can be cached under a sparse.PatternFingerprint key and reused across
+// every member of a matrix sequence that shares the pattern.
+//
+// Deliberately NOT part of the symbolic artifact: the Phase-2 MIS level
+// schedule. The reduced matrix A^I whose adjacency drives the independent
+// sets is produced by threshold dropping (τ·‖a_i‖₂), which depends on the
+// values; freezing a level schedule computed from one value set would
+// change the factors of the next one. Refactor therefore recomputes the
+// schedule — it is interleaved with the elimination anyway — keeping
+// Analyze+Refactor bitwise identical to one-shot Factor.
+type Symbolic struct {
 	Lay *dist.Layout
 
 	Interior    []bool // per global row
@@ -50,16 +67,43 @@ type Plan struct {
 	NInterface  int
 	// NewOfInterior maps a global row to its new id if interior, else −1.
 	NewOfInterior []int
+
+	// PatternKey is sparse.PatternFingerprint of the analyzed matrix: the
+	// cache key under which this artifact may be reused, and the guard
+	// Bind checks candidates against.
+	PatternKey string
+	// NNZ of the analyzed pattern; a cheap first-line Bind sanity check.
+	NNZ int
+	// ScratchCells is the per-processor pooled scratch size the numeric
+	// phase will request (the combined 2n index space).
+	ScratchCells int
+
+	// The analyzed structure itself (aliases into the analyzed matrix, not
+	// copies): Bind compares candidates against these exactly, which is a
+	// linear scan — far cheaper than re-hashing — and catches any caller
+	// that tries to bind a drifted pattern.
+	rowPtr []int
+	cols   []int
+}
+
+// Plan binds a Symbolic analysis to one concrete value set: the matrix
+// itself plus the value-derived row norms the threshold dropping uses.
+// Build it once per value set; every processor reads it.
+type Plan struct {
+	*Symbolic
+	A *sparse.CSR
+
 	// RowTau caches t-relative norms: RowTau[i] = ‖a_i‖₂ of the original
 	// matrix, so every level uses the paper's "original row norm" rule.
 	RowTau []float64
 }
 
-// NewPlan classifies rows against the layout and numbers the interior
-// unknowns processor by processor. Classification uses the symmetrized
-// structure: a row is interface if it is coupled to a remote row in either
-// direction.
-func NewPlan(a *sparse.CSR, lay *dist.Layout) (*Plan, error) {
+// Analyze runs the symbolic phase: it classifies rows against the layout
+// using the symmetrized structure (a row is interface if it is coupled to
+// a remote row in either direction) and numbers the interior unknowns
+// processor by processor. The result depends only on the sparsity pattern
+// and the layout — values never enter.
+func Analyze(a *sparse.CSR, lay *dist.Layout) (*Symbolic, error) {
 	if a.N != a.M {
 		return nil, fmt.Errorf("core: matrix must be square")
 	}
@@ -69,31 +113,55 @@ func NewPlan(a *sparse.CSR, lay *dist.Layout) (*Plan, error) {
 	g := graph.FromMatrix(a)
 	boundary := g.Boundary(lay.PartOf)
 
-	p := &Plan{A: a, Lay: lay}
-	p.Interior = make([]bool, a.N)
-	for i := range p.Interior {
-		p.Interior[i] = !boundary[i]
+	s := &Symbolic{
+		Lay:          lay,
+		PatternKey:   sparse.PatternFingerprint(a),
+		NNZ:          a.NNZ(),
+		ScratchCells: 2 * a.N,
+		rowPtr:       a.RowPtr,
+		cols:         a.Cols,
 	}
-	p.IntBase = make([]int, lay.P)
-	p.NIntLocal = make([]int, lay.P)
-	p.NewOfInterior = make([]int, a.N)
-	for i := range p.NewOfInterior {
-		p.NewOfInterior[i] = -1
+	s.Interior = make([]bool, a.N)
+	for i := range s.Interior {
+		s.Interior[i] = !boundary[i]
+	}
+	s.IntBase = make([]int, lay.P)
+	s.NIntLocal = make([]int, lay.P)
+	s.NewOfInterior = make([]int, a.N)
+	for i := range s.NewOfInterior {
+		s.NewOfInterior[i] = -1
 	}
 	base := 0
 	for q := 0; q < lay.P; q++ {
-		p.IntBase[q] = base
+		s.IntBase[q] = base
 		for _, i := range lay.Rows[q] { // increasing global order
-			if p.Interior[i] {
-				p.NewOfInterior[i] = base
+			if s.Interior[i] {
+				s.NewOfInterior[i] = base
 				base++
 			}
 		}
-		p.NIntLocal[q] = base - p.IntBase[q]
+		s.NIntLocal[q] = base - s.IntBase[q]
 	}
-	p.TotInterior = base
-	p.NInterface = a.N - base
+	s.TotInterior = base
+	s.NInterface = a.N - base
+	return s, nil
+}
 
+// Bind attaches a concrete value set to the analysis, producing the Plan
+// the numeric kernels read. The matrix must share the analyzed sparsity
+// pattern — a changed pattern invalidates the classification and the
+// interior numbering, so Bind refuses it and the caller must re-Analyze.
+// Binding is the only per-value-set preprocessing: one pass computing the
+// row 2-norms the threshold dropping is relative to.
+func (s *Symbolic) Bind(a *sparse.CSR) (*Plan, error) {
+	if a.N != s.Lay.N || a.M != s.Lay.N || a.NNZ() != s.NNZ {
+		return nil, fmt.Errorf("core: matrix %dx%d/%d entries does not match analyzed pattern %d/%d entries",
+			a.N, a.M, a.NNZ(), s.Lay.N, s.NNZ)
+	}
+	if !s.samePattern(a) {
+		return nil, fmt.Errorf("core: matrix pattern does not match analyzed pattern %s — re-run Analyze", s.PatternKey)
+	}
+	p := &Plan{Symbolic: s, A: a}
 	p.RowTau = make([]float64, a.N)
 	for i := 0; i < a.N; i++ {
 		p.RowTau[i] = a.RowNorm2(i)
@@ -101,8 +169,55 @@ func NewPlan(a *sparse.CSR, lay *dist.Layout) (*Plan, error) {
 	return p, nil
 }
 
+// samePattern reports whether a's structure equals the analyzed one,
+// with a pointer fast path for the common case of binding the very
+// matrix that was analyzed.
+func (s *Symbolic) samePattern(a *sparse.CSR) bool {
+	if len(a.RowPtr) != len(s.rowPtr) || len(a.Cols) != len(s.cols) {
+		return false
+	}
+	if (len(a.RowPtr) == 0 || &a.RowPtr[0] == &s.rowPtr[0]) &&
+		(len(a.Cols) == 0 || &a.Cols[0] == &s.cols[0]) {
+		return true
+	}
+	for i, p := range s.rowPtr {
+		if a.RowPtr[i] != p {
+			return false
+		}
+	}
+	for i, c := range s.cols {
+		if a.Cols[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// NewPlan is the one-shot composition Analyze + Bind, kept as the
+// entry point for callers without a sequence to amortize over.
+func NewPlan(a *sparse.CSR, lay *dist.Layout) (*Plan, error) {
+	s, err := Analyze(a, lay)
+	if err != nil {
+		return nil, err
+	}
+	return s.Bind(a)
+}
+
 // InteriorFraction reports the share of rows that are interior — the
 // quantity a good partition maximizes.
-func (p *Plan) InteriorFraction() float64 {
-	return float64(p.TotInterior) / float64(p.A.N)
+func (s *Symbolic) InteriorFraction() float64 {
+	return float64(s.TotInterior) / float64(s.Lay.N)
+}
+
+// SizeBytes estimates the heap footprint of the artifact for cache
+// accounting. The layout is counted too: a cached Symbolic keeps its
+// layout alive, and the two are reused as a unit.
+func (s *Symbolic) SizeBytes() int64 {
+	b := int64(len(s.Interior)) // bools
+	b += 8 * int64(len(s.IntBase)+len(s.NIntLocal)+len(s.NewOfInterior))
+	b += int64(len(s.PatternKey))
+	if s.Lay != nil {
+		b += s.Lay.SizeBytes()
+	}
+	return b
 }

@@ -52,6 +52,18 @@ func NewLayout(n, p int, partOf []int) (*Layout, error) {
 // NLocal reports how many rows processor q owns.
 func (l *Layout) NLocal(q int) int { return len(l.Rows[q]) }
 
+// SizeBytes estimates the heap footprint of the layout for cache
+// accounting: a cached symbolic artifact keeps its layout alive across
+// value swaps, so the bytes must be charged somewhere.
+func (l *Layout) SizeBytes() int64 {
+	b := 8 * int64(len(l.PartOf))
+	for q := range l.Rows {
+		b += 8 * int64(len(l.Rows[q]))
+		b += 16 * int64(len(l.local[q]))
+	}
+	return b
+}
+
 // LocalIndex returns the local position of global row g on its owner, or
 // −1 if q does not own g.
 func (l *Layout) LocalIndex(q, g int) int {
@@ -358,6 +370,40 @@ func (m *Matrix) MulVecBatch(p pcomm.Comm, ys, xs [][]float64) {
 		}
 	}
 	p.Work(float64(flops))
+}
+
+// CloneFor rebinds this processor's view to a matrix with the SAME
+// sparsity pattern but different values, reusing the entire pattern-only
+// exchange plan: ghost ids, send/receive lists and the pre-resolved
+// int32 column references are shared (they are immutable after setup),
+// while the value buffers are fresh so clones never race. Unlike
+// NewMatrix this performs no communication at all — it is safe to call
+// serially, outside any machine run, which is exactly how the service's
+// refactor-only path uses it.
+//
+// The caller is responsible for the pattern actually matching (the
+// service guarantees it via sparse.PatternFingerprint keys); CloneFor
+// checks dimensions and nonzero count as a cheap guard and returns an
+// error on mismatch.
+func (m *Matrix) CloneFor(a *sparse.CSR) (*Matrix, error) {
+	if a.N != m.Lay.N || a.M != m.Lay.N {
+		return nil, fmt.Errorf("dist: CloneFor matrix %dx%d does not match layout size %d", a.N, a.M, m.Lay.N)
+	}
+	if a.NNZ() != m.A.NNZ() {
+		return nil, fmt.Errorf("dist: CloneFor matrix has %d entries, exchange plan was built for %d", a.NNZ(), m.A.NNZ())
+	}
+	return &Matrix{
+		Lay:       m.Lay,
+		A:         a,
+		me:        m.me,
+		ghostIDs:  m.ghostIDs,
+		ghostSlot: m.ghostSlot,
+		recvFrom:  m.recvFrom,
+		sendTo:    m.sendTo,
+		ghost:     make([]float64, len(m.ghostIDs)),
+		refFlat:   m.refFlat,
+		refOff:    m.refOff,
+	}, nil
 }
 
 // SizeBytes estimates the in-memory footprint of this processor's ghost

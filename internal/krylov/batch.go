@@ -39,10 +39,20 @@ type DistBatchPreconditioner interface {
 // slices, with the same batch size and options. If op or prec do not
 // implement the batch interfaces, the corresponding applications fall
 // back to per-vector calls (still correct, no latency sharing).
+//
+// Each xs[i] holds that system's initial guess on entry (zeros for a
+// cold start, the previous step's solution for a warm start) and the
+// solution on exit; Options.X0 is rejected here because a single shared
+// guess cannot express per-system warm starts.
 func DistGMRESBatch(p pcomm.Comm, op DistOperator, prec DistPreconditioner, xs, bs [][]float64, opt Options) ([]Result, error) {
 	B := len(bs)
 	if len(xs) != B {
 		return nil, fmt.Errorf("krylov: DistGMRESBatch batch size mismatch")
+	}
+	if opt.X0 != nil {
+		// A single shared guess is ambiguous for a batch; each system
+		// warm-starts from the contents of its xs[i] instead.
+		return nil, fmt.Errorf("krylov: DistGMRESBatch does not take Options.X0; seed xs[i] per system")
 	}
 	if B == 0 {
 		return nil, nil

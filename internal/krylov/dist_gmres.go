@@ -96,6 +96,12 @@ func DistGMRES(p pcomm.Comm, op DistOperator, prec DistPreconditioner, x, b []fl
 	if prec == nil {
 		prec = DistIdentity{}
 	}
+	if opt.X0 != nil {
+		if len(opt.X0) != nLocal {
+			return Result{}, fmt.Errorf("krylov: DistGMRES X0 has local length %d, want %d", len(opt.X0), nLocal)
+		}
+		copy(x, opt.X0)
+	}
 	// Normalize against the *global* size for the matvec budget.
 	nGlobal := p.AllReduceInt(nLocal, pcomm.OpSum)
 	opt = opt.normalize(nGlobal)

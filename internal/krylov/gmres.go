@@ -59,6 +59,16 @@ type Options struct {
 	// processor leaves the SPMD solve together. All processors of a run
 	// must pass the same context (nil-ness included).
 	Ctx context.Context
+	// X0, when non-nil, warm-starts the solve: it is copied into the
+	// iterate before the first residual, replacing whatever x held. The
+	// classic use is a matrix sequence, where the previous step's solution
+	// starts the next step a few digits in. On an unchanged system a
+	// warm start from the converged solution terminates at the first
+	// residual check (one matrix–vector product). Length must equal x's:
+	// global n for the serial solvers, the processor's LOCAL piece for
+	// DistGMRES. DistGMRESBatch rejects a non-nil X0 — per-system guesses
+	// travel in xs there. X0 is read once at entry and never written.
+	X0 []float64
 }
 
 func (o Options) normalize(n int) Options {
@@ -98,6 +108,12 @@ func GMRES(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Res
 	}
 	if prec == nil {
 		prec = identityPrec{}
+	}
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return Result{}, fmt.Errorf("krylov: GMRES X0 has length %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
 	}
 	opt = opt.normalize(n)
 	m := opt.Restart
@@ -243,6 +259,12 @@ func CG(a *sparse.CSR, prec Preconditioner, x, b []float64, opt Options) (Result
 	}
 	if prec == nil {
 		prec = identityPrec{}
+	}
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return Result{}, fmt.Errorf("krylov: CG X0 has length %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
 	}
 	opt = opt.normalize(n)
 

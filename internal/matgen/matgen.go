@@ -326,3 +326,31 @@ func RandomSPDPattern(n, nnzPerRow int, seed int64) *sparse.CSR {
 	}
 	return b.Build()
 }
+
+// Evolve returns a steps-long sequence of value-perturbed copies of a
+// sharing its sparsity pattern exactly — the matrix-sequence workload of
+// time-stepping and parameter-sweep traffic, where coefficients drift but
+// the mesh (and hence the pattern) is fixed. Step t is a multiplicative
+// random walk from step t−1: every stored value is scaled by
+// (1 + amp·u) with u drawn uniformly from (−1, 1), so consecutive steps
+// stay close (warm starts pay off) while values genuinely change
+// (fingerprints and factors differ). The walk is driven by a single
+// seeded generator, so a given (a, steps, amp, seed) triple reproduces
+// the identical sequence bit for bit. The input matrix is not modified.
+// With a diagonally dominant input and amp well under the dominance
+// margin, every step stays dominant.
+func Evolve(a *sparse.CSR, steps int, amp float64, seed int64) []*sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*sparse.CSR, steps)
+	prev := a
+	for t := 0; t < steps; t++ {
+		c := prev.Clone()
+		for k := range c.Vals {
+			u := 2*rng.Float64() - 1
+			c.Vals[k] *= 1 + amp*u
+		}
+		out[t] = c
+		prev = c
+	}
+	return out
+}

@@ -210,3 +210,70 @@ func TestInterleave3(t *testing.T) {
 		t.Error("not monotone in x")
 	}
 }
+
+func TestEvolveFixedPatternDeterministic(t *testing.T) {
+	base := Grid2D(9, 7)
+	baseVals := append([]float64(nil), base.Vals...)
+	seq := Evolve(base, 5, 1e-2, 42)
+	if len(seq) != 5 {
+		t.Fatalf("Evolve returned %d steps, want 5", len(seq))
+	}
+	pk := sparse.PatternFingerprint(base)
+	prevVF := sparse.ValueFingerprint(base)
+	for i, m := range seq {
+		if sparse.PatternFingerprint(m) != pk {
+			t.Fatalf("step %d changed the sparsity pattern", i)
+		}
+		vf := sparse.ValueFingerprint(m)
+		if vf == prevVF {
+			t.Fatalf("step %d has the same values as the previous step", i)
+		}
+		prevVF = vf
+	}
+	// The input is untouched.
+	for k, v := range base.Vals {
+		if v != baseVals[k] {
+			t.Fatalf("Evolve modified the input matrix at entry %d", k)
+		}
+	}
+	// Same arguments reproduce the identical sequence bit for bit.
+	again := Evolve(base, 5, 1e-2, 42)
+	for i := range seq {
+		if sparse.ValueFingerprint(seq[i]) != sparse.ValueFingerprint(again[i]) {
+			t.Fatalf("step %d is not deterministic across calls", i)
+		}
+	}
+	// A different seed diverges.
+	other := Evolve(base, 5, 1e-2, 43)
+	if sparse.ValueFingerprint(other[0]) == sparse.ValueFingerprint(seq[0]) {
+		t.Fatalf("different seeds produced identical perturbations")
+	}
+}
+
+func TestEvolveStaysNearDominant(t *testing.T) {
+	// Grid2D interior rows are only weakly dominant (4 vs 4), so a
+	// perturbed row can dip slightly below strict dominance; what Evolve
+	// must guarantee is that after s steps of amplitude amp the
+	// diagonal/off-diagonal ratio never falls below ((1−amp)/(1+amp))^s —
+	// the worst case of the multiplicative walk.
+	const amp, steps = 1e-2, 8
+	seq := Evolve(Grid2D(8, 8), steps, amp, 7)
+	for i, m := range seq {
+		bound := math.Pow((1-amp)/(1+amp), float64(i+1))
+		for r := 0; r < m.N; r++ {
+			cols, vals := m.Row(r)
+			var diag, off float64
+			for k, j := range cols {
+				if j == r {
+					diag = math.Abs(vals[k])
+				} else {
+					off += math.Abs(vals[k])
+				}
+			}
+			if diag < bound*off {
+				t.Fatalf("step %d row %d drifted past the walk bound: |diag|=%g sum|off|=%g bound=%g",
+					i, r, diag, off, bound)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/krylov"
 	"repro/internal/sparse"
@@ -70,6 +71,11 @@ type entry struct {
 	// entry carry the flag in their SolveResult.
 	degraded   bool
 	ladderStep string
+
+	// symbolicHit marks an entry whose build reused a cached symbolic
+	// analysis — only the numeric refactorization ran. Solves through it
+	// carry the flag in their SolveResult.
+	symbolicHit bool
 
 	elem *list.Element
 }
@@ -156,4 +162,85 @@ func (c *factorCache) snapshot() CacheStats {
 		Evictions:      c.evictions,
 		Factorizations: c.factorizations,
 	}
+}
+
+// symEntry is one cached symbolic analysis: the pattern-only half of a
+// factorization (partition, layout, interior/interface classification,
+// interior numbering) plus the per-processor ghost-exchange templates
+// built under it. Everything here is a pure function of the sparsity
+// pattern, so the entry is keyed by sparse.PatternFingerprint and serves
+// every matrix of a sequence that shares the pattern: a value-only change
+// skips graph construction, partitioning, layout and the ghost-plan
+// setup exchange, leaving just the numeric refactorization.
+type symEntry struct {
+	patternKey string
+	sym        *core.Symbolic
+	mats       []*dist.Matrix // per-proc templates; CloneFor rebinds values
+	bytes      int64
+	elem       *list.Element
+}
+
+// symbolicCache is the pattern-keyed sibling of factorCache. The two
+// tiers are deliberately separate: a full entry is worth keeping only for
+// an exact value match, while a symbolic entry stays useful for the whole
+// lifetime of a pattern — evicting one must not evict the other. The mats
+// templates alias the full entry built alongside them (both are immutable
+// after setup), so the marginal memory of a symbolic entry is the
+// analysis arrays plus the layout. All methods require the server lock.
+type symbolicCache struct {
+	budget  int64
+	bytes   int64
+	entries map[string]*symEntry
+	lru     *list.List
+
+	hits      int64
+	misses    int64
+	refactors int64 // full builds that reused a cached analysis
+}
+
+func newSymbolicCache(budget int64) *symbolicCache {
+	return &symbolicCache{
+		budget:  budget,
+		entries: make(map[string]*symEntry),
+		lru:     list.New(),
+	}
+}
+
+func (c *symbolicCache) lookup(patternKey string) (*symEntry, bool) {
+	se, ok := c.entries[patternKey]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(se.elem)
+	return se, true
+}
+
+func (c *symbolicCache) insert(se *symEntry) {
+	if old, ok := c.entries[se.patternKey]; ok {
+		c.removeLocked(old)
+	}
+	se.elem = c.lru.PushFront(se)
+	c.entries[se.patternKey] = se
+	c.bytes += se.bytes
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		victim := c.lru.Back().Value.(*symEntry)
+		c.removeLocked(victim)
+	}
+}
+
+func (c *symbolicCache) removeLocked(se *symEntry) {
+	c.lru.Remove(se.elem)
+	delete(c.entries, se.patternKey)
+	c.bytes -= se.bytes
+}
+
+// fill merges the symbolic-tier numbers into a CacheStats snapshot.
+func (c *symbolicCache) fill(cs *CacheStats) {
+	cs.SymbolicEntries = c.lru.Len()
+	cs.SymbolicBytes = c.bytes
+	cs.SymbolicHits = c.hits
+	cs.SymbolicMisses = c.misses
+	cs.RefactorBuilds = c.refactors
 }

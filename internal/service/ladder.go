@@ -23,13 +23,19 @@ import (
 // immediately: retrying cannot help and the caller needs the real error.
 var ladderRungs = []string{"", "shift", "relaxed", "blockjacobi"}
 
-// buildEntry partitions, plans and factors a on cfg.Procs virtual
-// processors, climbing the recovery ladder on numerical breakdown when
-// cfg.DisableLadder is unset. It runs on a worker goroutine with no
-// locks held. Any failed factorization surfaces as an error, never a
-// panic or a process death.
-func buildEntry(key string, a *sparse.CSR, cfg Config, st *statsCollector) (ent *entry, err error) {
-	// The serial phases (graph, partition, plan, diagonal shift) can
+// buildEntry plans and factors a on cfg.Procs virtual processors,
+// climbing the recovery ladder on numerical breakdown when
+// cfg.DisableLadder is unset. The symbolic phase (graph, partition,
+// layout, interior/interface analysis, ghost-exchange templates) is
+// looked up in the pattern-keyed symbolic cache first: a hit skips it
+// entirely and only the numeric refactorization runs; a miss analyzes
+// from scratch and publishes the analysis for the next same-pattern
+// build. It runs on a worker goroutine; the server lock is taken only
+// around the symbolic cache accesses. Any failed factorization surfaces
+// as an error, never a panic or a process death.
+func (s *Server) buildEntry(key string, a *sparse.CSR) (ent *entry, err error) {
+	cfg := s.cfg
+	// The serial phases (graph, partition, analysis, diagonal shift) can
 	// panic on a malformed matrix; pcomm.Guard only covers the machine
 	// run, so catch those here and surface an error.
 	defer func() {
@@ -39,11 +45,37 @@ func buildEntry(key string, a *sparse.CSR, cfg Config, st *statsCollector) (ent 
 		}
 	}()
 
-	g := graph.FromMatrix(a)
-	part := partition.KWay(g, cfg.Procs, partition.Options{Seed: cfg.Seed})
-	lay, lerr := dist.NewLayout(a.N, cfg.Procs, part)
-	if lerr != nil {
-		return nil, fmt.Errorf("service: layout for %s: %w", key, lerr)
+	patternKey := sparse.PatternFingerprint(a)
+	s.mu.Lock()
+	se, symHit := s.symbolic.lookup(patternKey)
+	s.mu.Unlock()
+
+	var sym *core.Symbolic
+	var plan *core.Plan
+	var matTemplates []*dist.Matrix
+	if symHit {
+		// Bind re-checks the exact pattern; a failure (can only be a
+		// fingerprint collision) falls back to a fresh analysis rather
+		// than failing the build.
+		if plan, err = se.sym.Bind(a); err == nil {
+			sym, matTemplates = se.sym, se.mats
+		} else {
+			symHit = false
+		}
+	}
+	if !symHit {
+		g := graph.FromMatrix(a)
+		part := partition.KWay(g, cfg.Procs, partition.Options{Seed: cfg.Seed})
+		lay, lerr := dist.NewLayout(a.N, cfg.Procs, part)
+		if lerr != nil {
+			return nil, fmt.Errorf("service: layout for %s: %w", key, lerr)
+		}
+		if sym, err = core.Analyze(a, lay); err != nil {
+			return nil, fmt.Errorf("service: symbolic analysis for %s: %w", key, err)
+		}
+		if plan, err = sym.Bind(a); err != nil {
+			return nil, fmt.Errorf("service: elimination plan for %s: %w", key, err)
+		}
 	}
 
 	rungs := ladderRungs
@@ -52,10 +84,23 @@ func buildEntry(key string, a *sparse.CSR, cfg Config, st *statsCollector) (ent 
 	}
 	var lastErr error
 	for i, step := range rungs {
-		ent, err := buildRung(key, a, lay, cfg, step)
+		ent, err := buildRung(key, a, plan, cfg, step, matTemplates)
 		if err == nil {
 			ent.degraded = step != ""
 			ent.ladderStep = step
+			ent.symbolicHit = symHit
+			s.mu.Lock()
+			if symHit {
+				s.symbolic.refactors++
+			} else {
+				s.symbolic.insert(&symEntry{
+					patternKey: patternKey,
+					sym:        sym,
+					mats:       ent.mats,
+					bytes:      sym.SizeBytes(),
+				})
+			}
+			s.mu.Unlock()
 			return ent, nil
 		}
 		lastErr = err
@@ -64,26 +109,36 @@ func buildEntry(key string, a *sparse.CSR, cfg Config, st *statsCollector) (ent 
 			return nil, err
 		}
 		if i < len(rungs)-1 {
-			st.ladderRetry()
+			s.stats.ladderRetry()
 		}
 	}
 	return nil, fmt.Errorf("service: recovery ladder exhausted for %s: %w", key, lastErr)
 }
 
-// buildRung runs one ladder rung. The preconditioner is factored from
-// the rung's (possibly shifted) matrix, but the distributed operator the
-// solves apply is always the original a — a degraded preconditioner must
-// never change which system is being solved.
-func buildRung(key string, a *sparse.CSR, lay *dist.Layout, cfg Config, step string) (*entry, error) {
+// buildRung runs one ladder rung against the bound plan. The
+// preconditioner is factored from the rung's (possibly shifted) matrix,
+// but the distributed operator the solves apply is always the original
+// a — a degraded preconditioner must never change which system is being
+// solved. A non-nil matTemplates reuses the cached ghost-exchange plans:
+// the distributed operators are cloned serially (CloneFor communicates
+// nothing) and the run skips the dist.NewMatrix setup exchange.
+func buildRung(key string, a *sparse.CSR, plan *core.Plan, cfg Config, step string, matTemplates []*dist.Matrix) (*entry, error) {
+	lay := plan.Lay
 	params := cfg.Params
 	if cfg.Faults != nil {
 		params.PivotPerturb = cfg.Faults.PivotScale
 	}
-	prem := a
 	maxRepair := cfg.MaxRepairRate
 	switch step {
 	case "shift":
-		prem = shiftDiagonal(a, shiftAlpha(a))
+		// The shift may create diagonal entries the pattern lacks, so
+		// this rung cannot reuse the symbolic analysis: it plans the
+		// shifted matrix from scratch (same layout).
+		prem := shiftDiagonal(a, shiftAlpha(a))
+		var perr error
+		if plan, perr = core.NewPlan(prem, lay); perr != nil {
+			return nil, fmt.Errorf("service: elimination plan for %s: %w", key, perr)
+		}
 	case "relaxed":
 		params.Tau /= 10
 		if params.M > 0 {
@@ -106,9 +161,14 @@ func buildRung(key string, a *sparse.CSR, lay *dist.Layout, cfg Config, step str
 		pcs:  make([]precPiece, cfg.Procs),
 		mats: make([]*dist.Matrix, cfg.Procs),
 	}
-	plan, perr := core.NewPlan(prem, lay)
-	if perr != nil {
-		return nil, fmt.Errorf("service: elimination plan for %s: %w", key, perr)
+	if matTemplates != nil {
+		for q := 0; q < cfg.Procs; q++ {
+			dm, cerr := matTemplates[q].CloneFor(a)
+			if cerr != nil {
+				return nil, fmt.Errorf("service: operator clone for %s: %w", key, cerr)
+			}
+			ent.mats[q] = dm
+		}
 	}
 
 	m := cfg.mustWorld()
@@ -127,14 +187,16 @@ func buildRung(key string, a *sparse.CSR, lay *dist.Layout, cfg Config, step str
 			}
 			ent.pcs[proc.ID()] = bj
 		} else {
-			ent.pcs[proc.ID()] = core.Factor(proc, plan, core.Options{
+			ent.pcs[proc.ID()] = core.Refactor(proc, plan, core.Options{
 				Params:        params,
 				MISRounds:     cfg.MISRounds,
 				Seed:          cfg.Seed,
 				MaxRepairRate: maxRepair,
 			})
 		}
-		ent.mats[proc.ID()] = dist.NewMatrix(proc, lay, a)
+		if matTemplates == nil {
+			ent.mats[proc.ID()] = dist.NewMatrix(proc, lay, a)
+		}
 	})
 	writeRunTrace(cfg.TraceDir, "factor", key, rec)
 	if runErr != nil {

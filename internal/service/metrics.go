@@ -28,6 +28,12 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	mw.gauge("pilut_cache_bytes", "Estimated bytes held by cached factorizations.", float64(c.Bytes))
 	mw.gauge("pilut_cache_budget_bytes", "Cache byte budget.", float64(c.BudgetBytes))
 
+	mw.counter("pilut_cache_symbolic_hits_total", "Builds that reused a cached symbolic analysis.", float64(c.SymbolicHits))
+	mw.counter("pilut_cache_symbolic_misses_total", "Builds that analyzed the pattern from scratch.", float64(c.SymbolicMisses))
+	mw.counter("pilut_cache_refactor_builds_total", "Refactor-only builds (numeric phase under a cached analysis).", float64(c.RefactorBuilds))
+	mw.gauge("pilut_cache_symbolic_entries", "Symbolic analyses currently cached.", float64(c.SymbolicEntries))
+	mw.gauge("pilut_cache_symbolic_bytes", "Estimated bytes held by cached symbolic analyses.", float64(c.SymbolicBytes))
+
 	v := st.Solves
 	mw.counter("pilut_solve_requests_total", "Solve requests accepted.", float64(v.Requests))
 	mw.counter("pilut_solve_completed_total", "Solve requests answered successfully.", float64(v.Completed))
@@ -43,6 +49,9 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	mw.counter("pilut_solve_breaker_rejected_total", "Solve requests bounced off an open circuit breaker.", float64(v.BreakerRejected))
 	mw.counter("pilut_ladder_retries_total", "Recovery-ladder rung climbs after numerical breakdown.", float64(v.LadderRetries))
 	mw.counter("pilut_solve_degraded_total", "Solves answered through a degraded (ladder-built) preconditioner.", float64(v.Degraded))
+	mw.counter("pilut_solve_warm_started_total", "Solves seeded with a caller initial guess.", float64(v.WarmStarted))
+	mw.counter("pilut_sequences_total", "SolveSequence calls.", float64(v.Sequences))
+	mw.counter("pilut_sequence_steps_total", "Steps solved across all sequences.", float64(v.SequenceSteps))
 	mw.gauge("pilut_breaker_open_keys", "Matrix keys whose circuit breaker is currently open.", float64(len(s.Health().BreakerOpenKeys)))
 
 	mw.counter("pilut_solve_batches_total", "Machine runs executed (one per batch).", float64(v.Batches))

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/ilu"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// TestEmitSequenceBench writes BENCH_sequence.json: a 16-step
+// fixed-pattern matrix sequence solved warm (one server — symbolic
+// analysis reused across steps, each solve warm-started from the
+// previous solution) against the same 16 matrices solved cold (a fresh
+// server per step: full symbolic+numeric factorization and a zero
+// initial guess every time). The amortized warm per-step latency must be
+// at least 2x below cold. Gated on PILUT_BENCH_SEQUENCE_OUT (the path to
+// write); `make bench-sequence` sets it.
+func TestEmitSequenceBench(t *testing.T) {
+	out := os.Getenv("PILUT_BENCH_SEQUENCE_OUT")
+	if out == "" {
+		t.Skip("set PILUT_BENCH_SEQUENCE_OUT=<path> to emit BENCH_sequence.json")
+	}
+
+	const steps = 16
+	const amp = 1e-5
+	// A lighter preconditioner than the service default: the sequence
+	// regime the bench models is iteration-dominated (many Krylov steps
+	// per factorization), which is exactly where warm starts pay — a
+	// near-converged guess skips almost all of them.
+	cfg := benchConfig()
+	cfg.Params = ilu.Params{M: 5, Tau: 1e-2, K: 2}
+	base := matgen.Grid2D(64, 64)
+	seq := append([]*sparse.CSR{base}, matgen.Evolve(base, steps-1, amp, 42)...)
+	b := rhs(base.N, 1)
+	opt := SolveOptions{Tol: 1e-9}
+
+	// Cold lane: every step pays the whole pipeline with no reuse of any
+	// kind — fresh server, full symbolic+numeric build, zero guess.
+	coldMs := make([]float64, steps)
+	var coldIters int
+	for i, a := range seq {
+		s := New(cfg)
+		key, _, err := s.Submit(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res, err := s.Solve(context.Background(), key, b, opt)
+		if err != nil || !res.Converged || res.SymbolicHit || res.WarmStarted {
+			t.Fatalf("cold step %d: res=%+v err=%v", i, res, err)
+		}
+		coldMs[i] = float64(time.Since(start)) / float64(time.Millisecond)
+		coldIters += res.Iterations
+		s.Shutdown(context.Background())
+	}
+
+	// Warm lane: one server, the sequence API.
+	s := New(cfg)
+	defer s.Shutdown(context.Background())
+	keys := make([]string, 0, steps)
+	for _, a := range seq {
+		key, _, err := s.Submit(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	start := time.Now()
+	results, err := s.SolveSequence(context.Background(), keys, b, opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTotalMs := float64(time.Since(start)) / float64(time.Millisecond)
+	var warmIters, patternHits int
+	for i, res := range results {
+		if !res.Converged {
+			t.Fatalf("warm step %d did not converge: %+v", i, res)
+		}
+		warmIters += res.Iterations
+		if res.SymbolicHit {
+			patternHits++
+		}
+	}
+	if patternHits != steps-1 {
+		t.Fatalf("pattern hits = %d, want %d (fixed-pattern sequence)", patternHits, steps-1)
+	}
+
+	var coldTotalMs float64
+	for _, v := range coldMs {
+		coldTotalMs += v
+	}
+	coldPerStep := coldTotalMs / steps
+	warmPerStep := warmTotalMs / steps
+	speedup := coldPerStep / warmPerStep
+
+	report := map[string]any{
+		"benchmark": "sequence_warm_vs_cold",
+		"matrix":    map[string]any{"kind": "grid2d", "nx": 64, "ny": 64, "n": base.N, "nnz": base.NNZ()},
+		"procs":     cfg.Procs,
+		"params":    map[string]any{"m": cfg.Params.M, "tau": cfg.Params.Tau, "k": cfg.Params.K},
+		"steps":     steps,
+		"evolve":    map[string]any{"amp": amp, "seed": 42},
+		"tol":       opt.Tol,
+		"cold": map[string]any{
+			"total_ms":         coldTotalMs,
+			"per_step_ms":      coldPerStep,
+			"total_iterations": coldIters,
+		},
+		"warm": map[string]any{
+			"total_ms":         warmTotalMs,
+			"per_step_ms":      warmPerStep,
+			"total_iterations": warmIters,
+			"pattern_hits":     patternHits,
+		},
+		"amortized_speedup": speedup,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold %.1f ms/step vs warm %.1f ms/step over %d steps (×%.1f, %d vs %d matvecs) → %s",
+		coldPerStep, warmPerStep, steps, speedup, coldIters, warmIters, out)
+
+	if speedup < 2 {
+		t.Fatalf("amortized sequence speedup ×%.2f, want at least ×2 (cold %.1f ms/step, warm %.1f ms/step)",
+			speedup, coldPerStep, warmPerStep)
+	}
+}

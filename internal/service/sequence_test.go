@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// TestSymbolicReuseAcrossSequence submits a fixed-pattern matrix sequence
+// and checks that only the first build pays the symbolic phase: later
+// same-pattern builds are refactor-only (SymbolicHit), the symbolic cache
+// holds one entry, and a refactor-only build's answer is bitwise
+// identical to a cold server's answer for the same matrix.
+func TestSymbolicReuseAcrossSequence(t *testing.T) {
+	s := New(testConfig())
+	defer s.Shutdown(context.Background())
+
+	base := matgen.Grid2D(16, 16)
+	seq := append([]*sparse.CSR{base}, matgen.Evolve(base, 2, 1e-2, 3)...)
+	b := rhs(base.N, 42)
+
+	keys := make([]string, len(seq))
+	results := make([]SolveResult, len(seq))
+	for i, a := range seq {
+		key, known, err := s.Submit(a)
+		if err != nil || known {
+			t.Fatalf("submit %d: key=%q known=%v err=%v", i, key, known, err)
+		}
+		keys[i] = key
+		res, err := s.Solve(context.Background(), key, b, SolveOptions{Tol: 1e-9})
+		if err != nil || !res.Converged {
+			t.Fatalf("solve %d: err=%v res=%+v", i, err, res)
+		}
+		results[i] = res
+	}
+
+	for i, res := range results {
+		if res.CacheHit {
+			t.Fatalf("step %d: CacheHit for a first-seen matrix", i)
+		}
+		if wantSym := i > 0; res.SymbolicHit != wantSym {
+			t.Fatalf("step %d: SymbolicHit=%v, want %v", i, res.SymbolicHit, wantSym)
+		}
+	}
+
+	st := s.StatsSnapshot()
+	if st.Cache.SymbolicEntries != 1 {
+		t.Fatalf("symbolic entries = %d, want 1 (one pattern)", st.Cache.SymbolicEntries)
+	}
+	if st.Cache.SymbolicMisses != 1 || st.Cache.SymbolicHits != int64(len(seq)-1) {
+		t.Fatalf("symbolic hits/misses = %d/%d, want %d/1",
+			st.Cache.SymbolicHits, st.Cache.SymbolicMisses, len(seq)-1)
+	}
+	if st.Cache.RefactorBuilds != int64(len(seq)-1) {
+		t.Fatalf("refactor builds = %d, want %d", st.Cache.RefactorBuilds, len(seq)-1)
+	}
+	if st.Cache.Factorizations != int64(len(seq)) {
+		t.Fatalf("factorizations = %d, want %d (every matrix is new)", st.Cache.Factorizations, len(seq))
+	}
+
+	// A refactor-only build must not change the numbers: a cold server
+	// solving the last matrix alone produces the bitwise-identical answer.
+	cold := New(testConfig())
+	defer cold.Shutdown(context.Background())
+	last := len(seq) - 1
+	if _, _, err := cold.Submit(seq[last]); err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.Solve(context.Background(), keys[last], b, SolveOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coldRes.X) != len(results[last].X) {
+		t.Fatalf("solution lengths differ: %d vs %d", len(coldRes.X), len(results[last].X))
+	}
+	for i := range coldRes.X {
+		if math.Float64bits(coldRes.X[i]) != math.Float64bits(results[last].X[i]) {
+			t.Fatalf("x[%d] differs between refactor-only and cold build: %x vs %x",
+				i, math.Float64bits(results[last].X[i]), math.Float64bits(coldRes.X[i]))
+		}
+	}
+	if coldRes.Iterations != results[last].Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", results[last].Iterations, coldRes.Iterations)
+	}
+}
+
+// TestSolveSequenceWarmStarts runs the sequence API over an evolving
+// fixed-pattern family and checks warm-start plumbing: every step after
+// the first is warm-started and symbolically reused, and repeating the
+// final (unchanged) matrix converges at the first residual check.
+func TestSolveSequenceWarmStarts(t *testing.T) {
+	s := New(testConfig())
+	defer s.Shutdown(context.Background())
+
+	base := matgen.Grid2D(16, 16)
+	seq := append([]*sparse.CSR{base}, matgen.Evolve(base, 2, 1e-4, 7)...)
+	b := rhs(base.N, 5)
+
+	keys := make([]string, 0, len(seq)+1)
+	for _, a := range seq {
+		key, _, err := s.Submit(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	// Repeat the last matrix: a warm start from its own solution must
+	// terminate at the first residual check.
+	keys = append(keys, keys[len(keys)-1])
+
+	results, err := s.SolveSequence(context.Background(), keys, b, SolveOptions{Tol: 1e-9}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(keys) {
+		t.Fatalf("got %d results for %d steps", len(results), len(keys))
+	}
+	for i, res := range results {
+		if !res.Converged {
+			t.Fatalf("step %d did not converge: %+v", i, res)
+		}
+		if wantWarm := i > 0; res.WarmStarted != wantWarm {
+			t.Fatalf("step %d: WarmStarted=%v, want %v", i, res.WarmStarted, wantWarm)
+		}
+	}
+	last := len(results) - 1
+	if results[last].Iterations > 1 {
+		t.Fatalf("warm start on unchanged system took %d matvecs, want ≤ 1", results[last].Iterations)
+	}
+	if !results[last].CacheHit {
+		t.Fatal("repeated key missed the factorization cache")
+	}
+
+	st := s.StatsSnapshot()
+	if st.Solves.Sequences != 1 || st.Solves.SequenceSteps != int64(len(keys)) {
+		t.Fatalf("sequences=%d steps=%d, want 1/%d", st.Solves.Sequences, st.Solves.SequenceSteps, len(keys))
+	}
+	if st.Solves.WarmStarted != int64(len(keys)-1) {
+		t.Fatalf("warm-started solves = %d, want %d", st.Solves.WarmStarted, len(keys)-1)
+	}
+
+	// Without warm starts the flag stays down.
+	coldSeq, err := s.SolveSequence(context.Background(), keys[:2], b, SolveOptions{Tol: 1e-9}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range coldSeq {
+		if res.WarmStarted {
+			t.Fatalf("step %d warm-started with warmStart=false", i)
+		}
+	}
+}
+
+func TestSolveX0Validation(t *testing.T) {
+	s := New(testConfig())
+	defer s.Shutdown(context.Background())
+	a := matgen.Grid2D(8, 8)
+	key, _, err := s.Submit(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), key, rhs(a.N, 1), SolveOptions{X0: make([]float64, a.N-1)}); err == nil {
+		t.Fatal("Solve accepted an X0 of the wrong length")
+	}
+	if _, err := s.SolveSequence(context.Background(), nil, rhs(a.N, 1), SolveOptions{}, true); err == nil {
+		t.Fatal("SolveSequence accepted an empty key list")
+	}
+}
+
+// TestSequenceMetricsExposition checks the new counter families reach the
+// Prometheus exposition.
+func TestSequenceMetricsExposition(t *testing.T) {
+	s := New(testConfig())
+	defer s.Shutdown(context.Background())
+
+	base := matgen.Grid2D(12, 12)
+	seq := append([]*sparse.CSR{base}, matgen.Evolve(base, 1, 1e-2, 9)...)
+	keys := make([]string, 0, len(seq))
+	for _, a := range seq {
+		key, _, err := s.Submit(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	if _, err := s.SolveSequence(context.Background(), keys, rhs(base.N, 3), SolveOptions{}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	text := scrape(t, s)
+	if got := metricValue(t, text, "pilut_cache_symbolic_hits_total"); got != 1 {
+		t.Fatalf("symbolic_hits_total = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "pilut_cache_symbolic_misses_total"); got != 1 {
+		t.Fatalf("symbolic_misses_total = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "pilut_cache_refactor_builds_total"); got != 1 {
+		t.Fatalf("refactor_builds_total = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "pilut_cache_symbolic_entries"); got != 1 {
+		t.Fatalf("symbolic_entries = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "pilut_solve_warm_started_total"); got != 1 {
+		t.Fatalf("warm_started_total = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "pilut_sequences_total"); got != 1 {
+		t.Fatalf("sequences_total = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "pilut_sequence_steps_total"); got != 2 {
+		t.Fatalf("sequence_steps_total = %v, want 2", got)
+	}
+}

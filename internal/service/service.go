@@ -101,6 +101,11 @@ type Config struct {
 	MaxBatch int
 	// CacheBytes is the factorization cache budget. Default 256 MiB.
 	CacheBytes int64
+	// SymbolicCacheBytes budgets the symbolic-analysis cache: pattern-
+	// keyed entries holding the partition, layout and interior/interface
+	// analysis that same-pattern rebuilds reuse, so a matrix sequence with
+	// fixed sparsity pays the symbolic phase once. Default 64 MiB.
+	SymbolicCacheBytes int64
 	// TraceDir, when non-empty, writes one Chrome trace-event JSON file
 	// per machine run into the directory: factor-<key>-<stamp>.json for
 	// factorizations and solve-<key>-<stamp>.json for solve batches. Empty
@@ -169,6 +174,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
 	}
+	if c.SymbolicCacheBytes <= 0 {
+		c.SymbolicCacheBytes = 64 << 20
+	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 1024
 	}
@@ -191,12 +199,31 @@ func (c Config) withDefaults() Config {
 }
 
 // SolveOptions select the Krylov parameters of one request. Requests for
-// the same matrix with identical options are batchable. Zero values take
-// the krylov package defaults.
+// the same matrix with identical Krylov parameters are batchable. Zero
+// values take the krylov package defaults.
 type SolveOptions struct {
 	Restart   int
 	Tol       float64
 	MaxMatVec int
+	// X0, when non-nil, warm-starts the solve from the given global
+	// initial guess (length n); the classic use is a matrix sequence,
+	// where the previous step's solution starts the next step a few
+	// digits in. X0 does not split batches — each right-hand side carries
+	// its own guess into its slot of the multi-RHS run.
+	X0 []float64
+}
+
+// batchKey is the comparable batching identity of SolveOptions: requests
+// for one matrix coalesce only when these agree. X0 is deliberately
+// excluded (see SolveOptions.X0).
+type batchKey struct {
+	restart   int
+	tol       float64
+	maxMatVec int
+}
+
+func (o SolveOptions) batchKey() batchKey {
+	return batchKey{restart: o.Restart, tol: o.Tol, maxMatVec: o.MaxMatVec}
 }
 
 // SolveResult is the answer to one solve request.
@@ -217,6 +244,11 @@ type SolveResult struct {
 	// LadderStep names the rung ("shift", "relaxed", "blockjacobi").
 	Degraded   bool   `json:"degraded,omitempty"`
 	LadderStep string `json:"ladder_step,omitempty"`
+	// SymbolicHit marks a solve through an entry whose build reused a
+	// cached symbolic analysis (refactor-only build); WarmStarted marks a
+	// solve seeded with a caller initial guess.
+	SymbolicHit bool `json:"symbolic_hit,omitempty"`
+	WarmStarted bool `json:"warm_started,omitempty"`
 }
 
 type outcome struct {
@@ -243,6 +275,7 @@ type Server struct {
 	cond      *sync.Cond
 	matrices  *matrixStore
 	cache     *factorCache
+	symbolic  *symbolicCache
 	breaker   *breaker
 	cluster   *cluster // nil outside a cluster
 	pending   map[string][]*request // per key, FIFO
@@ -280,6 +313,7 @@ func New(cfg Config) *Server {
 		stats:     newStatsCollector(),
 		matrices:  newMatrixStore(),
 		cache:     newFactorCache(cfg.CacheBytes),
+		symbolic:  newSymbolicCache(cfg.SymbolicCacheBytes),
 		breaker:   newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
 		pending:   make(map[string][]*request),
 		scheduled: make(map[string]bool),
@@ -346,6 +380,13 @@ func (s *Server) Solve(ctx context.Context, key string, b []float64, opt SolveOp
 	if len(b) != a.N {
 		s.mu.Unlock()
 		return SolveResult{}, fmt.Errorf("service: right-hand side has %d entries for an n=%d matrix", len(b), a.N)
+	}
+	if opt.X0 != nil {
+		if len(opt.X0) != a.N {
+			s.mu.Unlock()
+			return SolveResult{}, fmt.Errorf("service: initial guess has %d entries for an n=%d matrix", len(opt.X0), a.N)
+		}
+		opt.X0 = append([]float64(nil), opt.X0...)
 	}
 	if wait, ok := s.breaker.allow(key); !ok {
 		s.stats.breakerRejected()
@@ -429,11 +470,13 @@ func (s *Server) StatsSnapshot() Stats {
 	for _, q := range s.pending {
 		depth += len(q)
 	}
+	cache := s.cache.snapshot()
+	s.symbolic.fill(&cache)
 	st := Stats{
 		Matrices:   s.matrices.len(),
 		QueueDepth: depth,
 		Running:    s.running,
-		Cache:      s.cache.snapshot(),
+		Cache:      cache,
 		Solves:     s.stats.snapshot(),
 	}
 	if s.cluster != nil {
@@ -527,10 +570,10 @@ func (s *Server) takeBatchLocked(key string) []*request {
 	if len(q) == 0 {
 		return nil
 	}
-	head := q[0].opt
+	head := q[0].opt.batchKey()
 	var batch, rest []*request
 	for _, r := range q {
-		if len(batch) < s.cfg.MaxBatch && r.opt == head {
+		if len(batch) < s.cfg.MaxBatch && r.opt.batchKey() == head {
 			batch = append(batch, r)
 		} else {
 			rest = append(rest, r)
@@ -596,7 +639,7 @@ func (s *Server) entryForLocal(key string) (*entry, bool, error) {
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownMatrix, key)
 	}
-	ent, err := buildEntry(key, a, s.cfg, s.stats)
+	ent, err := s.buildEntry(key, a)
 	if err != nil {
 		return nil, false, err
 	}
@@ -688,9 +731,13 @@ func (s *Server) runBatch(key string, batch []*request) {
 	opt := krylov.Options{Restart: o.Restart, Tol: o.Tol, MaxMatVec: o.MaxMatVec, Ctx: bctx}
 
 	bParts := make([][][]float64, B)
+	x0Parts := make([][][]float64, B)
 	xsParts := make([][][]float64, B)
 	for bi, r := range live {
 		bParts[bi] = ent.lay.Scatter(r.b)
+		if r.opt.X0 != nil {
+			x0Parts[bi] = ent.lay.Scatter(r.opt.X0)
+		}
 		xsParts[bi] = make([][]float64, s.cfg.Procs)
 	}
 	perRes := make([]krylov.Result, B)
@@ -707,6 +754,9 @@ func (s *Server) runBatch(key string, batch []*request) {
 		bs := make([][]float64, B)
 		for bi := 0; bi < B; bi++ {
 			xs[bi] = make([]float64, ent.lay.NLocal(proc.ID()))
+			if x0Parts[bi] != nil {
+				copy(xs[bi], x0Parts[bi][proc.ID()])
+			}
 			bs[bi] = bParts[bi][proc.ID()]
 		}
 		rs, serr := krylov.DistGMRESBatch(proc, ent.mats[proc.ID()], ent.pcs[proc.ID()], xs, bs, opt)
@@ -749,11 +799,45 @@ func (s *Server) runBatch(key string, batch []*request) {
 			ModelledSeconds: mres.Elapsed,
 			Degraded:        ent.degraded,
 			LadderStep:      ent.ladderStep,
+			SymbolicHit:     ent.symbolicHit,
+			WarmStarted:     r.opt.X0 != nil,
 		}
 		s.stats.completedSolve(float64(time.Since(r.enq))/float64(time.Millisecond), res.Iterations)
 		if ent.degraded {
 			s.stats.degradedSolve()
 		}
+		if res.WarmStarted {
+			s.stats.warmStarted()
+		}
 		s.respond(r, outcome{res: res})
 	}
+}
+
+// SolveSequence solves the same right-hand side against a sequence of
+// registered matrices in order — the matrix-sequence workflow (evolving
+// values, typically a fixed pattern). Consecutive same-pattern steps
+// reuse the cached symbolic analysis (refactor-only builds), and with
+// warmStart set each step starts from the previous step's solution. The
+// first error stops the sequence and is returned alongside the results
+// of the steps already completed.
+func (s *Server) SolveSequence(ctx context.Context, keys []string, b []float64, opt SolveOptions, warmStart bool) ([]SolveResult, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("service: empty matrix sequence")
+	}
+	s.stats.sequence(len(keys))
+	results := make([]SolveResult, 0, len(keys))
+	var prev []float64
+	for i, key := range keys {
+		o := opt
+		if warmStart && prev != nil {
+			o.X0 = prev
+		}
+		res, err := s.Solve(ctx, key, b, o)
+		if err != nil {
+			return results, fmt.Errorf("service: sequence step %d (%s): %w", i, key, err)
+		}
+		results = append(results, res)
+		prev = res.X
+	}
+	return results, nil
 }

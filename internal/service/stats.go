@@ -48,7 +48,7 @@ func (h *histogram) snapshot() Histogram {
 	}
 }
 
-// CacheStats describes the factorization cache.
+// CacheStats describes the factorization cache and its symbolic tier.
 type CacheStats struct {
 	Entries        int   `json:"entries"`
 	Bytes          int64 `json:"bytes"`
@@ -57,6 +57,15 @@ type CacheStats struct {
 	Misses         int64 `json:"misses"`
 	Evictions      int64 `json:"evictions"`
 	Factorizations int64 `json:"factorizations"`
+
+	// Symbolic-tier counters. A symbolic hit means a build found the
+	// pattern's analysis already cached (only the numeric phase ran);
+	// RefactorBuilds counts exactly those value-only rebuilds.
+	SymbolicEntries int   `json:"symbolic_entries"`
+	SymbolicBytes   int64 `json:"symbolic_bytes"`
+	SymbolicHits    int64 `json:"symbolic_hits"`
+	SymbolicMisses  int64 `json:"symbolic_misses"`
+	RefactorBuilds  int64 `json:"refactor_builds"`
 }
 
 // SolveStats describes the solve pipeline.
@@ -79,6 +88,13 @@ type SolveStats struct {
 	BreakerRejected int64 `json:"breaker_rejected"`
 	LadderRetries   int64 `json:"ladder_retries"`
 	Degraded        int64 `json:"degraded"`
+
+	// Sequence counters: WarmStarted counts solves seeded with a caller
+	// initial guess (Options.X0), Sequences counts SolveSequence calls and
+	// SequenceSteps their total step count.
+	WarmStarted   int64 `json:"warm_started"`
+	Sequences     int64 `json:"sequences"`
+	SequenceSteps int64 `json:"sequence_steps"`
 
 	// LatencyMs is wall-clock milliseconds from request acceptance to
 	// response; Iterations is matrix–vector products per completed solve.
@@ -122,6 +138,9 @@ type statsCollector struct {
 	breakerRej int64
 	ladderRet  int64
 	degraded   int64
+	warmStart  int64
+	sequences  int64
+	seqSteps   int64
 	latency    *histogram
 	iterations *histogram
 	modelled   float64
@@ -195,6 +214,19 @@ func (s *statsCollector) degradedSolve() {
 	s.mu.Unlock()
 }
 
+func (s *statsCollector) warmStarted() {
+	s.mu.Lock()
+	s.warmStart++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) sequence(steps int) {
+	s.mu.Lock()
+	s.sequences++
+	s.seqSteps += int64(steps)
+	s.mu.Unlock()
+}
+
 // degradedCount reads the degraded-solve counter for health reports.
 func (s *statsCollector) degradedCount() int64 {
 	s.mu.Lock()
@@ -217,6 +249,9 @@ func (s *statsCollector) snapshot() SolveStats {
 		BreakerRejected: s.breakerRej,
 		LadderRetries:   s.ladderRet,
 		Degraded:        s.degraded,
+		WarmStarted:     s.warmStart,
+		Sequences:       s.sequences,
+		SequenceSteps:   s.seqSteps,
 		LatencyMs:       s.latency.snapshot(),
 		Iterations:      s.iterations.snapshot(),
 		ModelledSeconds: s.modelled,

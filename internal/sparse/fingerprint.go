@@ -7,19 +7,23 @@ import (
 	"math"
 )
 
-// fingerprintVersion is folded into every fingerprint so that a change to
-// the encoding can never collide with hashes computed by an older scheme.
-const fingerprintVersion = "pilut-fp-v1"
+// Fingerprint version strings are folded into every hash so that a change
+// to an encoding can never collide with hashes computed by an older
+// scheme, and so the three fingerprint families can never collide with
+// each other even on matrices whose payloads would hash identically.
+const (
+	fingerprintVersion        = "pilut-fp-v1"
+	patternFingerprintVersion = "pilut-pfp-v1"
+	valueFingerprintVersion   = "pilut-vfp-v1"
+)
 
-// Fingerprint returns a stable content hash of the matrix: two matrices
-// have the same fingerprint exactly when they have identical dimensions,
-// row pointers, column indices and values (bit-for-bit on the float64
-// payload). The hash is the key of the solver service's factorization
-// cache, so it must be insensitive to everything but content — in
-// particular it does not depend on spare slice capacity or on the address
-// of the matrix. Permuting a matrix or perturbing a single value yields a
-// different fingerprint.
-func Fingerprint(a *CSR) string {
+// hashCSR is the shared fingerprint body: it hashes the version string,
+// the dimensions, and whichever of the structure (row pointers + column
+// indices) and value payloads the caller selects. The byte stream for
+// pattern+values under fingerprintVersion is exactly the historical
+// Fingerprint encoding — cache keys and HRW cluster routing depend on
+// that stability.
+func hashCSR(a *CSR, version string, pattern, values bool) string {
 	h := sha256.New()
 	var scratch [8]byte
 	writeU64 := func(v uint64) {
@@ -27,7 +31,7 @@ func Fingerprint(a *CSR) string {
 		h.Write(scratch[:])
 	}
 
-	h.Write([]byte(fingerprintVersion))
+	h.Write([]byte(version))
 	writeU64(uint64(a.N))
 	writeU64(uint64(a.M))
 	writeU64(uint64(a.NNZ()))
@@ -45,17 +49,55 @@ func Fingerprint(a *CSR) string {
 		}
 		buf = binary.LittleEndian.AppendUint64(buf, v)
 	}
-	for _, p := range a.RowPtr {
-		put(uint64(p))
+	if pattern {
+		for _, p := range a.RowPtr {
+			put(uint64(p))
+		}
+		for _, c := range a.Cols {
+			put(uint64(c))
+		}
 	}
-	for _, c := range a.Cols {
-		put(uint64(c))
-	}
-	for _, v := range a.Vals {
-		put(math.Float64bits(v))
+	if values {
+		for _, v := range a.Vals {
+			put(math.Float64bits(v))
+		}
 	}
 	flush()
 
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:16])
+}
+
+// Fingerprint returns a stable content hash of the matrix: two matrices
+// have the same fingerprint exactly when they have identical dimensions,
+// row pointers, column indices and values (bit-for-bit on the float64
+// payload). The hash is the key of the solver service's factorization
+// cache, so it must be insensitive to everything but content — in
+// particular it does not depend on spare slice capacity or on the address
+// of the matrix. Permuting a matrix or perturbing a single value yields a
+// different fingerprint.
+func Fingerprint(a *CSR) string {
+	return hashCSR(a, fingerprintVersion, true, true)
+}
+
+// PatternFingerprint hashes only the sparsity structure: dimensions, row
+// pointers and column indices. Two matrices share a pattern fingerprint
+// exactly when they have identical nonzero patterns, regardless of the
+// values stored in them. It keys the service's symbolic-analysis cache:
+// a matrix sequence with a fixed pattern and evolving values maps to one
+// pattern key and many value keys, so the partition/layout/interface
+// analysis is reused while each value set still gets its own numeric
+// factorization.
+func PatternFingerprint(a *CSR) string {
+	return hashCSR(a, patternFingerprintVersion, true, false)
+}
+
+// ValueFingerprint hashes only the dimensions and the value payload
+// (bit-for-bit). Together with PatternFingerprint it decomposes
+// Fingerprint: equal pattern + equal value fingerprints imply the full
+// fingerprints agree. It exists so callers can tell "same pattern, new
+// values" (refactor only) apart from "same matrix" (full cache hit)
+// without hashing the structure twice.
+func ValueFingerprint(a *CSR) string {
+	return hashCSR(a, valueFingerprintVersion, false, true)
 }

@@ -82,6 +82,89 @@ func TestFingerprintValuePerturbationDiffers(t *testing.T) {
 	}
 }
 
+func TestPatternFingerprintIgnoresValues(t *testing.T) {
+	a := fpTestMatrix()
+	pa, va, fa := PatternFingerprint(a), ValueFingerprint(a), Fingerprint(a)
+	if pa == va || pa == fa || va == fa {
+		t.Fatalf("fingerprint families collide: pattern=%s value=%s full=%s", pa, va, fa)
+	}
+
+	// A value edit must change the value and full fingerprints but leave
+	// the pattern key unchanged — this is the property the symbolic cache
+	// relies on for matrix sequences.
+	b := a.Clone()
+	for k := range b.Vals {
+		b.Vals[k] *= 1 + 1e-3*float64(k+1)
+	}
+	if got := PatternFingerprint(b); got != pa {
+		t.Fatalf("value edit changed pattern fingerprint: %s vs %s", got, pa)
+	}
+	if ValueFingerprint(b) == va {
+		t.Fatalf("value edit did not change value fingerprint")
+	}
+	if Fingerprint(b) == fa {
+		t.Fatalf("value edit did not change full fingerprint")
+	}
+
+	// Clones agree on all three keys.
+	c := a.Clone()
+	if PatternFingerprint(c) != pa || ValueFingerprint(c) != va || Fingerprint(c) != fa {
+		t.Fatalf("clone fingerprints differ from original")
+	}
+}
+
+func TestPatternFingerprintSeesStructure(t *testing.T) {
+	a := fpTestMatrix()
+	pa := PatternFingerprint(a)
+
+	// Adding an explicit zero leaves every stored value's bits intact but
+	// changes the structure: the pattern key must move.
+	b := NewBuilder(a.N, a.M)
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			b.Add(i, j, vals[k])
+		}
+	}
+	b.Add(1, 4, 0)
+	if PatternFingerprint(b.Build()) == pa {
+		t.Fatalf("pattern-extended matrix kept the pattern fingerprint")
+	}
+
+	// Permutations move structure too.
+	if PatternFingerprint(a.Permute([]int{2, 0, 4, 1, 3})) == pa {
+		t.Fatalf("permuted matrix kept the pattern fingerprint")
+	}
+}
+
+func TestValueFingerprintLengthAndDims(t *testing.T) {
+	a := fpTestMatrix()
+	for _, fp := range []string{PatternFingerprint(a), ValueFingerprint(a)} {
+		if len(fp) != 32 {
+			t.Fatalf("fingerprint %q has length %d, want 32 hex chars", fp, len(fp))
+		}
+	}
+	if PatternFingerprint(NewCSR(3, 4)) == PatternFingerprint(NewCSR(4, 3)) {
+		t.Fatalf("transposed empty dimensions collide on pattern fingerprint")
+	}
+	if ValueFingerprint(NewCSR(3, 4)) == ValueFingerprint(NewCSR(4, 3)) {
+		t.Fatalf("transposed empty dimensions collide on value fingerprint")
+	}
+}
+
+// fpTestMatrixFullFingerprint was produced by the pre-split Fingerprint
+// implementation on fpTestMatrix().
+const fpTestMatrixFullFingerprint = "430b76fe5c9c5ae9d6e2bfc1a9a8a281"
+
+func TestFingerprintEncodingUnchangedBySplit(t *testing.T) {
+	// The full fingerprint keys the factorization cache AND the HRW
+	// cluster routing, so its encoding is pinned: this literal was
+	// produced by the pre-split implementation and must never change.
+	if got := Fingerprint(fpTestMatrix()); got != fpTestMatrixFullFingerprint {
+		t.Fatalf("Fingerprint(fpTestMatrix()) = %s, want pinned %s", got, fpTestMatrixFullFingerprint)
+	}
+}
+
 func TestFingerprintDimensionsMatter(t *testing.T) {
 	// An empty 3×4 and 4×3 matrix share all (empty) entry arrays except
 	// the row-pointer length; dims are hashed explicitly as well.
