@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json test test-real test-netcomm race race-real chaos check serve-smoke bench-service bench-backend bench-netcomm bench-speedup bench-sequence fuzz-smoke cover
+.PHONY: all build vet lint lint-json test test-real test-netcomm race race-real chaos check serve-smoke bench-service bench-backend bench-netcomm bench-speedup bench-sequence bench-cluster fuzz-smoke cover
 
 all: check
 
@@ -68,6 +68,7 @@ chaos:
 	PILUT_TEST_FAST=1 PILUT_FAULTS='seed=7,delay=0.05@1e-6' $(GO) test -count=1 ./internal/core ./internal/krylov ./internal/dist
 	PILUT_TEST_FAST=1 PILUT_FAULTS='seed=7,delay=0.05@1e-6' PILUT_BACKEND=real $(GO) test -count=1 ./internal/core ./internal/krylov ./internal/dist
 	PILUT_TEST_FAST=1 $(GO) test -race -count=1 ./internal/pcomm/netcomm -run 'TestGroupDropFaultReconnect|TestGroupPanicPropagation|TestGroupWatchdog'
+	$(GO) test ./cmd/pilutd -run TestClusterKillPeerFault -count=1
 
 # End-to-end smoke of the solver daemon: builds pilutd, starts it, submits
 # the quickstart matrix over HTTP, solves it twice (asserting the second
@@ -111,6 +112,13 @@ bench-speedup:
 bench-sequence:
 	PILUT_BENCH_SEQUENCE_OUT=$(CURDIR)/BENCH_sequence.json \
 		$(GO) test ./internal/service -run TestEmitSequenceBench -count=1 -v
+
+# Cluster throughput over a zipfian key mix at 1/2/4 in-process daemons,
+# plus the recovery comparison (a dead owner's key served from a
+# successor's replica vs rebuilt cold); writes BENCH_cluster.json.
+bench-cluster:
+	PILUT_BENCH_CLUSTER_OUT=$(CURDIR)/BENCH_cluster.json \
+		$(GO) test ./internal/service -run TestEmitClusterBench -count=1 -v
 
 # Short fuzzing pass over every fuzz target; matches the CI fuzz lane.
 # Override FUZZTIME for longer local runs, e.g. `make fuzz-smoke FUZZTIME=5m`.

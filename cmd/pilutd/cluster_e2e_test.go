@@ -182,7 +182,10 @@ func TestClusterEndToEnd(t *testing.T) {
 		fmt.Sprintf("http://127.0.0.1:%d", p1),
 	}
 	peerFlag := urls[0] + "," + urls[1]
-	common := []string{"-procs", "2", "-backend", "real", "-peers", peerFlag, "-peer-timeout-ms", "5000"}
+	// -replicas 0: with proactive replication on, the non-owner would hold
+	// the factor before the test ever solves there — this test pins the
+	// on-demand fetch path, so replication is disabled.
+	common := []string{"-procs", "2", "-backend", "real", "-peers", peerFlag, "-peer-timeout-ms", "5000", "-replicas", "0"}
 	daemons := []*daemon{
 		startDaemon(t, bin, append([]string{"-addr", fmt.Sprintf("127.0.0.1:%d", p0), "-self", urls[0]}, common...)...),
 		startDaemon(t, bin, append([]string{"-addr", fmt.Sprintf("127.0.0.1:%d", p1), "-self", urls[1]}, common...)...),
@@ -351,5 +354,341 @@ func TestClusterSpawnPeers(t *testing.T) {
 	}
 	if code := getJSON(t, urls[0]+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
 		t.Fatalf("spawned cluster health: status %d %q, want 200 ok", code, health.Status)
+	}
+}
+
+// clusterStatsReply is the slice of /v1/stats these e2e tests assert on.
+type clusterStatsReply struct {
+	Cache struct {
+		Factorizations int64 `json:"factorizations"`
+		RefactorBuilds int64 `json:"refactor_builds"`
+	} `json:"cache"`
+	Cluster struct {
+		PeerFetchHits  int64 `json:"peer_fetch_hits"`
+		ReplicasPushed int64 `json:"replicas_pushed"`
+		ReplicaImports int64 `json:"replica_imports"`
+		TakeoverKeys   int64 `json:"takeover_keys"`
+		Joins          int64 `json:"joins"`
+	} `json:"cluster"`
+}
+
+// pollUntil re-evaluates cond every 20ms until it holds or the deadline
+// lapses, failing the test with desc.
+func pollUntil(t *testing.T, timeout time.Duration, desc string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", desc)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func buildPilutd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pilutd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building pilutd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestClusterKillOwnerTakeover is the failover acceptance path: three
+// daemons with R=1, hard-kill a key's owner mid-workload, and the next
+// solve of that key is served from the proactively pushed replica —
+// bitwise identical to the pre-kill answer, zero rebuilds — while
+// /healthz writes the dead peer off within a probe interval or two.
+func TestClusterKillOwnerTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster failover test builds and runs binaries")
+	}
+	bin := buildPilutd(t)
+	ports := []int{freePort(t), freePort(t), freePort(t)}
+	urls := make([]string, 3)
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	peerFlag := urls[0] + "," + urls[1] + "," + urls[2]
+	common := []string{"-procs", "2", "-backend", "real", "-peers", peerFlag,
+		"-peer-timeout-ms", "5000", "-probe-interval-ms", "150", "-replicas", "1"}
+	daemons := make(map[string]*daemon, 3)
+	for i, u := range urls {
+		daemons[u] = startDaemon(t, bin, append([]string{"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]), "-self", u}, common...)...)
+	}
+	for _, u := range urls {
+		waitHealthy(t, u)
+	}
+
+	a := matgen.Grid2D(24, 24)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	key := submitMatrix(t, urls[0], a)
+	owner := hrwOwner(urls, key)
+
+	var preKill clusterSolveReply
+	if code, body := postJSON(t, owner+"/v1/solve", map[string]any{"key": key, "b": b, "tol": 1e-8}, &preKill); code != http.StatusOK {
+		t.Fatalf("pre-kill solve: status %d: %s", code, body)
+	}
+	if !preKill.Converged {
+		t.Fatal("pre-kill solve did not converge")
+	}
+
+	// The owner pushes the factor to its HRW successor off the request
+	// path; don't kill it before the replica has landed.
+	pollUntil(t, 15*time.Second, "owner to push the replica", func() bool {
+		var st clusterStatsReply
+		getJSON(t, owner+"/v1/stats", &st)
+		return st.Cluster.ReplicasPushed >= 1
+	})
+
+	daemons[owner].cmd.Process.Kill()
+	<-daemons[owner].done
+
+	survivors := make([]string, 0, 2)
+	for _, u := range urls {
+		if u != owner {
+			survivors = append(survivors, u)
+		}
+	}
+	newOwner := hrwOwner(survivors, key)
+
+	// The probe loop (150ms period, dead after 2 misses) writes the old
+	// owner off; /healthz then reports the membership verdict.
+	var health struct {
+		Status  string `json:"status"`
+		Cluster []struct {
+			URL   string `json:"url"`
+			State string `json:"state"`
+		} `json:"cluster"`
+	}
+	pollUntil(t, 10*time.Second, "the view to write the dead owner off", func() bool {
+		getJSON(t, newOwner+"/healthz", &health)
+		for _, row := range health.Cluster {
+			if row.URL == owner && row.State == "dead" {
+				return true
+			}
+		}
+		return false
+	})
+	if health.Status != "degraded" {
+		t.Errorf("health status %q with a dead member, want degraded", health.Status)
+	}
+	// The view change makes the successor claim the replica-held key.
+	pollUntil(t, 10*time.Second, "the successor to claim the key", func() bool {
+		var st clusterStatsReply
+		getJSON(t, newOwner+"/v1/stats", &st)
+		return st.Cluster.TakeoverKeys >= 1
+	})
+
+	// Solve on the new owner. The matrix was never submitted there: the
+	// replica (which carries the matrix on the wire) must serve alone.
+	var postKill clusterSolveReply
+	if code, body := postJSON(t, newOwner+"/v1/solve", map[string]any{"key": key, "b": b, "tol": 1e-8}, &postKill); code != http.StatusOK {
+		t.Fatalf("post-kill solve on the new owner: status %d: %s", code, body)
+	}
+	if !postKill.Converged || !postKill.CacheHit {
+		t.Fatalf("post-kill solve: converged=%v cache_hit=%v, want true/true (replica hit)", postKill.Converged, postKill.CacheHit)
+	}
+	for i := range preKill.X {
+		if math.Float64bits(preKill.X[i]) != math.Float64bits(postKill.X[i]) {
+			t.Fatalf("solution changed across the failover at %d — the factor was rebuilt, not inherited", i)
+		}
+	}
+	var st clusterStatsReply
+	getJSON(t, newOwner+"/v1/stats", &st)
+	if st.Cache.Factorizations != 0 || st.Cache.RefactorBuilds != 0 {
+		t.Errorf("new owner rebuilt: factorizations=%d refactor_builds=%d, want 0/0", st.Cache.Factorizations, st.Cache.RefactorBuilds)
+	}
+	if st.Cluster.ReplicaImports < 1 {
+		t.Errorf("new owner replica_imports = %d, want ≥ 1", st.Cluster.ReplicaImports)
+	}
+
+	// The other survivor fetches from the promoted owner and agrees
+	// bitwise.
+	third := survivors[0]
+	if third == newOwner {
+		third = survivors[1]
+	}
+	var thirdSolve clusterSolveReply
+	if code, body := postJSON(t, third+"/v1/solve", map[string]any{"key": key, "b": b, "tol": 1e-8}, &thirdSolve); code != http.StatusOK {
+		t.Fatalf("solve on the remaining daemon: status %d: %s", code, body)
+	}
+	for i := range preKill.X {
+		if math.Float64bits(preKill.X[i]) != math.Float64bits(thirdSolve.X[i]) {
+			t.Fatalf("remaining daemon's solution differs at %d", i)
+		}
+	}
+	getJSON(t, third+"/v1/stats", &st)
+	if st.Cache.Factorizations != 0 {
+		t.Errorf("remaining daemon factored locally (%d); the cluster should have served", st.Cache.Factorizations)
+	}
+}
+
+// TestClusterJoinLeave: a daemon started with -join enters a running
+// seed's cluster at runtime, work routes across both, and an
+// administrative leave drains it from routing without degrading health.
+func TestClusterJoinLeave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster membership test builds and runs binaries")
+	}
+	bin := buildPilutd(t)
+	pSeed, pJoin := freePort(t), freePort(t)
+	seedURL := fmt.Sprintf("http://127.0.0.1:%d", pSeed)
+	joinURL := fmt.Sprintf("http://127.0.0.1:%d", pJoin)
+
+	startDaemon(t, bin, "-addr", fmt.Sprintf("127.0.0.1:%d", pSeed),
+		"-procs", "2", "-backend", "real",
+		"-peers", seedURL, "-self", seedURL, "-probe-interval-ms", "150")
+	waitHealthy(t, seedURL)
+	startDaemon(t, bin, "-addr", fmt.Sprintf("127.0.0.1:%d", pJoin),
+		"-procs", "2", "-backend", "real",
+		"-join", seedURL, "-self", joinURL, "-probe-interval-ms", "150")
+	waitHealthy(t, joinURL)
+
+	var health struct {
+		Status  string `json:"status"`
+		Cluster []struct {
+			URL   string `json:"url"`
+			State string `json:"state"`
+		} `json:"cluster"`
+	}
+	for _, u := range []string{seedURL, joinURL} {
+		pollUntil(t, 10*time.Second, "both members in "+u+"'s view", func() bool {
+			getJSON(t, u+"/healthz", &health)
+			return len(health.Cluster) == 2
+		})
+	}
+	var st clusterStatsReply
+	getJSON(t, seedURL+"/v1/stats", &st)
+	if st.Cluster.Joins < 1 {
+		t.Errorf("seed joins counter = %d, want ≥ 1", st.Cluster.Joins)
+	}
+
+	// Work routes across the joined pair: a solve on the non-owner is
+	// served over the wire, not rebuilt.
+	a := matgen.Grid2D(24, 24)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	urls := []string{seedURL, joinURL}
+	key := submitMatrix(t, seedURL, a)
+	submitMatrix(t, joinURL, a)
+	owner := hrwOwner(urls, key)
+	other := urls[0]
+	if other == owner {
+		other = urls[1]
+	}
+	var ownerSolve, otherSolve clusterSolveReply
+	if code, body := postJSON(t, owner+"/v1/solve", map[string]any{"key": key, "b": b, "tol": 1e-8}, &ownerSolve); code != http.StatusOK {
+		t.Fatalf("owner solve: status %d: %s", code, body)
+	}
+	if code, body := postJSON(t, other+"/v1/solve", map[string]any{"key": key, "b": b, "tol": 1e-8}, &otherSolve); code != http.StatusOK {
+		t.Fatalf("non-owner solve: status %d: %s", code, body)
+	}
+	for i := range ownerSolve.X {
+		if math.Float64bits(ownerSolve.X[i]) != math.Float64bits(otherSolve.X[i]) {
+			t.Fatalf("joined pair disagrees bitwise at %d", i)
+		}
+	}
+
+	// Administrative drain: the joiner leaves; the seed's view tombstones
+	// it without degrading, and probing it stops.
+	status, body := postJSON(t, seedURL+"/v1/cluster/leave", map[string]any{"url": joinURL}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("leave: status %d: %s", status, body)
+	}
+	pollUntil(t, 10*time.Second, "the seed to tombstone the leaver", func() bool {
+		getJSON(t, seedURL+"/healthz", &health)
+		for _, row := range health.Cluster {
+			if row.URL == joinURL {
+				return row.State == "left"
+			}
+		}
+		return false
+	})
+	if health.Status != "ok" {
+		t.Errorf("health %q after an administrative leave, want ok (left is not a failure)", health.Status)
+	}
+}
+
+// TestClusterKillPeerFault drives the chaos-lane killpeer fault: the
+// armed daemon's listener dies at the deadline while its process stays
+// up, and the surviving peer walks it to dead and keeps serving.
+func TestClusterKillPeerFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test builds and runs binaries")
+	}
+	bin := buildPilutd(t)
+	p0, p1 := freePort(t), freePort(t)
+	urls := []string{
+		fmt.Sprintf("http://127.0.0.1:%d", p0),
+		fmt.Sprintf("http://127.0.0.1:%d", p1),
+	}
+	peerFlag := urls[0] + "," + urls[1]
+	common := []string{"-procs", "2", "-backend", "real", "-peers", peerFlag,
+		"-peer-timeout-ms", "2000", "-probe-interval-ms", "150"}
+	// Started individually, NOT via -spawn-peers: the launcher copies
+	// flags to children, and the fault must hit exactly one daemon.
+	survivorD := startDaemon(t, bin, append([]string{"-addr", fmt.Sprintf("127.0.0.1:%d", p0), "-self", urls[0]}, common...)...)
+	victimD := startDaemon(t, bin, append([]string{"-addr", fmt.Sprintf("127.0.0.1:%d", p1), "-self", urls[1],
+		"-faults", "killpeer=500"}, common...)...)
+	_ = survivorD
+	waitHealthy(t, urls[0])
+	waitHealthy(t, urls[1])
+
+	// Keep a workload cached on the survivor before the victim goes deaf.
+	a := matgen.Grid2D(24, 24)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	key := submitMatrix(t, urls[0], a)
+	submitMatrix(t, urls[1], a)
+	var preKill clusterSolveReply
+	if code, body := postJSON(t, urls[0]+"/v1/solve", map[string]any{"key": key, "b": b, "tol": 1e-8}, &preKill); code != http.StatusOK {
+		t.Fatalf("pre-fault solve: status %d: %s", code, body)
+	}
+
+	// The fault closes the listener ~500ms after startup; the survivor's
+	// probes then walk the victim to dead.
+	var health struct {
+		Status  string `json:"status"`
+		Cluster []struct {
+			URL   string `json:"url"`
+			State string `json:"state"`
+		} `json:"cluster"`
+	}
+	pollUntil(t, 15*time.Second, "the survivor to write the victim off", func() bool {
+		getJSON(t, urls[0]+"/healthz", &health)
+		for _, row := range health.Cluster {
+			if row.URL == urls[1] && row.State == "dead" {
+				return true
+			}
+		}
+		return false
+	})
+	if health.Status != "degraded" {
+		t.Errorf("survivor health %q, want degraded", health.Status)
+	}
+	// The victim's process is deaf, not dead — a crashed daemon leaves a
+	// process behind, and the fault models exactly that.
+	select {
+	case <-victimD.done:
+		t.Fatal("killpeer terminated the process; it must only close the listener")
+	default:
+	}
+
+	var postKill clusterSolveReply
+	if code, body := postJSON(t, urls[0]+"/v1/solve", map[string]any{"key": key, "b": b, "tol": 1e-8}, &postKill); code != http.StatusOK {
+		t.Fatalf("post-fault solve: status %d: %s", code, body)
+	}
+	for i := range preKill.X {
+		if math.Float64bits(preKill.X[i]) != math.Float64bits(postKill.X[i]) {
+			t.Fatalf("survivor's answer changed after the fault at %d", i)
+		}
 	}
 }

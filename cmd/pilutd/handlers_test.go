@@ -248,3 +248,139 @@ func TestWriteErrorSetsRetryAfter(t *testing.T) {
 		t.Fatalf("Retry-After = %q for a plain error, want unset", got)
 	}
 }
+
+// newClusterTestServer spins up the real mux over a single-member cluster
+// service, optionally token-protected.
+func newClusterTestServer(t *testing.T, token string) (*httptest.Server, *service.Server) {
+	t.Helper()
+	svc := service.New(service.Config{Procs: 2, Workers: 1, Cluster: &service.ClusterConfig{
+		Self: "http://127.0.0.1:1", Token: token,
+		ProbeInterval: -1, Replicas: -1,
+	}})
+	ts := httptest.NewServer(newMux(svc, 600000))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	})
+	return ts, svc
+}
+
+// TestClusterTokenGuard pins the peer-surface auth contract: every
+// /v1/peer/* and /v1/cluster/* endpoint answers 403 to a missing or
+// wrong token, each rejection counts, and the right token passes. The
+// public surface stays open.
+func TestClusterTokenGuard(t *testing.T) {
+	ts, svc := newClusterTestServer(t, "hunter2")
+	guarded := []struct{ method, path string }{
+		{http.MethodGet, "/v1/peer/factor/somekey"},
+		{http.MethodPost, "/v1/peer/matrix"},
+		{http.MethodPost, "/v1/peer/replica/somekey"},
+		{http.MethodGet, "/v1/cluster/view"},
+		{http.MethodPost, "/v1/cluster/view"},
+		{http.MethodPost, "/v1/cluster/join"},
+		{http.MethodPost, "/v1/cluster/leave"},
+	}
+	do := func(method, path, token string) *http.Response {
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader([]byte("{}")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set(service.ClusterTokenHeader, token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for i, g := range guarded {
+		msg := decodeError(t, do(g.method, g.path, ""), http.StatusForbidden)
+		if !strings.Contains(msg, "token") {
+			t.Errorf("%s %s: error %q does not mention the token", g.method, g.path, msg)
+		}
+		resp := do(g.method, g.path, "wrong")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("%s %s with wrong token: status %d, want 403", g.method, g.path, resp.StatusCode)
+		}
+		wantRejected := int64(2 * (i + 1))
+		if got := svc.StatsSnapshot().Cluster.RejectedPeerReqs; got != wantRejected {
+			t.Errorf("after %s %s: rejected counter = %d, want %d", g.method, g.path, got, wantRejected)
+		}
+	}
+	// The right token reaches the handler (a non-403 answer).
+	resp := do(http.MethodGet, "/v1/cluster/view", "hunter2")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("authorized view request: status %d, want 200", resp.StatusCode)
+	}
+	// The public surface never demands the token.
+	pub, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Body.Close()
+	if pub.StatusCode == http.StatusForbidden {
+		t.Error("public /healthz was gated behind the cluster token")
+	}
+}
+
+// TestClusterEndpointsOutsideCluster: a standalone daemon answers 404 on
+// the membership surface instead of pretending to be a cluster of one.
+func TestClusterEndpointsOutsideCluster(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	for _, path := range []string{"/v1/cluster/view"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeError(t, resp, http.StatusNotFound)
+	}
+	resp, err := http.Post(ts.URL+"/v1/cluster/join", "application/json",
+		strings.NewReader(`{"url":"http://127.0.0.1:9"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := decodeError(t, resp, http.StatusBadRequest)
+	if !strings.Contains(msg, "not a cluster member") {
+		t.Errorf("join on a standalone daemon: %q", msg)
+	}
+}
+
+// TestClusterViewEndpoint: the view answers with this member and a
+// malformed join URL is rejected before touching the view.
+func TestClusterViewEndpoint(t *testing.T) {
+	ts, _ := newClusterTestServer(t, "")
+	var v struct {
+		Epoch   uint64 `json:"epoch"`
+		Members []struct {
+			URL   string `json:"url"`
+			State string `json:"state"`
+		} `json:"members"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/cluster/view")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("view: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch == 0 || len(v.Members) != 1 || v.Members[0].State != "alive" {
+		t.Fatalf("view = %+v, want one alive member at epoch ≥ 1", v)
+	}
+
+	bad, err := http.Post(ts.URL+"/v1/cluster/join", "application/json",
+		strings.NewReader(`{"url":"not-a-url"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := decodeError(t, bad, http.StatusBadRequest)
+	if !strings.Contains(msg, "absolute") {
+		t.Errorf("malformed join URL error: %q", msg)
+	}
+}

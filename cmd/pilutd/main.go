@@ -34,6 +34,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -139,6 +140,19 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func newMux(svc *service.Server, maxTimeoutMs int) *http.ServeMux {
 	mux := http.NewServeMux()
+
+	// peerGuard wraps the daemon-to-daemon surface (/v1/peer/*,
+	// /v1/cluster/*) with the shared-secret check: a missing or wrong
+	// token answers 403 and bumps the rejected-peer-request counter.
+	peerGuard := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if !svc.PeerAuthOK(r.Header.Get(service.ClusterTokenHeader)) {
+				writeJSON(w, http.StatusForbidden, errorReply{"cluster token mismatch"})
+				return
+			}
+			h(w, r)
+		}
+	}
 
 	mux.HandleFunc("POST /v1/matrices", func(w http.ResponseWriter, r *http.Request) {
 		a, err := sparse.ReadMatrixMarket(http.MaxBytesReader(w, r.Body, maxMatrixBytes))
@@ -274,9 +288,10 @@ func newMux(svc *service.Server, maxTimeoutMs int) *http.ServeMux {
 		writeJSON(w, status, h)
 	})
 
-	// Internal peer API: daemon-to-daemon factorization transfer and
-	// matrix replication (gob bodies, not part of the public surface).
-	mux.HandleFunc("GET /v1/peer/factor/{key}", func(w http.ResponseWriter, r *http.Request) {
+	// Internal peer API: daemon-to-daemon factorization transfer, matrix
+	// replication and proactive factor replicas (gob bodies, not part of
+	// the public surface). All token-guarded.
+	mux.HandleFunc("GET /v1/peer/factor/{key}", peerGuard(func(w http.ResponseWriter, r *http.Request) {
 		data, err := svc.ExportFactor(r.PathValue("key"))
 		if err != nil {
 			status := http.StatusNotFound
@@ -290,9 +305,9 @@ func newMux(svc *service.Server, maxTimeoutMs int) *http.ServeMux {
 		if _, err := w.Write(data); err != nil {
 			log.Printf("pilutd: writing peer factor response: %v", err)
 		}
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/peer/matrix", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/peer/matrix", peerGuard(func(w http.ResponseWriter, r *http.Request) {
 		key, known, err := svc.ImportMatrix(http.MaxBytesReader(w, r.Body, maxMatrixBytes))
 		if err != nil {
 			status := http.StatusBadRequest
@@ -303,7 +318,76 @@ func newMux(svc *service.Server, maxTimeoutMs int) *http.ServeMux {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"key": key, "known": known})
-	})
+	}))
+
+	mux.HandleFunc("POST /v1/peer/replica/{key}", peerGuard(func(w http.ResponseWriter, r *http.Request) {
+		known, err := svc.ImportReplica(r.PathValue("key"), http.MaxBytesReader(w, r.Body, maxMatrixBytes))
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"known": known})
+	}))
+
+	// Cluster membership: the gossiped view, runtime join and the
+	// administrative drain. GET view doubles as the health probe other
+	// members run every -probe-interval-ms.
+	mux.HandleFunc("GET /v1/cluster/view", peerGuard(func(w http.ResponseWriter, r *http.Request) {
+		v, ok := svc.ClusterView()
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorReply{"this daemon is not a cluster member"})
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	}))
+
+	mux.HandleFunc("POST /v1/cluster/view", peerGuard(func(w http.ResponseWriter, r *http.Request) {
+		var v service.View
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing view: %w", err))
+			return
+		}
+		merged, ok := svc.MergeView(v)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorReply{"this daemon is not a cluster member"})
+			return
+		}
+		writeJSON(w, http.StatusOK, merged)
+	}))
+
+	mux.HandleFunc("POST /v1/cluster/join", peerGuard(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			URL string `json:"url"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing join request: %w", err))
+			return
+		}
+		v, err := svc.HandleJoin(req.URL)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		log.Printf("pilutd: cluster member joined: %s (epoch %d)", req.URL, v.Epoch)
+		writeJSON(w, http.StatusOK, v)
+	}))
+
+	mux.HandleFunc("POST /v1/cluster/leave", peerGuard(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			URL string `json:"url"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing leave request: %w", err))
+			return
+		}
+		v, err := svc.HandleLeave(req.URL)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		log.Printf("pilutd: cluster member left: %s (epoch %d)", req.URL, v.Epoch)
+		writeJSON(w, http.StatusOK, v)
+	}))
 
 	// Unknown paths get the same structured JSON error shape as every
 	// other failure instead of the default text/plain 404 page.
@@ -344,7 +428,10 @@ func launchPeers(peerList []string, self string) error {
 		args := []string{"-addr", u.Host, "-self", peer, "-spawn-peers=false"}
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "addr", "self", "spawn-peers":
+			case "addr", "self", "spawn-peers", "join", "faults":
+				// -join would make every child re-join (the static -peers
+				// list already covers them); -faults (e.g. killpeer) must
+				// hit only the daemon it was aimed at.
 				return
 			}
 			args = append(args, "-"+f.Name+"="+f.Value.String())
@@ -381,6 +468,10 @@ func main() {
 	self := flag.String("self", "", "this daemon's base URL in -peers (e.g. http://127.0.0.1:8417)")
 	spawnPeers := flag.Bool("spawn-peers", false, "launch one child pilutd per other -peers entry, forming the whole cluster from one command")
 	peerTimeoutMs := flag.Int("peer-timeout-ms", 10000, "per-operation timeout for daemon-to-daemon calls (factor fetch, replication, health probes)")
+	joinURL := flag.String("join", "", "base URL of a running cluster member to join at startup (requires -self; works with or without -peers)")
+	replicas := flag.Int("replicas", 1, "HRW successors that receive a proactive copy of every locally built factor (0 disables replication)")
+	probeIntervalMs := flag.Int("probe-interval-ms", 1000, "membership probe period in milliseconds (0 disables probing)")
+	clusterToken := flag.String("cluster-token", os.Getenv("PILUT_CLUSTER_TOKEN"), "shared secret required on /v1/peer/* and /v1/cluster/* requests (default $PILUT_CLUSTER_TOKEN; empty disables)")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace JSON file per machine run into this directory")
 	maxTimeoutMs := flag.Int("max-timeout-ms", 600000, "per-request deadline cap in milliseconds; requests without timeout_ms get this deadline (0 disables)")
 	maxQueue := flag.Int("max-queue", 1024, "queued solve requests beyond which the server sheds load with 429")
@@ -415,15 +506,26 @@ func main() {
 		log.Fatalf("pilutd: %v", err)
 	}
 	var clusterCfg *service.ClusterConfig
-	if *peers != "" {
+	if *peers != "" || *joinURL != "" {
 		peerList := splitPeers(*peers)
 		if *self == "" {
-			log.Fatalf("pilutd: -peers requires -self (this daemon's URL in the list)")
+			log.Fatalf("pilutd: -peers/-join require -self (this daemon's URL)")
+		}
+		probe := time.Duration(*probeIntervalMs) * time.Millisecond
+		if *probeIntervalMs <= 0 {
+			probe = -1 // explicit "disabled" — zero means "default" to the service
+		}
+		repl := *replicas
+		if repl <= 0 {
+			repl = -1 // same: flag 0 disables, config 0 defaults
 		}
 		clusterCfg = &service.ClusterConfig{
-			Self:      *self,
-			Peers:     peerList,
-			OpTimeout: time.Duration(*peerTimeoutMs) * time.Millisecond,
+			Self:          *self,
+			Peers:         peerList,
+			OpTimeout:     time.Duration(*peerTimeoutMs) * time.Millisecond,
+			Replicas:      repl,
+			ProbeInterval: probe,
+			Token:         *clusterToken,
 		}
 		if *spawnPeers {
 			if err := launchPeers(peerList, *self); err != nil {
@@ -460,8 +562,35 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	// killpeer fault: hard-stop the listener after the deadline without
+	// exiting the process — the daemon goes deaf mid-workload exactly like
+	// a crashed peer, so chaos runs can watch the cluster write it off.
+	var killFired atomic.Bool
+	if d, ok := spec.KillPeerAfter(); ok {
+		time.AfterFunc(d, func() {
+			killFired.Store(true)
+			log.Printf("pilutd: FAULT killpeer: closing listener after %v", d)
+			srv.Close()
+		})
+	}
+
+	if *joinURL != "" {
+		// Listener is serving, so the seed's join broadcast can reach us.
+		if err := svc.JoinCluster(*joinURL); err != nil {
+			log.Fatalf("pilutd: joining cluster via %s: %v", *joinURL, err)
+		}
+		log.Printf("pilutd: joined cluster via %s", *joinURL)
+	}
+
 	select {
 	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) && killFired.Load() {
+			// Stay alive but deaf until signalled, as a real crash would
+			// leave the process table entry behind.
+			<-ctx.Done()
+			log.Printf("pilutd: killpeer daemon reaped")
+			return
+		}
 		log.Fatalf("pilutd: serve: %v", err)
 	case <-ctx.Done():
 	}

@@ -56,6 +56,14 @@ func TestErrDropNetcomm(t *testing.T) {
 	analysistest.Run(t, analysis.ErrDrop, testdata(t, "netcomm"))
 }
 
+// TestErrDropCluster covers the per-file cluster boundary: inside
+// membership.go and replication.go, stdlib net/http/io/gob/json errors
+// must be handled (Close excepted), while a sibling file in the same
+// package dropping the same errors stays clean.
+func TestErrDropCluster(t *testing.T) {
+	analysistest.Run(t, analysis.ErrDrop, testdata(t, "clusterdrop"))
+}
+
 // TestSuppressMultiLineCall is the regression test for suppression
 // matching: an annotation above a multi-line call covers diagnostics
 // reported at the call's arguments on later lines.

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -47,6 +48,35 @@ func netBoundaryPkg(path string) bool {
 	return strings.HasSuffix(path, "/netcomm") || errBoundaryPkg(path)
 }
 
+// clusterBoundaryPkg is the boundary set applied inside the service
+// package's membership and replication files: the stdlib layers the
+// gossip view exchange and replica pushes are built on, plus the usual
+// comm/service boundary. A dropped error on these paths is a silently
+// lost probe verdict or a factor stranded without its redundancy — the
+// exact failures the dynamic-membership layer exists to surface.
+func clusterBoundaryPkg(path string) bool {
+	switch path {
+	case "net", "net/http", "io", "bufio", "encoding/gob", "encoding/json":
+		return true
+	}
+	return errBoundaryPkg(path)
+}
+
+// clusterStrictFile reports whether filename is one of the service
+// package's membership/replication code paths, which get the stricter
+// cluster boundary per file (the rest of the package keeps the ordinary
+// comm/service boundary).
+func clusterStrictFile(pkgPath, filename string) bool {
+	if pkgPath != ServicePath && !strings.HasSuffix(pkgPath, "/clusterdrop") {
+		return false
+	}
+	switch filepath.Base(filename) {
+	case "membership.go", "replication.go":
+		return true
+	}
+	return false
+}
+
 var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
 
 // boundaryErrResults returns the indices of call's error-typed results
@@ -73,14 +103,15 @@ func boundaryErrResults(info *types.Info, call *ast.CallExpr, boundary func(stri
 }
 
 func runErrDrop(pass *Pass) error {
-	boundaryOf := func(fn *types.Func) bool { return true }
-	boundary := errBoundaryPkg
+	notClose := func(fn *types.Func) bool { return fn.Name() != "Close" }
+	pkgBoundaryOf := func(fn *types.Func) bool { return true }
+	pkgBoundary := errBoundaryPkg
 	if strings.HasSuffix(pass.Pkg.Path(), "/netcomm") {
 		// The socket transport gets the stricter net-level boundary.
 		// Close is excepted: teardown paths drop Close errors
 		// deliberately (the interesting error already happened).
-		boundary = netBoundaryPkg
-		boundaryOf = func(fn *types.Func) bool { return fn.Name() != "Close" }
+		pkgBoundary = netBoundaryPkg
+		pkgBoundaryOf = notClose
 	} else if exemptPkg(pass.Pkg.Path()) {
 		// The messaging layer's internal plumbing manages its own errors.
 		return nil
@@ -90,14 +121,21 @@ func runErrDrop(pass *Pass) error {
 		pass.Reportf(pos.Pos(),
 			"error result of %s %s; on a comm/service boundary the error carries the failure diagnosis (*pcomm.RunError rank, cause, blocked-state dump) — handle it", funcLabel(fn), how)
 	}
-	results := func(call *ast.CallExpr) (*types.Func, []int) {
-		fn, errIdx := boundaryErrResults(info, call, boundary)
-		if fn == nil || !boundaryOf(fn) {
-			return nil, nil
-		}
-		return fn, errIdx
-	}
 	for _, f := range pass.Files {
+		// Boundary strictness is per file: the membership/replication
+		// code paths answer for their stdlib errors too, Close excepted.
+		boundary, boundaryOf := pkgBoundary, pkgBoundaryOf
+		if clusterStrictFile(pass.Pkg.Path(), pass.Fset.Position(f.Pos()).Filename) {
+			boundary = clusterBoundaryPkg
+			boundaryOf = notClose
+		}
+		results := func(call *ast.CallExpr) (*types.Func, []int) {
+			fn, errIdx := boundaryErrResults(info, call, boundary)
+			if fn == nil || !boundaryOf(fn) {
+				return nil, nil
+			}
+			return fn, errIdx
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.ExprStmt:

@@ -1,0 +1,26 @@
+package clusterdrop
+
+// replication.go is the second strict file: the boundary keys off the
+// basename, and a replica push that drops its transport error is exactly
+// the silent redundancy loss the boundary exists to catch.
+
+import (
+	"io"
+	"net/http"
+)
+
+func badReplicaPush(c *http.Client, url string, body io.Reader) {
+	c.Post(url, "application/octet-stream", body) // want `error result of http.Client.Post discarded .call used as a statement.`
+}
+
+func goodReplicaPush(c *http.Client, url string, body io.Reader) error {
+	resp, err := c.Post(url, "application/octet-stream", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	return nil
+}

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // EnvVar selects a fault spec for test worlds built through
@@ -73,6 +74,14 @@ type Spec struct {
 	// turns every pivot into a repair, tripping breakdown detection.
 	// Zero disables.
 	PivotScale float64
+
+	// KillPeerMs is a daemon-level fault: pilutd arms a one-shot timer
+	// that hard-stops its HTTP listener (and every open connection)
+	// KillPeerMs milliseconds after startup, modelling an owner daemon
+	// dying mid-workload while the process stays up — the chaos driver
+	// for membership probes, replica promotion and takeover. It does not
+	// touch the comm layer (Enabled ignores it). Zero disables.
+	KillPeerMs int
 
 	dropFired  atomic.Bool
 	panicFired atomic.Bool
@@ -124,6 +133,7 @@ func (s *Spec) Enabled() bool {
 //	drop=RANK@NTH     swallow rank's NTH send
 //	panic=RANK@NTH    panic rank at its NTH comm op
 //	pivot=SCALE       pivot perturbation factor
+//	killpeer=MS       hard-stop the daemon's HTTP listener after MS ms
 //
 // An empty string parses to a disabled spec.
 func Parse(text string) (*Spec, error) {
@@ -168,6 +178,12 @@ func Parse(text string) (*Spec, error) {
 				return nil, fmt.Errorf("fault: pivot %q: %v", val, err)
 			}
 			s.PivotScale = scale
+		case "killpeer":
+			ms, err := strconv.Atoi(val)
+			if err != nil || ms < 1 {
+				return nil, fmt.Errorf("fault: killpeer %q must be a positive millisecond count", val)
+			}
+			s.KillPeerMs = ms
 		default:
 			return nil, fmt.Errorf("fault: unknown clause %q", key)
 		}
@@ -239,7 +255,21 @@ func (s *Spec) String() string {
 	if s.PivotScale != 0 {
 		parts = append(parts, fmt.Sprintf("pivot=%g", s.PivotScale))
 	}
+	if s.KillPeerMs > 0 {
+		parts = append(parts, fmt.Sprintf("killpeer=%d", s.KillPeerMs))
+	}
 	return strings.Join(parts, ",")
+}
+
+// KillPeerAfter reports the delay after which the daemon should
+// hard-stop its listener, and whether the fault is armed at all. The
+// comm layer ignores this fault entirely — it belongs to the process
+// hosting the HTTP surface.
+func (s *Spec) KillPeerAfter() (d time.Duration, ok bool) {
+	if s == nil || s.KillPeerMs <= 0 {
+		return 0, false
+	}
+	return time.Duration(s.KillPeerMs) * time.Millisecond, true
 }
 
 // Reset rearms one-shot faults and clears the event log, so one Spec can

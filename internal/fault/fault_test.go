@@ -33,6 +33,8 @@ func TestParseRoundTrip(t *testing.T) {
 		"seed=3,drop=1@4",
 		"panic=2@9,pivot=1e-320",
 		"seed=11,delay=0.1,drop=0@2,panic=1@5,pivot=1e-300",
+		"killpeer=750",
+		"seed=4,delay=0.1,killpeer=1500",
 	}
 	for _, text := range cases {
 		s, err := fault.Parse(text)
@@ -56,10 +58,41 @@ func TestParseRoundTrip(t *testing.T) {
 		"bogus=1",      // unknown clause
 		"delay=0.5@-1", // negative mean
 		"seed",         // not key=value
+		"killpeer=0",   // must be ≥1 ms
+		"killpeer=x",   // not an integer
 	} {
 		if _, err := fault.Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted a malformed spec", bad)
 		}
+	}
+}
+
+// TestKillPeerAfter pins the daemon-level contract: killpeer is invisible
+// to the communication layer (Enabled stays false on a killpeer-only
+// spec, so no fault world is wrapped) and KillPeerAfter converts the
+// clause to a timer delay only when armed.
+func TestKillPeerAfter(t *testing.T) {
+	var nilSpec *fault.Spec
+	if d, ok := nilSpec.KillPeerAfter(); ok || d != 0 {
+		t.Fatalf("nil spec: KillPeerAfter = %v, %v; want 0, false", d, ok)
+	}
+	s, err := fault.Parse("killpeer=250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Enabled() {
+		t.Error("killpeer-only spec reports Enabled; the comm layer would wrap a fault world for nothing")
+	}
+	d, ok := s.KillPeerAfter()
+	if !ok || d != 250*time.Millisecond {
+		t.Errorf("KillPeerAfter = %v, %v; want 250ms, true", d, ok)
+	}
+	s2, err := fault.Parse("seed=7,delay=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.KillPeerAfter(); ok {
+		t.Error("spec without killpeer reports an armed kill timer")
 	}
 }
 

@@ -77,6 +77,11 @@ type entry struct {
 	// carry the flag in their SolveResult.
 	symbolicHit bool
 
+	// origin records how the entry got here (originLocal, originPeer,
+	// originReplica); a view change claims peer-imported keys this
+	// daemon now owns as takeovers.
+	origin string
+
 	elem *list.Element
 }
 

@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/gob"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,27 +27,49 @@ import (
 	"repro/internal/sparse"
 )
 
-// ClusterConfig makes a server one member of a static pilutd cluster.
-// Every daemon runs the same peer list (and the same Procs, Seed and
-// Params — ownership transfers factorizations, and a piece factored
-// under one layout cannot be applied under another). Matrix fingerprints
-// are routed across the peers by rendezvous (highest-random-weight)
-// hashing: each key has exactly one owning daemon, every daemon computes
-// the same owner with no coordination, and removing a peer only reassigns
-// the keys it owned.
+// ClusterConfig makes a server one member of a pilutd cluster. Every
+// daemon must run the same Procs, Seed and Params — ownership transfers
+// factorizations, and a piece factored under one layout cannot be
+// applied under another. Matrix fingerprints are routed across the
+// *live* member view by rendezvous (highest-random-weight) hashing:
+// each key has exactly one owning daemon, every daemon computes the
+// same owner from the same view with no coordination, and a member's
+// death or departure reassigns only the keys it owned. Membership is
+// dynamic — Peers only seeds the initial view; daemons join at runtime
+// via POST /v1/cluster/join and are written off by failed health
+// probes (see membership.go).
 type ClusterConfig struct {
-	// Self is this daemon's advertised base URL; it must appear in Peers.
+	// Self is this daemon's advertised base URL; when Peers is non-empty
+	// it must appear there.
 	Self string
-	// Peers lists every daemon's base URL, e.g.
+	// Peers seeds the member view, e.g.
 	// ["http://10.0.0.1:8417", "http://10.0.0.2:8417"]. Order does not
-	// matter (ownership hashes the URL strings, not the positions), but
-	// the *set* must be identical on every daemon or routing loops are
-	// possible; the peer-serve endpoints therefore never fetch from a
-	// peer in turn.
+	// matter (ownership hashes the URL strings, not the positions).
+	// Empty means a single-member seed cluster that others join.
 	Peers []string
 	// OpTimeout bounds each peer HTTP operation (factor fetch, matrix
-	// replication, health probe). Default 10s.
+	// replication, view exchange, health probe). Default 10s.
 	OpTimeout time.Duration
+	// Replicas is how many HRW successors receive a proactive copy of
+	// each factorization built on its owner, so an owner's death is
+	// absorbed by a replica promotion instead of a rebuild. Default 1;
+	// negative disables replication.
+	Replicas int
+	// ProbeInterval is the membership heartbeat period: every interval
+	// each daemon probes all non-left members and merges their views.
+	// Default 1s; negative disables probing (the view then changes only
+	// through joins, leaves and pushed views — the static-cluster mode
+	// tests use).
+	ProbeInterval time.Duration
+	// SuspectAfter and DeadAfter are the consecutive probe-failure
+	// counts that demote a member alive → suspect and → dead.
+	// Defaults 1 and 2.
+	SuspectAfter int
+	DeadAfter    int
+	// Token, when non-empty, is the shared secret every /v1/peer/* and
+	// /v1/cluster/* request must present (pilutd -cluster-token /
+	// PILUT_CLUSTER_TOKEN). All members must agree on it.
+	Token string
 }
 
 func (c *ClusterConfig) withDefaults() (*ClusterConfig, error) {
@@ -52,11 +77,29 @@ func (c *ClusterConfig) withDefaults() (*ClusterConfig, error) {
 		return nil, nil
 	}
 	out := *c
+	if out.Self == "" {
+		return nil, errors.New("service: cluster config needs Self")
+	}
 	if out.OpTimeout <= 0 {
 		out.OpTimeout = 10 * time.Second
 	}
-	if len(out.Peers) < 2 {
-		return nil, fmt.Errorf("service: cluster needs at least 2 peers, got %d", len(out.Peers))
+	if out.Replicas == 0 {
+		out.Replicas = 1
+	}
+	if out.Replicas < 0 {
+		out.Replicas = 0
+	}
+	if out.ProbeInterval == 0 {
+		out.ProbeInterval = time.Second
+	}
+	if out.SuspectAfter <= 0 {
+		out.SuspectAfter = 1
+	}
+	if out.DeadAfter <= out.SuspectAfter {
+		out.DeadAfter = out.SuspectAfter + 1
+	}
+	if len(out.Peers) == 0 {
+		out.Peers = []string{out.Self}
 	}
 	seen := make(map[string]bool, len(out.Peers))
 	selfFound := false
@@ -78,66 +121,159 @@ func (c *ClusterConfig) withDefaults() (*ClusterConfig, error) {
 	return &out, nil
 }
 
-// ClusterStats counts cross-daemon traffic for the stats endpoint.
+// ClusterStats counts cross-daemon traffic and the membership view for
+// the stats endpoint.
 type ClusterStats struct {
-	Peers             int    `json:"peers"`
+	Peers             int    `json:"peers"` // routable members (alive + suspect), self included
 	Self              string `json:"self"`
+	Epoch             uint64 `json:"epoch"`
+	MembersAlive      int    `json:"members_alive"`
+	MembersSuspect    int    `json:"members_suspect"`
+	MembersDead       int    `json:"members_dead"`
+	MembersLeft       int    `json:"members_left"`
+	ReplicationFactor int    `json:"replication_factor"`
 	PeerFetches       int64  `json:"peer_fetches"`        // factor fetches attempted
-	PeerFetchHits     int64  `json:"peer_fetch_hits"`     // answered from the owner's cache
-	PeerFetchMisses   int64  `json:"peer_fetch_misses"`   // owner did not have it (built locally)
-	PeerFetchFailures int64  `json:"peer_fetch_failures"` // transport/decode failures (built locally)
+	PeerFetchHits     int64  `json:"peer_fetch_hits"`     // answered from a peer's cache
+	PeerFetchMisses   int64  `json:"peer_fetch_misses"`   // peer did not have it (built locally)
+	PeerFetchFailures int64  `json:"peer_fetch_failures"` // transport/decode failures
+	PeerFetchRetries  int64  `json:"peer_fetch_retries"`  // bounded retries after a transient failure
 	PeerServes        int64  `json:"peer_serves"`         // factor exports served to peers
 	ReplicationsSent  int64  `json:"replications_sent"`   // matrices pushed to their owner
 	ReplicationsLost  int64  `json:"replications_lost"`   // pushes that failed (owner down)
+	ReplicasPushed    int64  `json:"replicas_pushed"`     // factor copies delivered to successors
+	ReplicaPushFails  int64  `json:"replica_push_failures"`
+	ReplicaImports    int64  `json:"replica_imports"` // factor copies accepted from owners
+	TakeoverKeys      int64  `json:"takeover_keys"`   // peer-imported keys claimed after a view change
+	Joins             int64  `json:"joins"`           // members admitted by this daemon
+	Leaves            int64  `json:"leaves"`          // tombstones written by this daemon
+	RejectedPeerReqs  int64  `json:"rejected_peer_requests"`
 }
 
-// cluster is the server's runtime view of its peer group: the routing
-// hash, one HTTP client, and a per-peer circuit breaker (the same state
-// machine that guards matrix keys) so a dead daemon stops costing a
-// timeout per request long before anyone restarts it.
+// cluster is the server's runtime view of its peer group: the live
+// membership behind HRW routing, one HTTP client, and a per-peer circuit
+// breaker (the same state machine that guards matrix keys) so a dead
+// daemon stops costing a timeout per request long before the probe loop
+// writes it off.
 type cluster struct {
-	self    string
-	peers   []string
-	client  *http.Client
-	timeout time.Duration
+	self          string
+	ms            *membership
+	client        *http.Client
+	timeout       time.Duration
+	token         string
+	replicas      int
+	probeInterval time.Duration
 
-	mu  sync.Mutex
-	brk *breaker
+	mu      sync.Mutex
+	brk     *breaker
+	claimed map[string]bool // peer-imported keys already counted as takeovers
+	pending map[string]bool // owned keys whose last replica push did not fully land
+	rng     *rand.Rand      // retry-backoff jitter; guarded by mu
 
 	fetches, fetchHits, fetchMisses, fetchFailures atomic.Int64
+	fetchRetries                                   atomic.Int64
 	serves, replSent, replLost                     atomic.Int64
+	replicasPushed, replicaPushFailures            atomic.Int64
+	replicaImports, takeovers                      atomic.Int64
+	joins, leaves, rejected                        atomic.Int64
 }
 
 func newCluster(cfg *ClusterConfig, brkFailures int, brkCooldown time.Duration) *cluster {
 	return &cluster{
-		self:    cfg.Self,
-		peers:   append([]string(nil), cfg.Peers...),
-		client:  &http.Client{Timeout: cfg.OpTimeout},
-		timeout: cfg.OpTimeout,
-		brk:     newBreaker(brkFailures, brkCooldown),
+		self:          cfg.Self,
+		ms:            newMembership(cfg.Self, cfg.Peers, cfg.SuspectAfter, cfg.DeadAfter),
+		client:        &http.Client{Timeout: cfg.OpTimeout},
+		timeout:       cfg.OpTimeout,
+		token:         cfg.Token,
+		replicas:      cfg.Replicas,
+		probeInterval: cfg.ProbeInterval,
+		brk:           newBreaker(brkFailures, brkCooldown),
+		claimed:       make(map[string]bool),
+		pending:       make(map[string]bool),
+		rng:           rand.New(rand.NewSource(1)),
 	}
 }
 
-// owner returns the daemon that owns key under rendezvous hashing: the
-// peer whose hash(peer, key) is largest. Every daemon computes the same
-// owner from the same peer set, and a peer's death moves only its own
-// keys.
-func (cl *cluster) owner(key string) string {
-	best := ""
-	var bestSum [sha256.Size]byte
+// ClusterTokenHeader carries the shared cluster secret on every
+// /v1/peer/* and /v1/cluster/* request.
+const ClusterTokenHeader = "X-Pilut-Cluster-Token"
+
+// authorize attaches the cluster token to an outgoing peer request.
+func (cl *cluster) authorize(req *http.Request) {
+	if cl.token != "" {
+		req.Header.Set(ClusterTokenHeader, cl.token)
+	}
+}
+
+// PeerAuthOK checks a presented cluster token against the configured
+// shared secret (constant-time). Mismatches count toward the
+// rejected-peer-request counter; with no token configured (or no
+// cluster) every request passes.
+func (s *Server) PeerAuthOK(got string) bool {
+	cl := s.cluster
+	if cl == nil || cl.token == "" {
+		return true
+	}
+	if subtle.ConstantTimeCompare([]byte(got), []byte(cl.token)) == 1 {
+		return true
+	}
+	cl.rejected.Add(1)
+	return false
+}
+
+// ranked orders the routable members for key by rendezvous hashing,
+// best first: ranked[0] is the owner, ranked[1:1+R] the replica
+// successors. Every daemon computes the same order from the same view,
+// and removing one member deletes exactly its slot — the keys of every
+// surviving member stay put (the minimal-disruption property the
+// remapping test pins).
+func (cl *cluster) ranked(key string) []string {
+	peers := cl.ms.routable()
+	type cand struct {
+		url string
+		sum [sha256.Size]byte
+	}
+	cands := make([]cand, len(peers))
 	h := sha256.New()
-	for _, peer := range cl.peers {
+	for i, peer := range peers {
 		h.Reset()
 		io.WriteString(h, peer)
 		h.Write([]byte{0})
 		io.WriteString(h, key)
-		var sum [sha256.Size]byte
-		h.Sum(sum[:0])
-		if best == "" || bytes.Compare(sum[:], bestSum[:]) > 0 {
-			best, bestSum = peer, sum
-		}
+		cands[i].url = peer
+		h.Sum(cands[i].sum[:0])
 	}
-	return best
+	sort.Slice(cands, func(i, j int) bool {
+		return bytes.Compare(cands[i].sum[:], cands[j].sum[:]) > 0
+	})
+	out := make([]string, len(cands))
+	for i := range cands {
+		out[i] = cands[i].url
+	}
+	return out
+}
+
+// owner returns the daemon that currently owns key: the head of the
+// rendezvous ranking over the live view. A lone daemon owns everything.
+func (cl *cluster) owner(key string) string {
+	r := cl.ranked(key)
+	if len(r) == 0 {
+		return cl.self
+	}
+	return r[0]
+}
+
+// successors returns the R daemons after the owner in key's ranking —
+// the replica set that receives proactive factor pushes.
+func (cl *cluster) successors(key string) []string {
+	r := cl.ranked(key)
+	if len(r) < 2 || cl.replicas <= 0 {
+		return nil
+	}
+	end := 1 + cl.replicas
+	if end > len(r) {
+		end = len(r)
+	}
+	return r[1:end]
 }
 
 // allow asks the peer's circuit breaker whether an operation may
@@ -173,16 +309,31 @@ func (cl *cluster) breakerOpen(peer string) bool {
 }
 
 func (cl *cluster) snapshot() *ClusterStats {
+	alive, suspect, dead, left := cl.ms.counts()
 	return &ClusterStats{
-		Peers:             len(cl.peers),
+		Peers:             alive + suspect,
 		Self:              cl.self,
+		Epoch:             cl.ms.epochNow(),
+		MembersAlive:      alive,
+		MembersSuspect:    suspect,
+		MembersDead:       dead,
+		MembersLeft:       left,
+		ReplicationFactor: cl.replicas,
 		PeerFetches:       cl.fetches.Load(),
 		PeerFetchHits:     cl.fetchHits.Load(),
 		PeerFetchMisses:   cl.fetchMisses.Load(),
 		PeerFetchFailures: cl.fetchFailures.Load(),
+		PeerFetchRetries:  cl.fetchRetries.Load(),
 		PeerServes:        cl.serves.Load(),
 		ReplicationsSent:  cl.replSent.Load(),
 		ReplicationsLost:  cl.replLost.Load(),
+		ReplicasPushed:    cl.replicasPushed.Load(),
+		ReplicaPushFails:  cl.replicaPushFailures.Load(),
+		ReplicaImports:    cl.replicaImports.Load(),
+		TakeoverKeys:      cl.takeovers.Load(),
+		Joins:             cl.joins.Load(),
+		Leaves:            cl.leaves.Load(),
+		RejectedPeerReqs:  cl.rejected.Load(),
 	}
 }
 
@@ -199,6 +350,7 @@ func (cl *cluster) getFactor(peer, key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.authorize(req)
 	resp, err := cl.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -210,8 +362,7 @@ func (cl *cluster) getFactor(peer, key string) ([]byte, error) {
 	case http.StatusNotFound:
 		return nil, errPeerMiss
 	default:
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return nil, fmt.Errorf("service: peer %s answered %d to factor fetch: %s", peer, resp.StatusCode, bytes.TrimSpace(body))
+		return nil, &peerStatusError{peer: peer, op: "factor fetch", code: resp.StatusCode}
 	}
 }
 
@@ -224,13 +375,14 @@ func (cl *cluster) putMatrix(peer string, body []byte) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	cl.authorize(req)
 	resp, err := cl.client.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("service: peer %s answered %d to matrix replication", peer, resp.StatusCode)
+		return &peerStatusError{peer: peer, op: "matrix replication", code: resp.StatusCode}
 	}
 	io.Copy(io.Discard, resp.Body)
 	return nil
@@ -447,42 +599,6 @@ func (s *Server) ImportMatrix(r io.Reader) (key string, known bool, err error) {
 	return s.Submit(csrFromWire(w))
 }
 
-// peerFetch tries to satisfy a cache miss from key's owning daemon.
-// Failure of any kind — breaker open, owner down, owner miss, decode
-// mismatch — returns false and the caller builds locally, so no peer
-// death can fail a request that this daemon could answer alone.
-func (s *Server) peerFetch(key string) (*entry, bool) {
-	cl := s.cluster
-	if cl == nil {
-		return nil, false
-	}
-	owner := cl.owner(key)
-	if owner == cl.self || !cl.allow(owner) {
-		return nil, false
-	}
-	cl.fetches.Add(1)
-	data, err := cl.getFactor(owner, key)
-	if err != nil {
-		if errors.Is(err, errPeerMiss) {
-			// A clean miss is a healthy answer.
-			cl.fetchMisses.Add(1)
-			cl.peerUp(owner)
-		} else {
-			cl.fetchFailures.Add(1)
-			cl.peerDown(owner)
-		}
-		return nil, false
-	}
-	cl.peerUp(owner)
-	ent, err := s.importFactor(key, data)
-	if err != nil {
-		cl.fetchFailures.Add(1)
-		return nil, false
-	}
-	cl.fetchHits.Add(1)
-	return ent, true
-}
-
 // replicateMatrix pushes a freshly submitted matrix to its owning
 // daemon so ownership works in the submit-anywhere flow: the owner can
 // then build (and serve) the factorization even though the client never
@@ -511,12 +627,17 @@ func (s *Server) replicateMatrix(key string, a *sparse.CSR) {
 	cl.peerUp(owner)
 }
 
-// PeerHealth is one peer's row in the aggregated cluster health.
+// PeerHealth is one member's row in the aggregated cluster health.
 type PeerHealth struct {
 	URL string `json:"url"`
 	// Status: the peer's own reported status ("ok", "draining"), or
-	// "down" when it cannot be reached, or "self" for this daemon.
+	// "down" when it cannot be reached, "left" for administratively
+	// drained members (not probed), or "self" for this daemon.
 	Status string `json:"status"`
+	// State is the membership view's verdict for the member ("alive",
+	// "suspect", "dead", "left") — the probe loop's accumulated opinion,
+	// versus Status which is this one health check's live probe.
+	State string `json:"state"`
 	// BreakerOpen reports this daemon's circuit breaker for the peer;
 	// an open breaker means recent operations kept failing and fetches
 	// are currently being skipped.
@@ -525,32 +646,40 @@ type PeerHealth struct {
 }
 
 // ClusterHealth is the cluster-wide health answer: this daemon's local
-// health plus one row per peer. Status degrades to "degraded" when any
-// peer is unreachable — the cluster still answers everything this
-// daemon can serve alone, so degradation is a warning, not an outage.
+// health plus one row per member of the view and the view's epoch.
+// Status degrades to "degraded" when any non-left member is unreachable
+// or written off — the cluster still answers everything this daemon can
+// serve alone, so degradation is a warning, not an outage.
 type ClusterHealth struct {
 	Health
+	Epoch   uint64       `json:"epoch,omitempty"`
 	Cluster []PeerHealth `json:"cluster,omitempty"`
 }
 
 // ClusterEnabled reports whether this server is a cluster member.
 func (s *Server) ClusterEnabled() bool { return s.cluster != nil }
 
-// ClusterHealthCheck probes every peer's local health and aggregates.
-// Probes run concurrently; a dead peer costs one OpTimeout, not one per
-// peer.
+// ClusterHealthCheck probes every live member's local health and
+// aggregates it with the membership view. Probes run concurrently; a
+// dead peer costs one OpTimeout, not one per peer.
 func (s *Server) ClusterHealthCheck() ClusterHealth {
 	out := ClusterHealth{Health: s.Health()}
 	cl := s.cluster
 	if cl == nil {
 		return out
 	}
-	rows := make([]PeerHealth, len(cl.peers))
+	view := cl.ms.snapshot()
+	out.Epoch = view.Epoch
+	rows := make([]PeerHealth, len(view.Members))
 	var wg sync.WaitGroup
-	for i, peer := range cl.peers {
-		rows[i] = PeerHealth{URL: peer, BreakerOpen: cl.breakerOpen(peer)}
-		if peer == cl.self {
+	for i, m := range view.Members {
+		rows[i] = PeerHealth{URL: m.URL, State: m.State, BreakerOpen: cl.breakerOpen(m.URL)}
+		switch {
+		case m.URL == cl.self:
 			rows[i].Status = "self"
+			continue
+		case m.State == stateLeft.String():
+			rows[i].Status = "left"
 			continue
 		}
 		wg.Add(1)
@@ -563,11 +692,16 @@ func (s *Server) ClusterHealthCheck() ClusterHealth {
 				return
 			}
 			rows[i].Status = status
-		}(i, peer)
+		}(i, m.URL)
 	}
 	wg.Wait()
 	for i := range rows {
-		if rows[i].Status != "self" && rows[i].Status != "ok" && out.Status == "ok" {
+		if out.Status != "ok" {
+			break
+		}
+		switch rows[i].Status {
+		case "self", "ok", "left":
+		default:
 			out.Status = "degraded"
 		}
 	}

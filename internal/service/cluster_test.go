@@ -27,7 +27,10 @@ func TestClusterConfigValidation(t *testing.T) {
 		want string // error substring; "" = valid
 	}{
 		{"valid", ClusterConfig{Self: "a", Peers: []string{"a", "b"}}, ""},
-		{"one peer", ClusterConfig{Self: "a", Peers: []string{"a"}}, "at least 2"},
+		// A single-member cluster is legal now that peers can join at
+		// runtime — the seed daemon starts alone.
+		{"one peer", ClusterConfig{Self: "a", Peers: []string{"a"}}, ""},
+		{"no peers", ClusterConfig{Self: "a"}, ""},
 		{"empty url", ClusterConfig{Self: "a", Peers: []string{"a", ""}}, "empty URL"},
 		{"duplicate", ClusterConfig{Self: "a", Peers: []string{"a", "a"}}, "duplicate"},
 		{"self missing", ClusterConfig{Self: "c", Peers: []string{"a", "b"}}, "not in the peer list"},
@@ -112,7 +115,13 @@ func clusterPair(t *testing.T, cfg Config) (srvs [2]*Server, urls [2]string, shu
 	peers := []string{ts0.URL, ts1.URL}
 	for i := range s {
 		c := cfg
-		c.Cluster = &ClusterConfig{Self: peers[i], Peers: peers, OpTimeout: 5 * time.Second}
+		// Probing and replication are disabled so these tests exercise the
+		// static on-demand fetch path deterministically; the membership
+		// machinery has its own tests.
+		c.Cluster = &ClusterConfig{
+			Self: peers[i], Peers: peers, OpTimeout: 5 * time.Second,
+			ProbeInterval: -1, Replicas: -1,
+		}
 		s[i] = New(c)
 	}
 	return s, [2]string{ts0.URL, ts1.URL}, func() {
@@ -214,7 +223,10 @@ func TestClusterPeerDeathFallsBack(t *testing.T) {
 	peers := []string{ts0.URL, ts1.URL}
 	for i := range s {
 		c := cfg
-		c.Cluster = &ClusterConfig{Self: peers[i], Peers: peers, OpTimeout: 2 * time.Second}
+		c.Cluster = &ClusterConfig{
+			Self: peers[i], Peers: peers, OpTimeout: 2 * time.Second,
+			ProbeInterval: -1, Replicas: -1,
+		}
 		s[i] = New(c)
 	}
 	defer ts1.Close()

@@ -289,6 +289,14 @@ type Server struct {
 
 	reqWG    sync.WaitGroup // accepted, not-yet-answered requests
 	workerWG sync.WaitGroup
+
+	// Membership probe loop (cluster members with probing enabled).
+	probeStop     chan struct{}
+	stopProbeOnce sync.Once
+	probeWG       sync.WaitGroup
+	// Asynchronous replica pushes after local builds; drained by
+	// Shutdown after the workers (their only spawner) have exited.
+	replWG sync.WaitGroup
 }
 
 // New starts a Server with cfg.Workers executor goroutines. It panics on
@@ -320,6 +328,14 @@ func New(cfg Config) *Server {
 	}
 	if clusterCfg != nil {
 		s.cluster = newCluster(clusterCfg, cfg.BreakerFailures, cfg.BreakerCooldown)
+		if s.cluster.probeInterval > 0 {
+			s.probeStop = make(chan struct{})
+			s.probeWG.Add(1)
+			go func() {
+				defer s.probeWG.Done()
+				s.probeLoop(s.probeStop)
+			}()
+		}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.workerWG.Add(cfg.Workers)
@@ -497,6 +513,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	// Stop the membership heartbeat first: a drain must not keep
+	// mutating the view or re-pushing replicas.
+	if s.probeStop != nil {
+		s.stopProbeOnce.Do(func() { close(s.probeStop) })
+	}
 
 	drained := make(chan struct{})
 	go func() {
@@ -520,6 +541,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.workerWG.Wait()
+	s.probeWG.Wait()
+	// Workers are gone, so no new replica pushes can start; wait out the
+	// in-flight ones (each bounded by the cluster op timeout).
+	s.replWG.Wait()
 	return err
 }
 
@@ -643,12 +668,23 @@ func (s *Server) entryForLocal(key string) (*entry, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	ent.origin = originLocal
 	s.mu.Lock()
 	s.cache.insert(ent)
 	// Only locally built entries count as factorizations; peer-imported
 	// ones are visible in ClusterStats.PeerFetchHits instead.
 	s.cache.factorizations++
 	s.mu.Unlock()
+	// The owner protects a fresh factorization by pushing it to its HRW
+	// successors; off the request path so the build's caller never waits
+	// on peer round-trips.
+	if s.cluster != nil {
+		s.replWG.Add(1)
+		go func() {
+			defer s.replWG.Done()
+			s.maybeReplicate(ent)
+		}()
+	}
 	return ent, false, nil
 }
 
